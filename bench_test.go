@@ -1,0 +1,241 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per table
+// and figure (the printed rows come from cmd/ipa-bench; these measure the
+// machinery and assert the headline shapes), plus micro-benchmarks for the
+// framework's hot paths.
+package ipa
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/analysis"
+	"github.com/ipa-grid/ipa/internal/dataset"
+	"github.com/ipa-grid/ipa/internal/events"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/perf"
+	"github.com/ipa-grid/ipa/internal/script"
+	"github.com/ipa-grid/ipa/internal/splitter"
+)
+
+// BenchmarkTable1 regenerates the Table 1 comparison (local vs 16-node
+// Grid, 471 MB) and reports the simulated seconds as custom metrics.
+func BenchmarkTable1(b *testing.B) {
+	var r perf.Table1Result
+	for i := 0; i < b.N; i++ {
+		r = perf.Table1(perf.PaperParams())
+	}
+	b.ReportMetric(float64(r.Local.Total()), "local-s")
+	b.ReportMetric(float64(r.Grid.Total()), "grid-s")
+	b.ReportMetric(float64(r.Local.Total())/float64(r.Grid.Total()), "speedup")
+}
+
+// BenchmarkTable2 regenerates the five-row staging/analysis sweep.
+func BenchmarkTable2(b *testing.B) {
+	var rows []perf.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = perf.Table2(perf.PaperParams())
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.Analysis, fmt.Sprintf("analysis-n%d-s", row.Nodes))
+	}
+}
+
+// BenchmarkTable2PerNode runs each node count as a sub-benchmark so the
+// harness prints one line per paper row.
+func BenchmarkTable2PerNode(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		n := n
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			var run perf.GridRun
+			for i := 0; i < b.N; i++ {
+				run = perf.SimulateGrid(perf.PaperParams(), 471, n)
+			}
+			b.ReportMetric(float64(run.MoveParts), "move-parts-s")
+			b.ReportMetric(float64(run.Analysis), "analysis-s")
+		})
+	}
+}
+
+// BenchmarkFigure5 sweeps the full surface grid.
+func BenchmarkFigure5(b *testing.B) {
+	var r perf.Figure5Result
+	for i := 0; i < b.N; i++ {
+		r = perf.Figure5(perf.PaperParams(), nil, nil)
+	}
+	b.ReportMetric(float64(len(r.Sizes)*len(r.Nodes)), "cells")
+}
+
+// BenchmarkEquationsFit refits the paper's §4 equations on simulated data.
+func BenchmarkEquationsFit(b *testing.B) {
+	var f perf.EquationFit
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = perf.FitEquations(perf.EquationCalibratedParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.LocalSlope, "local-slope")
+	b.ReportMetric(f.GridCoef[3], "grid-x-over-n")
+}
+
+// Micro-benchmarks for the framework's hot paths.
+
+func makeEvents(b *testing.B, n int) [][]byte {
+	b.Helper()
+	g := events.NewGenerator(events.GenConfig{Seed: 1})
+	recs := make([][]byte, n)
+	for i := range recs {
+		recs[i] = events.Marshal(nil, g.Next())
+	}
+	return recs
+}
+
+// BenchmarkHiggsAnalysis measures the reference analysis per event.
+func BenchmarkHiggsAnalysis(b *testing.B) {
+	recs := makeEvents(b, 1000)
+	ha, _ := events.NewHiggsAnalysis(nil)
+	ctx := &analysis.Context{Tree: aida.NewTree()}
+	if err := ha.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := recs[i%len(recs)]
+		if err := ha.Process(rec, ctx); err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(rec))
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkScriptAnalysis measures the interpreted path per event.
+func BenchmarkScriptAnalysis(b *testing.B) {
+	recs := makeEvents(b, 1000)
+	sa, err := script.NewAnalysis(`
+		h = tree.h1d("/b", "mult", "", 50, 0, 200);
+		function process(ev) {
+			sel = 0;
+			for (p : ev.particles) if (p.e >= 20) sel += 1;
+			h.fill(sel);
+		}
+	`, events.EventDecoderName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &analysis.Context{Tree: aida.NewTree()}
+	if err := sa.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sa.Process(recs[i%len(recs)], ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitter measures record-aware splitting throughput.
+func BenchmarkSplitter(b *testing.B) {
+	dir := b.TempDir()
+	src := filepath.Join(dir, "src.ipa")
+	if _, err := events.GenerateFile(src, events.GenConfig{Seed: 2}, 5000); err != nil {
+		b.Fatal(err)
+	}
+	r, f, err := dataset.Open(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.SetBytes(r.PayloadBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := splitter.SplitFile(src, 16, func(j int) string {
+			return filepath.Join(dir, fmt.Sprintf("p%d.ipa", j))
+		})
+		if err != nil || plan.TotalRecords != 5000 {
+			b.Fatalf("plan %+v err %v", plan, err)
+		}
+	}
+}
+
+// BenchmarkHistogramMerge measures the AIDA manager's merge step.
+func BenchmarkHistogramMerge(b *testing.B) {
+	mk := func() *aida.Histogram1D {
+		h := aida.NewHistogram1D("h", "", 200, 0, 250)
+		for i := 0; i < 10000; i++ {
+			h.Fill(float64(i % 250))
+		}
+		return h
+	}
+	src := mk()
+	dst := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.MergeFrom(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotPublish measures a full worker snapshot ingestion.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	tree := aida.NewTree()
+	for o := 0; o < 10; o++ {
+		h, _ := tree.H1D("/a", fmt.Sprintf("h%d", o), "", 100, 0, 100)
+		for i := 0; i < 1000; i++ {
+			h.Fill(float64(i % 100))
+		}
+	}
+	st, _ := tree.State()
+	m := merge.NewManager()
+	var rep merge.PublishReply
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := m.Publish(merge.PublishArgs{
+			SessionID: "s", WorkerID: "w", Seq: int64(i + 1), Tree: *st,
+		}, &rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventCodec measures event marshal/unmarshal round trips.
+func BenchmarkEventCodec(b *testing.B) {
+	g := events.NewGenerator(events.GenConfig{Seed: 3})
+	ev := g.Next()
+	rec := events.Marshal(nil, ev)
+	b.SetBytes(int64(len(rec)))
+	var e events.Event
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec = events.Marshal(rec[:0], ev)
+		if err := events.UnmarshalInto(rec, &e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogQueryAblation exercises the catalog query engine
+// indirectly through the facade-level grid (kept small).
+func BenchmarkMergeAblationTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := perf.MergeAblation(32, 2, 4, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamAblation sweeps parallel-stream staging.
+func BenchmarkStreamAblation(b *testing.B) {
+	var rows []perf.StreamAblationRow
+	for i := 0; i < b.N; i++ {
+		rows = perf.StreamAblation(100, []int{1, 2, 4, 8})
+	}
+	b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-8-streams")
+}

@@ -1,0 +1,185 @@
+// ipa-client is the terminal analogue of the paper's JAS3 client: connect
+// to a manager with a Grid credential, browse or query the catalog, stage
+// a dataset, ship a script, run, and watch merged histograms render as
+// ASCII art.
+//
+// Usage:
+//
+//	ipa-client -addr HOST:PORT -creddir ipa-creds \
+//	    [-query 'detector == "sid"'] [-dataset ds-zh] [-script file.pnut]
+//	    [-native higgs-search] [-insecure]
+package main
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ipa-grid/ipa"
+	"github.com/ipa-grid/ipa/internal/core"
+	"github.com/ipa-grid/ipa/internal/gsi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9443", "manager WSRF address")
+	credDir := flag.String("creddir", "ipa-creds", "CA + user credential directory")
+	insecure := flag.Bool("insecure", false, "plain HTTP manager")
+	query := flag.String("query", "", "catalog query to run")
+	datasetID := flag.String("dataset", "", "dataset ID to attach")
+	scriptPath := flag.String("script", "", "analysis script file")
+	native := flag.String("native", "", "native analysis name (e.g. higgs-search)")
+	decoder := flag.String("decoder", ipa.EventDecoderName, "record decoder for scripts")
+	flag.Parse()
+
+	var client *core.Client
+	var err error
+	if *insecure {
+		client, err = core.Connect(*addr, nil, nil)
+	} else {
+		client, err = connectSecure(*addr, *credDir)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.CreateSession(); err != nil {
+		log.Fatal(err)
+	}
+	defer client.CloseSession()
+	fmt.Printf("session %s (%d engines)\n", client.SessionID()[:8], client.Engines())
+
+	if *query != "" {
+		hits, err := client.QueryCatalog(*query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range hits {
+			fmt.Printf("  %-30s id=%-10s %.1f MB, %d records (%s)\n", h.Path, h.ID, h.SizeMB, h.Records, h.Format)
+		}
+		if *datasetID == "" && len(hits) == 1 {
+			*datasetID = hits[0].ID
+		}
+	}
+	if *datasetID == "" {
+		entries, err := client.ListCatalog("/")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("catalog root:")
+		for _, e := range entries {
+			fmt.Println("  ", e.Path)
+		}
+		return
+	}
+	times, err := client.AttachDataset(*datasetID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("staged %.1f MB into %d parts (move=%dms split=%dms parts=%dms)\n",
+		times.SizeMB, times.Parts, times.MoveWhole, times.Split, times.MoveParts)
+
+	switch {
+	case *scriptPath != "":
+		src, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := client.LoadScript(filepath.Base(*scriptPath), string(src), *decoder, nil); err != nil {
+			log.Fatal(err)
+		}
+	case *native != "":
+		if _, err := client.LoadNative(*native, *native, nil); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("need -script or -native")
+	}
+
+	if err := client.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		up, err := client.Poll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range up.Logs {
+			fmt.Println("  [engine]", l)
+		}
+		if up.EventsTotal > 0 {
+			fmt.Printf("\rprogress: %d/%d events", up.EventsDone, up.EventsTotal)
+		}
+		if up.EventsTotal > 0 && up.EventsDone == up.EventsTotal {
+			fmt.Println()
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Println()
+	fmt.Print(ipa.RenderTree(client.Tree()))
+	// Render every 1D histogram.
+	for _, path := range client.Tree().ObjectPaths() {
+		if h := client.Histogram1D(path); h != nil {
+			fmt.Println()
+			fmt.Print(ipa.RenderH1D(h, ipa.RenderOptions{Width: 50, MaxRow: 40}))
+		}
+	}
+}
+
+func connectSecure(addr, credDir string) (*core.Client, error) {
+	caPEM, err := os.ReadFile(filepath.Join(credDir, "ca.pem"))
+	if err != nil {
+		return nil, fmt.Errorf("reading CA: %w", err)
+	}
+	certPEM, err := os.ReadFile(filepath.Join(credDir, "usercert.pem"))
+	if err != nil {
+		return nil, err
+	}
+	keyPEM, err := os.ReadFile(filepath.Join(credDir, "userkey.pem"))
+	if err != nil {
+		return nil, err
+	}
+	parse := func(p []byte) (*pem.Block, error) {
+		blk, _ := pem.Decode(p)
+		if blk == nil {
+			return nil, fmt.Errorf("bad PEM")
+		}
+		return blk, nil
+	}
+	caBlk, err := parse(caPEM)
+	if err != nil {
+		return nil, err
+	}
+	caCert, err := x509.ParseCertificate(caBlk.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	certBlk, err := parse(certPEM)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(certBlk.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	keyBlk, err := parse(keyPEM)
+	if err != nil {
+		return nil, err
+	}
+	key, err := x509.ParseECPrivateKey(keyBlk.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	cred := &gsi.Credential{Cert: cert, Key: key}
+	proxy, err := gsi.NewProxy(cred, 2*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(caCert)
+	return core.ConnectWithPool(addr, proxy, pool)
+}

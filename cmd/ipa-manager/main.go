@@ -1,0 +1,102 @@
+// ipa-manager runs a standalone IPA Grid site: the manager node services
+// plus an in-process compute element, listening on fixed ports so
+// ipa-client (or any WSRF/RMI client) can connect from other processes.
+//
+// Usage:
+//
+//	ipa-manager [-nodes 8] [-wsrf :9443] [-rmi :9444] [-events 20000] [-insecure]
+//
+// On startup it prints the endpoints and, with -events > 0, publishes a
+// generated LC dataset ("ds-zh") so a client can run immediately. In
+// secure mode (default) it writes the CA certificate and a ready-made user
+// credential to -creddir for clients to pick up.
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"github.com/ipa-grid/ipa"
+	"github.com/ipa-grid/ipa/internal/gsi"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "worker node count")
+	events := flag.Int("events", 20000, "events in the demo dataset (0 = none)")
+	insecure := flag.Bool("insecure", false, "serve plain HTTP (no GSI)")
+	credDir := flag.String("creddir", "ipa-creds", "where to write CA + user credentials")
+	flag.Parse()
+
+	grid, err := ipa.NewLocalGrid(ipa.GridOptions{Nodes: *nodes, Insecure: *insecure})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer grid.Close()
+
+	if _, err := grid.AddUser("analyst", ipa.RoleAnalyst); err != nil {
+		log.Fatal(err)
+	}
+	if !*insecure {
+		if err := writeCreds(grid, *credDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("credentials written to %s/\n", *credDir)
+	}
+	if *events > 0 {
+		if err := grid.PublishDataset("ds-zh", "/lc/zh", "zh-500", *events,
+			ipa.GenConfig{Seed: 2006, SignalFraction: 0.2},
+			map[string]string{"process": "e+e- -> ZH"}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published dataset ds-zh (%d events)\n", *events)
+	}
+	fmt.Printf("WSRF endpoint: %s (secure=%v)\n", grid.Manager.Addr(), !*insecure)
+	fmt.Printf("RMI endpoint:  %s\n", grid.Manager.RMIAddr())
+	fmt.Printf("nodes: %d, interactive queue ready\n", *nodes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func writeCreds(grid *ipa.LocalGrid, dir string) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	writePEM := func(name, blockType string, der []byte) error {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return pem.Encode(f, &pem.Block{Type: blockType, Bytes: der})
+	}
+	if err := writePEM("ca.pem", "CERTIFICATE", grid.CA.Certificate().Raw); err != nil {
+		return err
+	}
+	// Issue a fresh exportable credential for the default user.
+	cred, err := grid.CA.IssueUser(grid.VO.Name(), "analyst-export", 12*3600e9)
+	if err != nil {
+		return err
+	}
+	grid.VO.Add(cred.DN(), nil, gsi.RoleAnalyst)
+	if err := writePEM("usercert.pem", "CERTIFICATE", cred.Cert.Raw); err != nil {
+		return err
+	}
+	key, err := marshalKey(cred.Key)
+	if err != nil {
+		return err
+	}
+	return writePEM("userkey.pem", "EC PRIVATE KEY", key)
+}
+
+func marshalKey(k *ecdsa.PrivateKey) ([]byte, error) { return x509.MarshalECPrivateKey(k) }

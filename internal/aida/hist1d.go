@@ -1,0 +1,256 @@
+package aida
+
+import (
+	"fmt"
+	"math"
+)
+
+// binStat is the per-bin accumulator for weighted fills.
+type binStat struct {
+	entries int64
+	sumW    float64 // height
+	sumW2   float64 // error² source
+	sumWX   float64 // for the in-bin weighted mean
+}
+
+func (b *binStat) add(o binStat) {
+	b.entries += o.entries
+	b.sumW += o.sumW
+	b.sumW2 += o.sumW2
+	b.sumWX += o.sumWX
+}
+
+// Histogram1D is a fixed-binning one-dimensional weighted histogram
+// (AIDA IHistogram1D). The sample analyses of the paper — dijet invariant
+// mass in the Higgs search — fill these on every worker.
+type Histogram1D struct {
+	name string
+	ann  *Annotation
+	axis Axis
+	// bins[0] = underflow, bins[1..n] in-range, bins[n+1] = overflow.
+	bins []binStat
+	// In-range moment sums for Mean/Rms.
+	sumW, sumWX, sumWX2 float64
+}
+
+// NewHistogram1D creates a histogram with nBins over [lo, hi).
+func NewHistogram1D(name, title string, nBins int, lo, hi float64) *Histogram1D {
+	h := &Histogram1D{
+		name: name,
+		ann:  NewAnnotation(),
+		axis: NewAxis(nBins, lo, hi),
+		bins: make([]binStat, nBins+2),
+	}
+	if title != "" {
+		h.ann.Set(TitleKey, title)
+	}
+	return h
+}
+
+// Name implements Object.
+func (h *Histogram1D) Name() string { return h.name }
+
+// Kind implements Object.
+func (h *Histogram1D) Kind() string { return "Histogram1D" }
+
+// Annotations implements Object.
+func (h *Histogram1D) Annotations() *Annotation { return h.ann }
+
+// Title returns the display title (falls back to the name).
+func (h *Histogram1D) Title() string {
+	if t := h.ann.Get(TitleKey); t != "" {
+		return t
+	}
+	return h.name
+}
+
+// Axis returns the binning.
+func (h *Histogram1D) Axis() Axis { return h.axis }
+
+// Fill adds x with weight 1.
+func (h *Histogram1D) Fill(x float64) { h.FillW(x, 1) }
+
+// FillW adds x with weight w. NaN coordinates are counted as overflow so
+// they remain visible in entry totals instead of disappearing.
+func (h *Histogram1D) FillW(x, w float64) {
+	idx := h.axis.CoordToIndex(x)
+	if math.IsNaN(x) {
+		idx = Overflow
+	}
+	slot := h.slot(idx)
+	h.bins[slot].entries++
+	h.bins[slot].sumW += w
+	h.bins[slot].sumW2 += w * w
+	h.bins[slot].sumWX += w * x
+	if idx >= 0 {
+		h.sumW += w
+		h.sumWX += w * x
+		h.sumWX2 += w * x * x
+	}
+}
+
+func (h *Histogram1D) slot(idx int) int {
+	switch idx {
+	case Underflow:
+		return 0
+	case Overflow:
+		return len(h.bins) - 1
+	default:
+		return idx + 1
+	}
+}
+
+// checkBin panics on out-of-range bin arguments: bin indices come from the
+// analysis author's code, and silently clamping would corrupt results.
+func (h *Histogram1D) checkBin(i int) int {
+	if i == Underflow || i == Overflow {
+		return h.slot(i)
+	}
+	if i < 0 || i >= h.axis.nBins {
+		panic(fmt.Sprintf("aida: bin %d out of range [0,%d)", i, h.axis.nBins))
+	}
+	return i + 1
+}
+
+// BinEntries returns the number of fills in bin i
+// (i may be Underflow or Overflow).
+func (h *Histogram1D) BinEntries(i int) int64 { return h.bins[h.checkBin(i)].entries }
+
+// BinHeight returns the weighted height of bin i.
+func (h *Histogram1D) BinHeight(i int) float64 { return h.bins[h.checkBin(i)].sumW }
+
+// BinError returns the Poisson-style error sqrt(Σw²) of bin i.
+func (h *Histogram1D) BinError(i int) float64 { return math.Sqrt(h.bins[h.checkBin(i)].sumW2) }
+
+// BinMean returns the weighted mean x within bin i, or the bin center when
+// the bin is empty.
+func (h *Histogram1D) BinMean(i int) float64 {
+	b := h.bins[h.checkBin(i)]
+	if b.sumW == 0 {
+		if i >= 0 {
+			return h.axis.BinCenter(i)
+		}
+		return math.NaN()
+	}
+	return b.sumWX / b.sumW
+}
+
+// Entries returns the number of in-range fills.
+func (h *Histogram1D) Entries() int64 {
+	var n int64
+	for i := 1; i <= h.axis.nBins; i++ {
+		n += h.bins[i].entries
+	}
+	return n
+}
+
+// EntriesCount implements Object.
+func (h *Histogram1D) EntriesCount() int64 { return h.Entries() }
+
+// AllEntries includes the flow bins.
+func (h *Histogram1D) AllEntries() int64 {
+	var n int64
+	for i := range h.bins {
+		n += h.bins[i].entries
+	}
+	return n
+}
+
+// SumBinHeights returns the total in-range weight.
+func (h *Histogram1D) SumBinHeights() float64 { return h.sumW }
+
+// Mean returns the weighted in-range mean.
+func (h *Histogram1D) Mean() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	return h.sumWX / h.sumW
+}
+
+// Rms returns the weighted in-range standard deviation.
+func (h *Histogram1D) Rms() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumWX2/h.sumW - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// MaxBinHeight returns the largest in-range bin height.
+func (h *Histogram1D) MaxBinHeight() float64 {
+	max := 0.0
+	for i := 1; i <= h.axis.nBins; i++ {
+		if h.bins[i].sumW > max {
+			max = h.bins[i].sumW
+		}
+	}
+	return max
+}
+
+// MaxBin returns the index of the highest in-range bin (ties → lowest index).
+func (h *Histogram1D) MaxBin() int {
+	best, bestH := 0, math.Inf(-1)
+	for i := 0; i < h.axis.nBins; i++ {
+		if hgt := h.bins[i+1].sumW; hgt > bestH {
+			best, bestH = i, hgt
+		}
+	}
+	return best
+}
+
+// Reset clears all content, keeping binning and annotations.
+func (h *Histogram1D) Reset() {
+	for i := range h.bins {
+		h.bins[i] = binStat{}
+	}
+	h.sumW, h.sumWX, h.sumWX2 = 0, 0, 0
+}
+
+// Scale multiplies all weights by f (entry counts are unchanged).
+func (h *Histogram1D) Scale(f float64) {
+	for i := range h.bins {
+		h.bins[i].sumW *= f
+		h.bins[i].sumW2 *= f * f
+		h.bins[i].sumWX *= f
+	}
+	h.sumW *= f
+	h.sumWX *= f
+	h.sumWX2 *= f
+}
+
+// Clone returns a deep copy (used when snapshotting live histograms).
+func (h *Histogram1D) Clone() *Histogram1D {
+	c := &Histogram1D{
+		name:   h.name,
+		ann:    h.ann.clone(),
+		axis:   h.axis,
+		bins:   make([]binStat, len(h.bins)),
+		sumW:   h.sumW,
+		sumWX:  h.sumWX,
+		sumWX2: h.sumWX2,
+	}
+	copy(c.bins, h.bins)
+	return c
+}
+
+// MergeFrom implements Mergeable: adds src (a *Histogram1D with identical
+// binning) into h. This is the operation the AIDA manager performs when
+// collecting intermediate results from the engines (§3.7).
+func (h *Histogram1D) MergeFrom(src Object) error {
+	o, ok := src.(*Histogram1D)
+	if !ok || !h.axis.Equal(o.axis) {
+		return errIncompatible("merge", h, src)
+	}
+	for i := range h.bins {
+		h.bins[i].add(o.bins[i])
+	}
+	h.sumW += o.sumW
+	h.sumWX += o.sumWX
+	h.sumWX2 += o.sumWX2
+	mergeAnnotations(h.ann, o.ann)
+	return nil
+}

@@ -1,0 +1,317 @@
+package aida
+
+import (
+	"fmt"
+	"math"
+)
+
+// binStat2 is the per-cell accumulator for 2D fills.
+type binStat2 struct {
+	entries int64
+	sumW    float64
+	sumW2   float64
+	sumWX   float64
+	sumWY   float64
+}
+
+func (b *binStat2) add(o binStat2) {
+	b.entries += o.entries
+	b.sumW += o.sumW
+	b.sumW2 += o.sumW2
+	b.sumWX += o.sumWX
+	b.sumWY += o.sumWY
+}
+
+// Histogram2D is a fixed-binning two-dimensional weighted histogram
+// (AIDA IHistogram2D), e.g. energy vs polar angle in the physics examples
+// or the (X, N) timing surface of Figure 5.
+type Histogram2D struct {
+	name  string
+	ann   *Annotation
+	xAxis Axis
+	yAxis Axis
+	// Row-major (nx+2)×(ny+2) grid; index 0 rows/cols are underflow,
+	// nx+1/ny+1 are overflow.
+	cells  []binStat2
+	sumW   float64
+	sumWX  float64
+	sumWY  float64
+	sumWX2 float64
+	sumWY2 float64
+}
+
+// NewHistogram2D creates a 2D histogram.
+func NewHistogram2D(name, title string, nx int, xlo, xhi float64, ny int, ylo, yhi float64) *Histogram2D {
+	h := &Histogram2D{
+		name:  name,
+		ann:   NewAnnotation(),
+		xAxis: NewAxis(nx, xlo, xhi),
+		yAxis: NewAxis(ny, ylo, yhi),
+		cells: make([]binStat2, (nx+2)*(ny+2)),
+	}
+	if title != "" {
+		h.ann.Set(TitleKey, title)
+	}
+	return h
+}
+
+// Name implements Object.
+func (h *Histogram2D) Name() string { return h.name }
+
+// Kind implements Object.
+func (h *Histogram2D) Kind() string { return "Histogram2D" }
+
+// Annotations implements Object.
+func (h *Histogram2D) Annotations() *Annotation { return h.ann }
+
+// Title returns the display title (falls back to the name).
+func (h *Histogram2D) Title() string {
+	if t := h.ann.Get(TitleKey); t != "" {
+		return t
+	}
+	return h.name
+}
+
+// XAxis returns the x binning.
+func (h *Histogram2D) XAxis() Axis { return h.xAxis }
+
+// YAxis returns the y binning.
+func (h *Histogram2D) YAxis() Axis { return h.yAxis }
+
+func (h *Histogram2D) slot(ix, iy int) int {
+	sx := 0
+	switch ix {
+	case Underflow:
+		sx = 0
+	case Overflow:
+		sx = h.xAxis.nBins + 1
+	default:
+		sx = ix + 1
+	}
+	sy := 0
+	switch iy {
+	case Underflow:
+		sy = 0
+	case Overflow:
+		sy = h.yAxis.nBins + 1
+	default:
+		sy = iy + 1
+	}
+	return sx*(h.yAxis.nBins+2) + sy
+}
+
+func (h *Histogram2D) checkXY(ix, iy int) (int, int) {
+	okX := ix == Underflow || ix == Overflow || (ix >= 0 && ix < h.xAxis.nBins)
+	okY := iy == Underflow || iy == Overflow || (iy >= 0 && iy < h.yAxis.nBins)
+	if !okX || !okY {
+		panic(fmt.Sprintf("aida: bin (%d,%d) out of range (%d,%d)", ix, iy, h.xAxis.nBins, h.yAxis.nBins))
+	}
+	return ix, iy
+}
+
+// Fill adds (x, y) with weight 1.
+func (h *Histogram2D) Fill(x, y float64) { h.FillW(x, y, 1) }
+
+// FillW adds (x, y) with weight w.
+func (h *Histogram2D) FillW(x, y, w float64) {
+	ix := h.xAxis.CoordToIndex(x)
+	iy := h.yAxis.CoordToIndex(y)
+	if math.IsNaN(x) {
+		ix = Overflow
+	}
+	if math.IsNaN(y) {
+		iy = Overflow
+	}
+	c := &h.cells[h.slot(ix, iy)]
+	c.entries++
+	c.sumW += w
+	c.sumW2 += w * w
+	c.sumWX += w * x
+	c.sumWY += w * y
+	if ix >= 0 && iy >= 0 {
+		h.sumW += w
+		h.sumWX += w * x
+		h.sumWY += w * y
+		h.sumWX2 += w * x * x
+		h.sumWY2 += w * y * y
+	}
+}
+
+// BinEntries returns fills in cell (ix, iy).
+func (h *Histogram2D) BinEntries(ix, iy int) int64 {
+	h.checkXY(ix, iy)
+	return h.cells[h.slot(ix, iy)].entries
+}
+
+// BinHeight returns the weighted height of cell (ix, iy).
+func (h *Histogram2D) BinHeight(ix, iy int) float64 {
+	h.checkXY(ix, iy)
+	return h.cells[h.slot(ix, iy)].sumW
+}
+
+// BinError returns sqrt(Σw²) for cell (ix, iy).
+func (h *Histogram2D) BinError(ix, iy int) float64 {
+	h.checkXY(ix, iy)
+	return math.Sqrt(h.cells[h.slot(ix, iy)].sumW2)
+}
+
+// Entries returns the number of in-range fills.
+func (h *Histogram2D) Entries() int64 {
+	var n int64
+	for ix := 1; ix <= h.xAxis.nBins; ix++ {
+		for iy := 1; iy <= h.yAxis.nBins; iy++ {
+			n += h.cells[ix*(h.yAxis.nBins+2)+iy].entries
+		}
+	}
+	return n
+}
+
+// EntriesCount implements Object.
+func (h *Histogram2D) EntriesCount() int64 { return h.Entries() }
+
+// SumBinHeights returns total in-range weight.
+func (h *Histogram2D) SumBinHeights() float64 { return h.sumW }
+
+// MeanX returns the weighted in-range mean of x.
+func (h *Histogram2D) MeanX() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	return h.sumWX / h.sumW
+}
+
+// MeanY returns the weighted in-range mean of y.
+func (h *Histogram2D) MeanY() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	return h.sumWY / h.sumW
+}
+
+// RmsX returns the weighted in-range standard deviation of x.
+func (h *Histogram2D) RmsX() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	m := h.MeanX()
+	v := h.sumWX2/h.sumW - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// RmsY returns the weighted in-range standard deviation of y.
+func (h *Histogram2D) RmsY() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	m := h.MeanY()
+	v := h.sumWY2/h.sumW - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// MaxBinHeight returns the largest in-range cell height.
+func (h *Histogram2D) MaxBinHeight() float64 {
+	max := 0.0
+	for ix := 1; ix <= h.xAxis.nBins; ix++ {
+		for iy := 1; iy <= h.yAxis.nBins; iy++ {
+			if v := h.cells[ix*(h.yAxis.nBins+2)+iy].sumW; v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// ProjectionX sums over y (in-range only) into a 1D histogram.
+func (h *Histogram2D) ProjectionX() *Histogram1D {
+	p := NewHistogram1D(h.name+"_px", h.Title()+" (X projection)", h.xAxis.nBins, h.xAxis.lo, h.xAxis.hi)
+	for ix := 0; ix < h.xAxis.nBins; ix++ {
+		for iy := 0; iy < h.yAxis.nBins; iy++ {
+			c := h.cells[h.slot(ix, iy)]
+			p.bins[ix+1].entries += c.entries
+			p.bins[ix+1].sumW += c.sumW
+			p.bins[ix+1].sumW2 += c.sumW2
+			p.bins[ix+1].sumWX += c.sumWX
+			p.sumW += c.sumW
+			p.sumWX += c.sumWX
+		}
+	}
+	return p
+}
+
+// ProjectionY sums over x (in-range only) into a 1D histogram.
+func (h *Histogram2D) ProjectionY() *Histogram1D {
+	p := NewHistogram1D(h.name+"_py", h.Title()+" (Y projection)", h.yAxis.nBins, h.yAxis.lo, h.yAxis.hi)
+	for iy := 0; iy < h.yAxis.nBins; iy++ {
+		for ix := 0; ix < h.xAxis.nBins; ix++ {
+			c := h.cells[h.slot(ix, iy)]
+			p.bins[iy+1].entries += c.entries
+			p.bins[iy+1].sumW += c.sumW
+			p.bins[iy+1].sumW2 += c.sumW2
+			p.bins[iy+1].sumWX += c.sumWY
+			p.sumW += c.sumW
+			p.sumWX += c.sumWY
+		}
+	}
+	return p
+}
+
+// Reset clears content.
+func (h *Histogram2D) Reset() {
+	for i := range h.cells {
+		h.cells[i] = binStat2{}
+	}
+	h.sumW, h.sumWX, h.sumWY, h.sumWX2, h.sumWY2 = 0, 0, 0, 0, 0
+}
+
+// Scale multiplies all weights by f.
+func (h *Histogram2D) Scale(f float64) {
+	for i := range h.cells {
+		h.cells[i].sumW *= f
+		h.cells[i].sumW2 *= f * f
+		h.cells[i].sumWX *= f
+		h.cells[i].sumWY *= f
+	}
+	h.sumW *= f
+	h.sumWX *= f
+	h.sumWY *= f
+	h.sumWX2 *= f
+	h.sumWY2 *= f
+}
+
+// Clone returns a deep copy.
+func (h *Histogram2D) Clone() *Histogram2D {
+	c := &Histogram2D{
+		name: h.name, ann: h.ann.clone(),
+		xAxis: h.xAxis, yAxis: h.yAxis,
+		cells: make([]binStat2, len(h.cells)),
+		sumW:  h.sumW,
+		sumWX: h.sumWX, sumWY: h.sumWY,
+		sumWX2: h.sumWX2, sumWY2: h.sumWY2,
+	}
+	copy(c.cells, h.cells)
+	return c
+}
+
+// MergeFrom implements Mergeable.
+func (h *Histogram2D) MergeFrom(src Object) error {
+	o, ok := src.(*Histogram2D)
+	if !ok || !h.xAxis.Equal(o.xAxis) || !h.yAxis.Equal(o.yAxis) {
+		return errIncompatible("merge", h, src)
+	}
+	for i := range h.cells {
+		h.cells[i].add(o.cells[i])
+	}
+	h.sumW += o.sumW
+	h.sumWX += o.sumWX
+	h.sumWY += o.sumWY
+	h.sumWX2 += o.sumWX2
+	h.sumWY2 += o.sumWY2
+	mergeAnnotations(h.ann, o.ann)
+	return nil
+}

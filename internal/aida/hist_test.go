@@ -1,0 +1,381 @@
+package aida
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAxisMapping(t *testing.T) {
+	ax := NewAxis(10, 0, 100)
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-0.001, Underflow}, {0, 0}, {9.999, 0}, {10, 1}, {55, 5}, {99.999, 9}, {100, Overflow}, {1e9, Overflow},
+	}
+	for _, c := range cases {
+		if got := ax.CoordToIndex(c.x); got != c.want {
+			t.Errorf("CoordToIndex(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if ax.BinWidth() != 10 {
+		t.Errorf("BinWidth = %v", ax.BinWidth())
+	}
+	if ax.BinCenter(3) != 35 {
+		t.Errorf("BinCenter(3) = %v", ax.BinCenter(3))
+	}
+}
+
+func TestAxisInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid axis did not panic")
+		}
+	}()
+	NewAxis(0, 0, 1)
+}
+
+func TestH1DFillAndStats(t *testing.T) {
+	h := NewHistogram1D("m", "mass", 10, 0, 10)
+	for _, x := range []float64{0.5, 1.5, 1.7, 5.5, 5.6, 5.7, 9.9} {
+		h.Fill(x)
+	}
+	h.Fill(-5)  // underflow
+	h.Fill(100) // overflow
+	if h.Entries() != 7 {
+		t.Fatalf("Entries = %d, want 7", h.Entries())
+	}
+	if h.AllEntries() != 9 {
+		t.Fatalf("AllEntries = %d, want 9", h.AllEntries())
+	}
+	if h.BinEntries(1) != 2 {
+		t.Fatalf("BinEntries(1) = %d, want 2", h.BinEntries(1))
+	}
+	if h.BinEntries(Underflow) != 1 || h.BinEntries(Overflow) != 1 {
+		t.Fatal("flow bins wrong")
+	}
+	wantMean := (0.5 + 1.5 + 1.7 + 5.5 + 5.6 + 5.7 + 9.9) / 7
+	if !almost(h.Mean(), wantMean, 1e-12) {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if h.MaxBin() != 5 {
+		t.Fatalf("MaxBin = %d, want 5", h.MaxBin())
+	}
+	if h.MaxBinHeight() != 3 {
+		t.Fatalf("MaxBinHeight = %v, want 3", h.MaxBinHeight())
+	}
+}
+
+func TestH1DWeights(t *testing.T) {
+	h := NewHistogram1D("w", "", 4, 0, 4)
+	h.FillW(1.5, 2.5)
+	h.FillW(1.5, 1.5)
+	if !almost(h.BinHeight(1), 4, 1e-12) {
+		t.Fatalf("BinHeight = %v, want 4", h.BinHeight(1))
+	}
+	if !almost(h.BinError(1), math.Sqrt(2.5*2.5+1.5*1.5), 1e-12) {
+		t.Fatalf("BinError = %v", h.BinError(1))
+	}
+	if !almost(h.BinMean(1), 1.5, 1e-12) {
+		t.Fatalf("BinMean = %v", h.BinMean(1))
+	}
+}
+
+func TestH1DNaNGoesToOverflow(t *testing.T) {
+	h := NewHistogram1D("n", "", 4, 0, 4)
+	h.Fill(math.NaN())
+	if h.BinEntries(Overflow) != 1 {
+		t.Fatal("NaN fill lost")
+	}
+	if h.Entries() != 0 {
+		t.Fatal("NaN fill counted in range")
+	}
+}
+
+func TestH1DScaleReset(t *testing.T) {
+	h := NewHistogram1D("s", "", 4, 0, 4)
+	h.Fill(1)
+	h.Fill(2)
+	h.Scale(3)
+	if !almost(h.SumBinHeights(), 6, 1e-12) {
+		t.Fatalf("scaled sum = %v", h.SumBinHeights())
+	}
+	if h.Entries() != 2 {
+		t.Fatal("Scale changed entries")
+	}
+	h.Reset()
+	if h.AllEntries() != 0 || h.SumBinHeights() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestH1DBadBinPanics(t *testing.T) {
+	h := NewHistogram1D("b", "", 4, 0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range bin did not panic")
+		}
+	}()
+	h.BinHeight(4)
+}
+
+func TestH1DMerge(t *testing.T) {
+	a := NewHistogram1D("m", "", 10, 0, 10)
+	b := NewHistogram1D("m", "", 10, 0, 10)
+	for i := 0; i < 100; i++ {
+		a.Fill(float64(i%10) + 0.5)
+		b.FillW(float64(i%7)+0.5, 2)
+	}
+	ref := NewHistogram1D("m", "", 10, 0, 10)
+	for i := 0; i < 100; i++ {
+		ref.Fill(float64(i%10) + 0.5)
+		ref.FillW(float64(i%7)+0.5, 2)
+	}
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !almost(a.BinHeight(i), ref.BinHeight(i), 1e-9) {
+			t.Fatalf("bin %d: merged %v, ref %v", i, a.BinHeight(i), ref.BinHeight(i))
+		}
+	}
+	if !almost(a.Mean(), ref.Mean(), 1e-12) || !almost(a.Rms(), ref.Rms(), 1e-12) {
+		t.Fatal("merged stats differ from sequential fill")
+	}
+}
+
+func TestH1DMergeIncompatible(t *testing.T) {
+	a := NewHistogram1D("a", "", 10, 0, 10)
+	b := NewHistogram1D("b", "", 5, 0, 10)
+	if err := a.MergeFrom(b); err == nil {
+		t.Fatal("merged incompatible binning")
+	}
+	if err := a.MergeFrom(NewProfile1D("p", "", 10, 0, 10)); err == nil {
+		t.Fatal("merged wrong kind")
+	}
+}
+
+// Property: merging K randomly filled histograms equals filling one
+// histogram with all samples, regardless of split or order (the correctness
+// condition for the paper's parallel analysis: "datasets that can be split
+// and where the analysis results can be logically merged").
+func TestQuickMergeEqualsSequential(t *testing.T) {
+	f := func(seed int64, parts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(parts%7) + 2
+		hs := make([]*Histogram1D, k)
+		for i := range hs {
+			hs[i] = NewHistogram1D("h", "", 20, -5, 5)
+		}
+		ref := NewHistogram1D("h", "", 20, -5, 5)
+		for i := 0; i < 500; i++ {
+			x := rng.NormFloat64() * 2
+			w := rng.Float64() + 0.5
+			hs[i%k].FillW(x, w)
+			ref.FillW(x, w)
+		}
+		// Merge in a shuffled order (commutativity + associativity).
+		order := rng.Perm(k)
+		merged := NewHistogram1D("h", "", 20, -5, 5)
+		for _, idx := range order {
+			if merged.MergeFrom(hs[idx]) != nil {
+				return false
+			}
+		}
+		for i := 0; i < 20; i++ {
+			if !almost(merged.BinHeight(i), ref.BinHeight(i), 1e-9) ||
+				merged.BinEntries(i) != ref.BinEntries(i) {
+				return false
+			}
+		}
+		return almost(merged.Mean(), ref.Mean(), 1e-9) &&
+			almost(merged.Rms(), ref.Rms(), 1e-9) &&
+			merged.AllEntries() == ref.AllEntries()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestH2DFillStatsProjection(t *testing.T) {
+	h := NewHistogram2D("xy", "", 4, 0, 4, 4, 0, 4)
+	h.Fill(0.5, 0.5)
+	h.Fill(1.5, 0.5)
+	h.Fill(1.5, 2.5)
+	h.FillW(3.5, 3.5, 2)
+	if h.Entries() != 4 {
+		t.Fatalf("Entries = %d", h.Entries())
+	}
+	if h.BinEntries(1, 0) != 1 {
+		t.Fatal("BinEntries(1,0) wrong")
+	}
+	wantMeanX := (0.5 + 1.5 + 1.5 + 2*3.5) / 5
+	if !almost(h.MeanX(), wantMeanX, 1e-12) {
+		t.Fatalf("MeanX = %v, want %v", h.MeanX(), wantMeanX)
+	}
+	px := h.ProjectionX()
+	if px.Entries() != 4 {
+		t.Fatalf("ProjectionX entries = %d", px.Entries())
+	}
+	if !almost(px.BinHeight(1), 2, 1e-12) {
+		t.Fatalf("ProjectionX bin 1 = %v", px.BinHeight(1))
+	}
+	py := h.ProjectionY()
+	if !almost(py.BinHeight(0), 2, 1e-12) {
+		t.Fatalf("ProjectionY bin 0 = %v", py.BinHeight(0))
+	}
+	if !almost(px.Mean(), h.MeanX(), 1e-12) {
+		t.Fatalf("projection mean %v vs MeanX %v", px.Mean(), h.MeanX())
+	}
+}
+
+func TestH2DMerge(t *testing.T) {
+	a := NewHistogram2D("h", "", 3, 0, 3, 3, 0, 3)
+	b := NewHistogram2D("h", "", 3, 0, 3, 3, 0, 3)
+	a.Fill(0.5, 0.5)
+	b.Fill(0.5, 0.5)
+	b.Fill(2.5, 2.5)
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Entries() != 3 {
+		t.Fatalf("merged entries = %d", a.Entries())
+	}
+	if a.BinEntries(0, 0) != 2 {
+		t.Fatal("cell (0,0) wrong after merge")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := NewProfile1D("p", "", 4, 0, 4)
+	p.Fill(0.5, 10)
+	p.Fill(0.5, 20)
+	p.Fill(2.5, 5)
+	if !almost(p.BinHeight(0), 15, 1e-12) {
+		t.Fatalf("bin 0 mean = %v, want 15", p.BinHeight(0))
+	}
+	if !almost(p.BinRms(0), 5, 1e-12) {
+		t.Fatalf("bin 0 rms = %v, want 5", p.BinRms(0))
+	}
+	if !almost(p.BinError(0), 5/math.Sqrt2, 1e-12) {
+		t.Fatalf("bin 0 error = %v", p.BinError(0))
+	}
+	if p.Entries() != 3 {
+		t.Fatalf("entries = %d", p.Entries())
+	}
+	q := NewProfile1D("p", "", 4, 0, 4)
+	q.Fill(0.5, 30)
+	if err := p.MergeFrom(q); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.BinHeight(0), 20, 1e-12) {
+		t.Fatalf("merged bin 0 mean = %v, want 20", p.BinHeight(0))
+	}
+}
+
+func TestCloudAutoConvert(t *testing.T) {
+	c := NewCloud1DLimit("c", "", 100)
+	for i := 0; i < 99; i++ {
+		c.Fill(float64(i))
+	}
+	if c.IsConverted() {
+		t.Fatal("converted early")
+	}
+	exactMean := c.Mean()
+	c.Fill(99)
+	if !c.IsConverted() {
+		t.Fatal("did not convert at limit")
+	}
+	if c.Entries() != 100 {
+		t.Fatalf("entries after convert = %d", c.Entries())
+	}
+	if math.Abs(c.Mean()-exactMean) > 2 {
+		t.Fatalf("post-convert mean %v drifted too far from %v", c.Mean(), exactMean)
+	}
+	// Further fills go into the histogram.
+	c.Fill(50)
+	if c.Entries() != 101 {
+		t.Fatal("post-convert fill lost")
+	}
+}
+
+func TestCloudMergeUnbinned(t *testing.T) {
+	a := NewCloud1DLimit("c", "", 0)
+	b := NewCloud1DLimit("c", "", 0)
+	a.Fill(1)
+	b.Fill(3)
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Entries() != 2 || !almost(a.Mean(), 2, 1e-12) {
+		t.Fatalf("merged cloud: entries=%d mean=%v", a.Entries(), a.Mean())
+	}
+	if a.LowerEdge() != 1 || a.UpperEdge() != 3 {
+		t.Fatal("merged cloud edges wrong")
+	}
+}
+
+func TestCloudConvertDegenerate(t *testing.T) {
+	c := NewCloud1DLimit("c", "", 0)
+	c.Fill(5)
+	h := c.Convert(10)
+	if h.Entries() != 1 {
+		t.Fatal("single-value cloud lost its sample on convert")
+	}
+	empty := NewCloud1DLimit("e", "", 0)
+	he := empty.Convert(10)
+	if he.AllEntries() != 0 {
+		t.Fatal("empty cloud conversion not empty")
+	}
+}
+
+func TestDPS(t *testing.T) {
+	d := NewDataPointSet("t2", "Table 2", 2)
+	if err := d.Append(1, 330); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(16, 78); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(1, 2, 3); err == nil {
+		t.Fatal("wrong-dimension append accepted")
+	}
+	if d.Size() != 2 || d.Value(1, 1) != 78 {
+		t.Fatal("DPS contents wrong")
+	}
+	col := d.Column(0)
+	if col[0] != 1 || col[1] != 16 {
+		t.Fatal("Column wrong")
+	}
+	o := NewDataPointSet("t2", "", 2)
+	o.Append(8, 148)
+	if err := d.MergeFrom(o); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatal("merge did not concatenate")
+	}
+}
+
+func TestAnnotation(t *testing.T) {
+	a := NewAnnotation()
+	a.Set("x", "1")
+	a.Set("y", "2")
+	a.Set("x", "3")
+	if a.Len() != 2 || a.Get("x") != "3" {
+		t.Fatal("Set/replace wrong")
+	}
+	keys := a.Keys()
+	if keys[0] != "x" || keys[1] != "y" {
+		t.Fatalf("key order %v", keys)
+	}
+	a.Remove("x")
+	if a.Has("x") || a.Len() != 1 {
+		t.Fatal("Remove failed")
+	}
+	a.Remove("never") // no-op
+}

@@ -1,0 +1,175 @@
+package aida
+
+import (
+	"fmt"
+	"math"
+)
+
+// profBin accumulates y-statistics within an x bin.
+type profBin struct {
+	entries int64
+	sumW    float64
+	sumWY   float64
+	sumWY2  float64
+}
+
+func (b *profBin) add(o profBin) {
+	b.entries += o.entries
+	b.sumW += o.sumW
+	b.sumWY += o.sumWY
+	b.sumWY2 += o.sumWY2
+}
+
+// Profile1D records the mean and spread of y as a function of binned x
+// (AIDA IProfile1D) — e.g. mean analysis time per event vs event size.
+type Profile1D struct {
+	name string
+	ann  *Annotation
+	axis Axis
+	bins []profBin // 0 = underflow, n+1 = overflow
+}
+
+// NewProfile1D creates a profile with nBins over [lo, hi).
+func NewProfile1D(name, title string, nBins int, lo, hi float64) *Profile1D {
+	p := &Profile1D{
+		name: name,
+		ann:  NewAnnotation(),
+		axis: NewAxis(nBins, lo, hi),
+		bins: make([]profBin, nBins+2),
+	}
+	if title != "" {
+		p.ann.Set(TitleKey, title)
+	}
+	return p
+}
+
+// Name implements Object.
+func (p *Profile1D) Name() string { return p.name }
+
+// Kind implements Object.
+func (p *Profile1D) Kind() string { return "Profile1D" }
+
+// Annotations implements Object.
+func (p *Profile1D) Annotations() *Annotation { return p.ann }
+
+// Title returns the display title (falls back to the name).
+func (p *Profile1D) Title() string {
+	if t := p.ann.Get(TitleKey); t != "" {
+		return t
+	}
+	return p.name
+}
+
+// Axis returns the binning.
+func (p *Profile1D) Axis() Axis { return p.axis }
+
+func (p *Profile1D) slot(idx int) int {
+	switch idx {
+	case Underflow:
+		return 0
+	case Overflow:
+		return len(p.bins) - 1
+	default:
+		return idx + 1
+	}
+}
+
+func (p *Profile1D) checkBin(i int) int {
+	if i == Underflow || i == Overflow {
+		return p.slot(i)
+	}
+	if i < 0 || i >= p.axis.nBins {
+		panic(fmt.Sprintf("aida: profile bin %d out of range [0,%d)", i, p.axis.nBins))
+	}
+	return i + 1
+}
+
+// Fill adds the sample (x, y) with weight 1.
+func (p *Profile1D) Fill(x, y float64) { p.FillW(x, y, 1) }
+
+// FillW adds the sample (x, y) with weight w.
+func (p *Profile1D) FillW(x, y, w float64) {
+	idx := p.axis.CoordToIndex(x)
+	if math.IsNaN(x) {
+		idx = Overflow
+	}
+	b := &p.bins[p.slot(idx)]
+	b.entries++
+	b.sumW += w
+	b.sumWY += w * y
+	b.sumWY2 += w * y * y
+}
+
+// BinEntries returns the fills in bin i.
+func (p *Profile1D) BinEntries(i int) int64 { return p.bins[p.checkBin(i)].entries }
+
+// BinHeight returns the mean y in bin i (0 when empty).
+func (p *Profile1D) BinHeight(i int) float64 {
+	b := p.bins[p.checkBin(i)]
+	if b.sumW == 0 {
+		return 0
+	}
+	return b.sumWY / b.sumW
+}
+
+// BinRms returns the y standard deviation in bin i.
+func (p *Profile1D) BinRms(i int) float64 {
+	b := p.bins[p.checkBin(i)]
+	if b.sumW == 0 {
+		return 0
+	}
+	m := b.sumWY / b.sumW
+	v := b.sumWY2/b.sumW - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// BinError returns the error on the mean of bin i (rms/√n).
+func (p *Profile1D) BinError(i int) float64 {
+	b := p.bins[p.checkBin(i)]
+	if b.entries == 0 {
+		return 0
+	}
+	return p.BinRms(i) / math.Sqrt(float64(b.entries))
+}
+
+// Entries returns the in-range sample count.
+func (p *Profile1D) Entries() int64 {
+	var n int64
+	for i := 1; i <= p.axis.nBins; i++ {
+		n += p.bins[i].entries
+	}
+	return n
+}
+
+// EntriesCount implements Object.
+func (p *Profile1D) EntriesCount() int64 { return p.Entries() }
+
+// Reset clears all content.
+func (p *Profile1D) Reset() {
+	for i := range p.bins {
+		p.bins[i] = profBin{}
+	}
+}
+
+// Clone returns a deep copy.
+func (p *Profile1D) Clone() *Profile1D {
+	c := &Profile1D{name: p.name, ann: p.ann.clone(), axis: p.axis, bins: make([]profBin, len(p.bins))}
+	copy(c.bins, p.bins)
+	return c
+}
+
+// MergeFrom implements Mergeable.
+func (p *Profile1D) MergeFrom(src Object) error {
+	o, ok := src.(*Profile1D)
+	if !ok || !p.axis.Equal(o.axis) {
+		return errIncompatible("merge", p, src)
+	}
+	for i := range p.bins {
+		p.bins[i].add(o.bins[i])
+	}
+	mergeAnnotations(p.ann, o.ann)
+	return nil
+}

@@ -1,0 +1,115 @@
+package aida
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII rendering — the terminal stand-in for the JAS3 plot panels of
+// Figure 4. The client CLI prints merged histograms with these functions
+// after every poll, giving the paper's "histograms filling up dynamically"
+// experience in a terminal.
+
+// RenderOptions control ASCII output.
+type RenderOptions struct {
+	Width  int // bar width in characters (default 50)
+	MaxRow int // cap on displayed bins (0 = all)
+}
+
+func (o RenderOptions) width() int {
+	if o.Width <= 0 {
+		return 50
+	}
+	return o.Width
+}
+
+// RenderH1D renders a 1D histogram as a horizontal bar chart.
+func RenderH1D(h *Histogram1D, opts RenderOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (entries=%d mean=%.4g rms=%.4g)\n", h.Title(), h.Entries(), h.Mean(), h.Rms())
+	max := h.MaxBinHeight()
+	if max <= 0 {
+		b.WriteString("  (empty)\n")
+		return b.String()
+	}
+	ax := h.Axis()
+	bins := ax.Bins()
+	if opts.MaxRow > 0 && bins > opts.MaxRow {
+		bins = opts.MaxRow
+	}
+	w := opts.width()
+	for i := 0; i < bins; i++ {
+		height := h.BinHeight(i)
+		n := int(height / max * float64(w))
+		if height > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%10.4g |%-*s| %.4g\n", ax.BinLowerEdge(i), w, strings.Repeat("#", n), height)
+	}
+	if uf, of := h.BinHeight(Underflow), h.BinHeight(Overflow); uf > 0 || of > 0 {
+		fmt.Fprintf(&b, "  underflow=%.4g overflow=%.4g\n", uf, of)
+	}
+	return b.String()
+}
+
+// RenderTree summarizes every object in the tree, one line each — the
+// terminal version of the JAS3 object browser.
+func RenderTree(t *Tree) string {
+	var b strings.Builder
+	t.Walk(func(path string, obj Object) {
+		fmt.Fprintf(&b, "%-40s %-14s entries=%d\n", path, obj.Kind(), obj.EntriesCount())
+	})
+	if b.Len() == 0 {
+		return "(empty tree)\n"
+	}
+	return b.String()
+}
+
+// Table renders rows of labelled values with a header, matching the visual
+// layout of the paper's Tables 1 and 2 for the benchmark harness.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package aida
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering — the "professional-quality visualizations" deliverable of
+// the paper's abstract, used to regenerate Figure 5 (time surfaces) and to
+// plot merged histograms without a GUI toolkit.
+
+// svgCanvas accumulates SVG elements with a simple coordinate mapper.
+type svgCanvas struct {
+	b             strings.Builder
+	width, height int
+}
+
+func newSVG(width, height int) *svgCanvas {
+	c := &svgCanvas{width: width, height: height}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	c.rect(0, 0, float64(width), float64(height), "#ffffff", "none")
+	return c
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, fill, stroke string) {
+	fmt.Fprintf(&c.b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="%s"/>`+"\n", x, y, w, h, fill, stroke)
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string, strokeWidth float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n", x1, y1, x2, y2, stroke, strokeWidth)
+}
+
+func (c *svgCanvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.2f" y="%.2f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n", x, y, size, anchor, xmlEscape(s))
+}
+
+func (c *svgCanvas) polyline(pts [][2]float64, stroke string, strokeWidth float64) {
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.2f,%.2f", p[0], p[1])
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n", sb.String(), stroke, strokeWidth)
+}
+
+func (c *svgCanvas) close() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+const (
+	plotMarginLeft   = 70.0
+	plotMarginRight  = 20.0
+	plotMarginTop    = 40.0
+	plotMarginBottom = 50.0
+)
+
+// WriteSVGH1D renders a 1D histogram as an SVG bar chart.
+func WriteSVGH1D(w io.Writer, h *Histogram1D, width, height int) error {
+	c := newSVG(width, height)
+	px0, px1 := plotMarginLeft, float64(width)-plotMarginRight
+	py0, py1 := float64(height)-plotMarginBottom, plotMarginTop
+	ax := h.Axis()
+	maxH := h.MaxBinHeight()
+	if maxH <= 0 {
+		maxH = 1
+	}
+	maxH *= 1.05
+	xm := func(x float64) float64 { return px0 + (x-ax.LowerEdge())/(ax.UpperEdge()-ax.LowerEdge())*(px1-px0) }
+	ym := func(y float64) float64 { return py0 - y/maxH*(py0-py1) }
+	// Frame + title.
+	c.rect(px0, py1, px1-px0, py0-py1, "none", "#000000")
+	c.text(float64(width)/2, plotMarginTop-14, 15, "middle", h.Title())
+	// Bars.
+	for i := 0; i < ax.Bins(); i++ {
+		v := h.BinHeight(i)
+		if v <= 0 {
+			continue
+		}
+		x := xm(ax.BinLowerEdge(i))
+		xw := xm(ax.BinUpperEdge(i)) - x
+		y := ym(v)
+		c.rect(x, y, xw, py0-y, "#4878cf", "#2a4f8f")
+	}
+	// Ticks.
+	for i := 0; i <= 5; i++ {
+		fx := ax.LowerEdge() + float64(i)/5*(ax.UpperEdge()-ax.LowerEdge())
+		c.line(xm(fx), py0, xm(fx), py0+5, "#000", 1)
+		c.text(xm(fx), py0+18, 11, "middle", trimNum(fx))
+		fy := float64(i) / 5 * maxH
+		c.line(px0-5, ym(fy), px0, ym(fy), "#000", 1)
+		c.text(px0-8, ym(fy)+4, 11, "end", trimNum(fy))
+	}
+	c.text(float64(width)/2, float64(height)-12, 12, "middle",
+		fmt.Sprintf("entries=%d  mean=%.4g  rms=%.4g", h.Entries(), h.Mean(), h.Rms()))
+	_, err := io.WriteString(w, c.close())
+	return err
+}
+
+// SeriesStyle names an SVG stroke color per series.
+var seriesPalette = []string{"#c8a02a", "#2a50c8", "#c82a2a", "#2ac850", "#8a2ac8", "#2ac8c8"}
+
+// XYSeries is one named polyline for WriteSVGSeries.
+type XYSeries struct {
+	Name string
+	X, Y []float64
+}
+
+// WriteSVGSeries renders line series on shared axes — used for the Table 2
+// scaling plot and the Figure 5 cross-sections (gold = local, blue = Grid,
+// matching the paper's color key).
+func WriteSVGSeries(w io.Writer, title, xLabel, yLabel string, series []XYSeries, width, height int) error {
+	c := newSVG(width, height)
+	px0, px1 := plotMarginLeft, float64(width)-plotMarginRight
+	py0, py1 := float64(height)-plotMarginBottom, plotMarginTop
+	// Bounds.
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xlo = math.Min(xlo, s.X[i])
+			xhi = math.Max(xhi, s.X[i])
+			yhi = math.Max(yhi, s.Y[i])
+		}
+	}
+	if math.IsInf(xlo, 0) || xhi == xlo {
+		xlo, xhi = 0, 1
+	}
+	if math.IsInf(yhi, 0) || yhi <= 0 {
+		yhi = 1
+	}
+	yhi *= 1.05
+	xm := func(x float64) float64 { return px0 + (x-xlo)/(xhi-xlo)*(px1-px0) }
+	ym := func(y float64) float64 { return py0 - (y-ylo)/(yhi-ylo)*(py0-py1) }
+	c.rect(px0, py1, px1-px0, py0-py1, "none", "#000000")
+	c.text(float64(width)/2, plotMarginTop-14, 15, "middle", title)
+	for i := 0; i <= 5; i++ {
+		fx := xlo + float64(i)/5*(xhi-xlo)
+		c.line(xm(fx), py0, xm(fx), py0+5, "#000", 1)
+		c.text(xm(fx), py0+18, 11, "middle", trimNum(fx))
+		fy := ylo + float64(i)/5*(yhi-ylo)
+		c.line(px0-5, ym(fy), px0, ym(fy), "#000", 1)
+		c.text(px0-8, ym(fy)+4, 11, "end", trimNum(fy))
+	}
+	c.text(float64(width)/2, float64(height)-12, 12, "middle", xLabel)
+	c.text(16, float64(height)/2, 12, "middle", yLabel)
+	for si, s := range series {
+		color := seriesPalette[si%len(seriesPalette)]
+		pts := make([][2]float64, 0, len(s.X))
+		for i := range s.X {
+			pts = append(pts, [2]float64{xm(s.X[i]), ym(s.Y[i])})
+		}
+		c.polyline(pts, color, 2)
+		c.text(px1-8, py1+16+14*float64(si), 12, "end", s.Name)
+		c.line(px1-90, py1+12+14*float64(si), px1-70, py1+12+14*float64(si), color, 2)
+	}
+	_, err := io.WriteString(w, c.close())
+	return err
+}
+
+// Surface is a gridded z(x, y) function sampled on the cross product of
+// Xs × Ys, for heatmap rendering (the Figure 5 surfaces).
+type Surface struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+	Z    [][]float64 // Z[i][j] = z(Xs[i], Ys[j])
+}
+
+// WriteSVGHeatmap renders one surface as a colored grid with a scale bar.
+func WriteSVGHeatmap(w io.Writer, title, xLabel, yLabel string, s Surface, width, height int) error {
+	if len(s.Xs) == 0 || len(s.Ys) == 0 || len(s.Z) != len(s.Xs) {
+		return fmt.Errorf("aida: malformed surface %q", s.Name)
+	}
+	c := newSVG(width, height)
+	px0, px1 := plotMarginLeft, float64(width)-plotMarginRight-60
+	py0, py1 := float64(height)-plotMarginBottom, plotMarginTop
+	zlo, zhi := math.Inf(1), math.Inf(-1)
+	for _, row := range s.Z {
+		for _, v := range row {
+			zlo = math.Min(zlo, v)
+			zhi = math.Max(zhi, v)
+		}
+	}
+	if zhi == zlo {
+		zhi = zlo + 1
+	}
+	cw := (px1 - px0) / float64(len(s.Xs))
+	ch := (py0 - py1) / float64(len(s.Ys))
+	for i := range s.Xs {
+		for j := range s.Ys {
+			v := (s.Z[i][j] - zlo) / (zhi - zlo)
+			c.rect(px0+float64(i)*cw, py0-float64(j+1)*ch, cw+0.5, ch+0.5, heatColor(v), "none")
+		}
+	}
+	c.rect(px0, py1, px1-px0, py0-py1, "none", "#000000")
+	c.text(float64(width)/2, plotMarginTop-14, 15, "middle", title)
+	c.text((px0+px1)/2, float64(height)-12, 12, "middle", xLabel)
+	c.text(16, float64(height)/2, 12, "middle", yLabel)
+	// Axis ticks on grid indices.
+	for i := 0; i <= 4; i++ {
+		xi := int(float64(len(s.Xs)-1) * float64(i) / 4)
+		c.text(px0+(float64(xi)+0.5)*cw, py0+18, 11, "middle", trimNum(s.Xs[xi]))
+		yi := int(float64(len(s.Ys)-1) * float64(i) / 4)
+		c.text(px0-8, py0-(float64(yi)+0.5)*ch+4, 11, "end", trimNum(s.Ys[yi]))
+	}
+	// Scale bar.
+	for k := 0; k < 50; k++ {
+		v := float64(k) / 49
+		c.rect(px1+20, py0-(py0-py1)*float64(k+1)/50, 16, (py0-py1)/50+0.5, heatColor(v), "none")
+	}
+	c.text(px1+44, py0, 10, "start", trimNum(zlo))
+	c.text(px1+44, py1+10, 10, "start", trimNum(zhi))
+	_, err := io.WriteString(w, c.close())
+	return err
+}
+
+// heatColor maps v∈[0,1] onto a blue→gold gradient (the paper's palette).
+func heatColor(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	r := int(40 + 215*v)
+	g := int(80 + 120*v)
+	b := int(200 - 160*v)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}

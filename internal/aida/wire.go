@@ -1,0 +1,407 @@
+package aida
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file defines the exported "state" representation of every AIDA
+// object. States have only exported fields so they travel over gob (the
+// RMI snapshot path from engines to the AIDA manager) and convert cleanly
+// to and from the XML interchange format.
+
+// KV is one annotation entry.
+type KV struct{ Key, Value string }
+
+func annState(a *Annotation) []KV {
+	out := make([]KV, 0, a.Len())
+	for _, k := range a.Keys() {
+		out = append(out, KV{k, a.Get(k)})
+	}
+	return out
+}
+
+func annFromState(kvs []KV) *Annotation {
+	a := NewAnnotation()
+	for _, kv := range kvs {
+		a.Set(kv.Key, kv.Value)
+	}
+	return a
+}
+
+// BinState mirrors binStat with exported fields.
+type BinState struct {
+	Entries int64
+	SumW    float64
+	SumW2   float64
+	SumWX   float64
+}
+
+// H1DState is the serializable form of Histogram1D.
+type H1DState struct {
+	Name                string
+	Ann                 []KV
+	Bins                int
+	Lo, Hi              float64
+	Data                []BinState // underflow, in-range…, overflow
+	SumW, SumWX, SumWX2 float64
+}
+
+// State extracts the histogram's serializable state.
+func (h *Histogram1D) State() *H1DState {
+	s := &H1DState{
+		Name: h.name, Ann: annState(h.ann),
+		Bins: h.axis.nBins, Lo: h.axis.lo, Hi: h.axis.hi,
+		Data: make([]BinState, len(h.bins)),
+		SumW: h.sumW, SumWX: h.sumWX, SumWX2: h.sumWX2,
+	}
+	for i, b := range h.bins {
+		s.Data[i] = BinState{b.entries, b.sumW, b.sumW2, b.sumWX}
+	}
+	return s
+}
+
+// Restore rebuilds a histogram from state.
+func (s *H1DState) Restore() (*Histogram1D, error) {
+	if s.Bins <= 0 || len(s.Data) != s.Bins+2 {
+		return nil, fmt.Errorf("aida: bad H1D state for %q: %d bins, %d data", s.Name, s.Bins, len(s.Data))
+	}
+	h := NewHistogram1D(s.Name, "", s.Bins, s.Lo, s.Hi)
+	h.ann = annFromState(s.Ann)
+	for i, b := range s.Data {
+		h.bins[i] = binStat{b.Entries, b.SumW, b.SumW2, b.SumWX}
+	}
+	h.sumW, h.sumWX, h.sumWX2 = s.SumW, s.SumWX, s.SumWX2
+	return h, nil
+}
+
+// Bin2State mirrors binStat2 with exported fields.
+type Bin2State struct {
+	Entries      int64
+	SumW         float64
+	SumW2        float64
+	SumWX, SumWY float64
+}
+
+// H2DState is the serializable form of Histogram2D.
+type H2DState struct {
+	Name     string
+	Ann      []KV
+	NX       int
+	XLo, XHi float64
+	NY       int
+	YLo, YHi float64
+	Cells    []Bin2State
+	SumW     float64
+	SumWX    float64
+	SumWY    float64
+	SumWX2   float64
+	SumWY2   float64
+}
+
+// State extracts the histogram's serializable state.
+func (h *Histogram2D) State() *H2DState {
+	s := &H2DState{
+		Name: h.name, Ann: annState(h.ann),
+		NX: h.xAxis.nBins, XLo: h.xAxis.lo, XHi: h.xAxis.hi,
+		NY: h.yAxis.nBins, YLo: h.yAxis.lo, YHi: h.yAxis.hi,
+		Cells: make([]Bin2State, len(h.cells)),
+		SumW:  h.sumW, SumWX: h.sumWX, SumWY: h.sumWY, SumWX2: h.sumWX2, SumWY2: h.sumWY2,
+	}
+	for i, c := range h.cells {
+		s.Cells[i] = Bin2State{c.entries, c.sumW, c.sumW2, c.sumWX, c.sumWY}
+	}
+	return s
+}
+
+// Restore rebuilds a 2D histogram from state.
+func (s *H2DState) Restore() (*Histogram2D, error) {
+	if s.NX <= 0 || s.NY <= 0 || len(s.Cells) != (s.NX+2)*(s.NY+2) {
+		return nil, fmt.Errorf("aida: bad H2D state for %q", s.Name)
+	}
+	h := NewHistogram2D(s.Name, "", s.NX, s.XLo, s.XHi, s.NY, s.YLo, s.YHi)
+	h.ann = annFromState(s.Ann)
+	for i, c := range s.Cells {
+		h.cells[i] = binStat2{c.Entries, c.SumW, c.SumW2, c.SumWX, c.SumWY}
+	}
+	h.sumW, h.sumWX, h.sumWY, h.sumWX2, h.sumWY2 = s.SumW, s.SumWX, s.SumWY, s.SumWX2, s.SumWY2
+	return h, nil
+}
+
+// ProfBinState mirrors profBin with exported fields.
+type ProfBinState struct {
+	Entries int64
+	SumW    float64
+	SumWY   float64
+	SumWY2  float64
+}
+
+// P1DState is the serializable form of Profile1D.
+type P1DState struct {
+	Name   string
+	Ann    []KV
+	Bins   int
+	Lo, Hi float64
+	Data   []ProfBinState
+}
+
+// State extracts the profile's serializable state.
+func (p *Profile1D) State() *P1DState {
+	s := &P1DState{
+		Name: p.name, Ann: annState(p.ann),
+		Bins: p.axis.nBins, Lo: p.axis.lo, Hi: p.axis.hi,
+		Data: make([]ProfBinState, len(p.bins)),
+	}
+	for i, b := range p.bins {
+		s.Data[i] = ProfBinState{b.entries, b.sumW, b.sumWY, b.sumWY2}
+	}
+	return s
+}
+
+// Restore rebuilds a profile from state.
+func (s *P1DState) Restore() (*Profile1D, error) {
+	if s.Bins <= 0 || len(s.Data) != s.Bins+2 {
+		return nil, fmt.Errorf("aida: bad P1D state for %q", s.Name)
+	}
+	p := NewProfile1D(s.Name, "", s.Bins, s.Lo, s.Hi)
+	p.ann = annFromState(s.Ann)
+	for i, b := range s.Data {
+		p.bins[i] = profBin{b.Entries, b.SumW, b.SumWY, b.SumWY2}
+	}
+	return p, nil
+}
+
+// C1DState is the serializable form of Cloud1D.
+type C1DState struct {
+	Name                string
+	Ann                 []KV
+	Limit               int
+	Xs, Ws              []float64
+	SumW, SumWX, SumWX2 float64
+	Lo, Hi              float64
+	Converted           *H1DState // non-nil once binned
+}
+
+// State extracts the cloud's serializable state.
+func (c *Cloud1D) State() *C1DState {
+	s := &C1DState{
+		Name: c.name, Ann: annState(c.ann), Limit: c.limit,
+		Xs: append([]float64(nil), c.xs...), Ws: append([]float64(nil), c.ws...),
+		SumW: c.sumW, SumWX: c.sumWX, SumWX2: c.sumWX2, Lo: c.lo, Hi: c.hi,
+	}
+	if c.converted != nil {
+		s.Converted = c.converted.State()
+	}
+	return s
+}
+
+// Restore rebuilds a cloud from state.
+func (s *C1DState) Restore() (*Cloud1D, error) {
+	c := NewCloud1DLimit(s.Name, "", s.Limit)
+	c.ann = annFromState(s.Ann)
+	c.xs = append([]float64(nil), s.Xs...)
+	c.ws = append([]float64(nil), s.Ws...)
+	c.sumW, c.sumWX, c.sumWX2 = s.SumW, s.SumWX, s.SumWX2
+	c.lo, c.hi = s.Lo, s.Hi
+	if len(c.xs) == 0 && math.IsInf(c.lo, 0) {
+		c.lo, c.hi = math.Inf(1), math.Inf(-1)
+	}
+	if s.Converted != nil {
+		h, err := s.Converted.Restore()
+		if err != nil {
+			return nil, err
+		}
+		c.converted = h
+	}
+	return c, nil
+}
+
+// C2DState is the serializable form of Cloud2D.
+type C2DState struct {
+	Name               string
+	Ann                []KV
+	Limit              int
+	Xs, Ys, Ws         []float64
+	XLo, XHi, YLo, YHi float64
+	Converted          *H2DState
+}
+
+// State extracts the cloud's serializable state.
+func (c *Cloud2D) State() *C2DState {
+	s := &C2DState{
+		Name: c.name, Ann: annState(c.ann), Limit: c.limit,
+		Xs: append([]float64(nil), c.xs...), Ys: append([]float64(nil), c.ys...),
+		Ws:  append([]float64(nil), c.ws...),
+		XLo: c.xlo, XHi: c.xhi, YLo: c.ylo, YHi: c.yhi,
+	}
+	if c.converted != nil {
+		s.Converted = c.converted.State()
+	}
+	return s
+}
+
+// Restore rebuilds a 2D cloud from state.
+func (s *C2DState) Restore() (*Cloud2D, error) {
+	c := NewCloud2D(s.Name, "")
+	c.ann = annFromState(s.Ann)
+	c.limit = s.Limit
+	c.xs = append([]float64(nil), s.Xs...)
+	c.ys = append([]float64(nil), s.Ys...)
+	c.ws = append([]float64(nil), s.Ws...)
+	c.xlo, c.xhi, c.ylo, c.yhi = s.XLo, s.XHi, s.YLo, s.YHi
+	if s.Converted != nil {
+		h, err := s.Converted.Restore()
+		if err != nil {
+			return nil, err
+		}
+		c.converted = h
+	}
+	return c, nil
+}
+
+// DPSState is the serializable form of DataPointSet.
+type DPSState struct {
+	Name   string
+	Ann    []KV
+	Dim    int
+	Points []DataPoint
+}
+
+// State extracts the point set's serializable state.
+func (d *DataPointSet) State() *DPSState {
+	s := &DPSState{Name: d.name, Ann: annState(d.ann), Dim: d.dim}
+	s.Points = make([]DataPoint, len(d.points))
+	for i, p := range d.points {
+		s.Points[i].Coords = append([]Measurement(nil), p.Coords...)
+	}
+	return s
+}
+
+// Restore rebuilds a point set from state.
+func (s *DPSState) Restore() (*DataPointSet, error) {
+	if s.Dim <= 0 {
+		return nil, fmt.Errorf("aida: bad DPS state for %q: dim %d", s.Name, s.Dim)
+	}
+	d := NewDataPointSet(s.Name, "", s.Dim)
+	d.ann = annFromState(s.Ann)
+	for _, p := range s.Points {
+		if err := d.AppendPoint(p); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// ObjectState is the tagged union shipped on the wire.
+type ObjectState struct {
+	H1 *H1DState
+	H2 *H2DState
+	P1 *P1DState
+	C1 *C1DState
+	C2 *C2DState
+	DP *DPSState
+}
+
+// StateOf wraps any known object into an ObjectState.
+func StateOf(obj Object) (ObjectState, error) {
+	switch o := obj.(type) {
+	case *Histogram1D:
+		return ObjectState{H1: o.State()}, nil
+	case *Histogram2D:
+		return ObjectState{H2: o.State()}, nil
+	case *Profile1D:
+		return ObjectState{P1: o.State()}, nil
+	case *Cloud1D:
+		return ObjectState{C1: o.State()}, nil
+	case *Cloud2D:
+		return ObjectState{C2: o.State()}, nil
+	case *DataPointSet:
+		return ObjectState{DP: o.State()}, nil
+	default:
+		return ObjectState{}, fmt.Errorf("aida: cannot serialize kind %s", obj.Kind())
+	}
+}
+
+// Restore rebuilds the contained object.
+func (s ObjectState) Restore() (Object, error) {
+	switch {
+	case s.H1 != nil:
+		return s.H1.Restore()
+	case s.H2 != nil:
+		return s.H2.Restore()
+	case s.P1 != nil:
+		return s.P1.Restore()
+	case s.C1 != nil:
+		return s.C1.Restore()
+	case s.C2 != nil:
+		return s.C2.Restore()
+	case s.DP != nil:
+		return s.DP.Restore()
+	default:
+		return nil, fmt.Errorf("aida: empty object state")
+	}
+}
+
+// TreeState is a whole tree on the wire.
+type TreeState struct {
+	Entries []TreeEntry
+}
+
+// TreeEntry is one object with its full path.
+type TreeEntry struct {
+	Path   string
+	Object ObjectState
+}
+
+// State extracts the whole tree.
+func (t *Tree) State() (*TreeState, error) {
+	st := &TreeState{}
+	var firstErr error
+	t.Walk(func(path string, obj Object) {
+		if firstErr != nil {
+			return
+		}
+		os, err := StateOf(obj)
+		if err != nil {
+			firstErr = fmt.Errorf("aida: %q: %w", path, err)
+			return
+		}
+		st.Entries = append(st.Entries, TreeEntry{Path: path, Object: os})
+	})
+	return st, firstErr
+}
+
+// Restore rebuilds a tree from state.
+func (st *TreeState) Restore() (*Tree, error) {
+	t := NewTree()
+	for _, e := range st.Entries {
+		obj, err := e.Object.Restore()
+		if err != nil {
+			return nil, fmt.Errorf("aida: restoring %q: %w", e.Path, err)
+		}
+		if err := t.PutAt(e.Path, obj); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// EncodeTree gob-encodes the tree to w.
+func EncodeTree(w io.Writer, t *Tree) error {
+	st, err := t.State()
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// DecodeTree gob-decodes a tree from r.
+func DecodeTree(r io.Reader) (*Tree, error) {
+	var st TreeState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, err
+	}
+	return st.Restore()
+}

@@ -1,0 +1,413 @@
+// Package catalog implements the Dataset Catalog Service (DCS) of §3.3:
+// "a Web Service that allows us either to browse for an interesting
+// dataset, or to search for interesting data using a query language that
+// operates on the metadata. The Catalog makes no assumptions about the
+// type of metadata ... except that the metadata consists of key-value
+// pairs stored in a hierarchical tree."
+//
+// Directories carry attributes that leaf datasets inherit, so a query like
+// `experiment == "lc" && energy >= 500` matches datasets whose ancestors
+// define the keys. Catalogs persist as XML.
+package catalog
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DatasetRef is the resolvable pointer a catalog leaf holds — "what is
+// chosen by the user from the catalog is a pointer to the actual dataset"
+// (§2.2). The ID feeds the locator service.
+type DatasetRef struct {
+	ID      string
+	Name    string
+	SizeMB  float64
+	Records int64
+	Format  string // record codec, e.g. "lc-event"
+}
+
+type entry struct {
+	name     string
+	attrs    map[string]string
+	dataset  *DatasetRef // nil for directories
+	children map[string]*entry
+	parent   *entry
+}
+
+// Catalog is the metadata tree. Safe for concurrent use.
+type Catalog struct {
+	mu   sync.RWMutex
+	root *entry
+	byID map[string]string // dataset ID → path
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		root: &entry{name: "", attrs: map[string]string{}, children: map[string]*entry{}},
+		byID: map[string]string{},
+	}
+}
+
+func split(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func joinPath(segs []string) string { return "/" + strings.Join(segs, "/") }
+
+// lookup walks to an entry. Caller holds a lock.
+func (c *Catalog) lookup(path string) *entry {
+	e := c.root
+	for _, seg := range split(path) {
+		e = e.children[seg]
+		if e == nil {
+			return nil
+		}
+	}
+	return e
+}
+
+// mkdirs creates directories down to path. Caller holds the write lock.
+func (c *Catalog) mkdirs(segs []string) (*entry, error) {
+	e := c.root
+	for _, seg := range segs {
+		next := e.children[seg]
+		if next == nil {
+			next = &entry{name: seg, attrs: map[string]string{}, children: map[string]*entry{}, parent: e}
+			e.children[seg] = next
+		}
+		if next.dataset != nil {
+			return nil, fmt.Errorf("catalog: %q is a dataset, not a folder", seg)
+		}
+		e = next
+	}
+	return e, nil
+}
+
+// Mkdir creates a directory path.
+func (c *Catalog) Mkdir(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.mkdirs(split(path))
+	return err
+}
+
+// SetAttr sets a metadata key on an existing entry (dir or dataset).
+func (c *Catalog) SetAttr(path, key, value string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.lookup(path)
+	if e == nil {
+		return fmt.Errorf("catalog: no entry %q", path)
+	}
+	if key == "" {
+		return fmt.Errorf("catalog: empty attribute key")
+	}
+	e.attrs[key] = value
+	return nil
+}
+
+// AddDataset registers a dataset leaf under dirPath with local attributes.
+func (c *Catalog) AddDataset(dirPath string, ref DatasetRef, attrs map[string]string) error {
+	if ref.ID == "" || ref.Name == "" {
+		return fmt.Errorf("catalog: dataset needs ID and Name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byID[ref.ID]; dup {
+		return fmt.Errorf("catalog: duplicate dataset ID %q", ref.ID)
+	}
+	dir, err := c.mkdirs(split(dirPath))
+	if err != nil {
+		return err
+	}
+	if _, exists := dir.children[ref.Name]; exists {
+		return fmt.Errorf("catalog: %s/%s already exists", dirPath, ref.Name)
+	}
+	leaf := &entry{
+		name: ref.Name, attrs: map[string]string{},
+		dataset: &DatasetRef{}, parent: dir, children: map[string]*entry{},
+	}
+	*leaf.dataset = ref
+	for k, v := range attrs {
+		leaf.attrs[k] = v
+	}
+	dir.children[ref.Name] = leaf
+	c.byID[ref.ID] = joinPath(append(split(dirPath), ref.Name))
+	return nil
+}
+
+// Remove deletes an entry (and any subtree).
+func (c *Catalog) Remove(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.lookup(path)
+	if e == nil || e.parent == nil {
+		return fmt.Errorf("catalog: no entry %q", path)
+	}
+	var drop func(*entry)
+	drop = func(x *entry) {
+		if x.dataset != nil {
+			delete(c.byID, x.dataset.ID)
+		}
+		for _, ch := range x.children {
+			drop(ch)
+		}
+	}
+	drop(e)
+	delete(e.parent.children, e.name)
+	return nil
+}
+
+// Info is a browse row: one catalog entry with its effective metadata.
+type Info struct {
+	Path    string
+	IsDir   bool
+	Attrs   map[string]string // local attributes only
+	Dataset *DatasetRef       // nil for directories
+}
+
+// List returns the immediate children of a directory, sorted by name —
+// the rows of the Figure 3 dataset-chooser dialog.
+func (c *Catalog) List(path string) ([]Info, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e := c.lookup(path)
+	if e == nil {
+		return nil, fmt.Errorf("catalog: no entry %q", path)
+	}
+	names := make([]string, 0, len(e.children))
+	for n := range e.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Info, 0, len(names))
+	base := split(path)
+	for _, n := range names {
+		ch := e.children[n]
+		out = append(out, c.infoFor(ch, joinPath(append(append([]string{}, base...), n))))
+	}
+	return out, nil
+}
+
+func (c *Catalog) infoFor(e *entry, path string) Info {
+	info := Info{Path: path, IsDir: e.dataset == nil, Attrs: map[string]string{}}
+	for k, v := range e.attrs {
+		info.Attrs[k] = v
+	}
+	if e.dataset != nil {
+		ref := *e.dataset
+		info.Dataset = &ref
+	}
+	return info
+}
+
+// Get returns one entry's Info.
+func (c *Catalog) Get(path string) (Info, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e := c.lookup(path)
+	if e == nil {
+		return Info{}, fmt.Errorf("catalog: no entry %q", path)
+	}
+	return c.infoFor(e, joinPath(split(path))), nil
+}
+
+// FindByID resolves a dataset ID to its Info.
+func (c *Catalog) FindByID(id string) (Info, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	path, ok := c.byID[id]
+	if !ok {
+		return Info{}, fmt.Errorf("catalog: no dataset with ID %q", id)
+	}
+	return c.infoFor(c.lookup(path), path), nil
+}
+
+// effectiveAttrs merges ancestor attributes (nearest wins) plus builtins.
+func effectiveAttrs(e *entry, path string) map[string]string {
+	attrs := map[string]string{}
+	chain := []*entry{}
+	for x := e; x != nil; x = x.parent {
+		chain = append(chain, x)
+	}
+	// Apply root-first so closer entries override.
+	for i := len(chain) - 1; i >= 0; i-- {
+		for k, v := range chain[i].attrs {
+			attrs[k] = v
+		}
+	}
+	attrs["path"] = path
+	if e.dataset != nil {
+		attrs["name"] = e.dataset.Name
+		attrs["id"] = e.dataset.ID
+		attrs["size"] = fmt.Sprintf("%g", e.dataset.SizeMB)
+		attrs["records"] = fmt.Sprintf("%d", e.dataset.Records)
+		attrs["format"] = e.dataset.Format
+	} else {
+		attrs["name"] = e.name
+	}
+	return attrs
+}
+
+// Query evaluates a metadata query over every dataset leaf and returns
+// matches sorted by path. See the query language in query.go.
+func (c *Catalog) Query(q string) ([]Info, error) {
+	expr, err := parseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Info
+	var walk func(e *entry, segs []string)
+	walk = func(e *entry, segs []string) {
+		if e.dataset != nil {
+			path := joinPath(segs)
+			if expr.eval(effectiveAttrs(e, path)) {
+				out = append(out, c.infoFor(e, path))
+			}
+			return
+		}
+		names := make([]string, 0, len(e.children))
+		for n := range e.children {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			walk(e.children[n], append(segs, n))
+		}
+	}
+	walk(c.root, nil)
+	return out, nil
+}
+
+// Datasets returns every dataset Info, sorted by path.
+func (c *Catalog) Datasets() []Info {
+	out, _ := c.Query("true")
+	return out
+}
+
+// XML persistence.
+
+type xmlEntry struct {
+	XMLName  xml.Name   `xml:"entry"`
+	Name     string     `xml:"name,attr"`
+	Attrs    []xmlAttr  `xml:"attr"`
+	Dataset  *xmlRef    `xml:"dataset"`
+	Children []xmlEntry `xml:"entry"`
+}
+
+type xmlAttr struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlRef struct {
+	ID      string  `xml:"id,attr"`
+	Name    string  `xml:"name,attr"`
+	SizeMB  float64 `xml:"sizeMB,attr"`
+	Records int64   `xml:"records,attr"`
+	Format  string  `xml:"format,attr"`
+}
+
+func toXML(e *entry) xmlEntry {
+	x := xmlEntry{Name: e.name}
+	keys := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		x.Attrs = append(x.Attrs, xmlAttr{k, e.attrs[k]})
+	}
+	if e.dataset != nil {
+		x.Dataset = &xmlRef{e.dataset.ID, e.dataset.Name, e.dataset.SizeMB, e.dataset.Records, e.dataset.Format}
+	}
+	names := make([]string, 0, len(e.children))
+	for n := range e.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		x.Children = append(x.Children, toXML(e.children[n]))
+	}
+	return x
+}
+
+// WriteXML serializes the catalog.
+func (c *Catalog) WriteXML(w io.Writer) error {
+	c.mu.RLock()
+	doc := struct {
+		XMLName xml.Name   `xml:"catalog"`
+		Entries []xmlEntry `xml:"entry"`
+	}{}
+	root := toXML(c.root)
+	doc.Entries = root.Children
+	c.mu.RUnlock()
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadXML loads a catalog.
+func ReadXML(r io.Reader) (*Catalog, error) {
+	var doc struct {
+		XMLName xml.Name   `xml:"catalog"`
+		Entries []xmlEntry `xml:"entry"`
+	}
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("catalog: parsing xml: %w", err)
+	}
+	c := New()
+	var load func(parent string, x xmlEntry) error
+	load = func(parent string, x xmlEntry) error {
+		path := parent + "/" + x.Name
+		if x.Dataset != nil {
+			attrs := map[string]string{}
+			for _, a := range x.Attrs {
+				attrs[a.Key] = a.Value
+			}
+			ref := DatasetRef{x.Dataset.ID, x.Dataset.Name, x.Dataset.SizeMB, x.Dataset.Records, x.Dataset.Format}
+			return c.AddDataset(parent, ref, attrs)
+		}
+		if err := c.Mkdir(path); err != nil {
+			return err
+		}
+		for _, a := range x.Attrs {
+			if err := c.SetAttr(path, a.Key, a.Value); err != nil {
+				return err
+			}
+		}
+		for _, ch := range x.Children {
+			if err := load(path, ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, e := range doc.Entries {
+		if err := load("", e); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,201 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	if err := c.Mkdir("/lc/zh"); err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.SetAttr("/lc", "experiment", "lc"))
+	must(c.SetAttr("/lc", "energy", "500"))
+	must(c.SetAttr("/lc/zh", "process", "e+e- -> ZH"))
+	must(c.AddDataset("/lc/zh", DatasetRef{
+		ID: "ds-001", Name: "zh-500-run1", SizeMB: 471, Records: 500000, Format: "lc-event",
+	}, map[string]string{"detector": "sid", "year": "2006"}))
+	must(c.AddDataset("/lc/zh", DatasetRef{
+		ID: "ds-002", Name: "zh-500-run2", SizeMB: 120, Records: 130000, Format: "lc-event",
+	}, map[string]string{"detector": "ld"}))
+	must(c.AddDataset("/lc", DatasetRef{
+		ID: "ds-003", Name: "calib", SizeMB: 3, Records: 4000, Format: "raw",
+	}, nil))
+	must(c.Mkdir("/bio"))
+	must(c.SetAttr("/bio", "experiment", "dna"))
+	must(c.AddDataset("/bio", DatasetRef{
+		ID: "ds-004", Name: "genome-x", SizeMB: 42, Records: 9000, Format: "dna-seq",
+	}, nil))
+	return c
+}
+
+func TestBrowse(t *testing.T) {
+	c := buildCatalog(t)
+	top, err := c.List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Path != "/bio" || top[1].Path != "/lc" {
+		t.Fatalf("top = %+v", top)
+	}
+	zh, err := c.List("/lc/zh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zh) != 2 || !strings.HasSuffix(zh[0].Path, "zh-500-run1") {
+		t.Fatalf("zh = %+v", zh)
+	}
+	if zh[0].Dataset == nil || zh[0].Dataset.SizeMB != 471 {
+		t.Fatalf("dataset ref = %+v", zh[0].Dataset)
+	}
+	if _, err := c.List("/nope"); err == nil {
+		t.Fatal("List of missing dir succeeded")
+	}
+}
+
+func TestFindByID(t *testing.T) {
+	c := buildCatalog(t)
+	info, err := c.FindByID("ds-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Path != "/lc/zh/zh-500-run1" {
+		t.Fatalf("path = %q", info.Path)
+	}
+	if _, err := c.FindByID("ds-999"); err == nil {
+		t.Fatal("phantom ID resolved")
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	c := buildCatalog(t)
+	err := c.AddDataset("/lc", DatasetRef{ID: "ds-001", Name: "dup"}, nil)
+	if err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestQueryBuiltinsAndInheritance(t *testing.T) {
+	c := buildCatalog(t)
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{`experiment == "lc"`, []string{"ds-003", "ds-001", "ds-002"}},
+		{`experiment == "lc" && size > 100`, []string{"ds-001", "ds-002"}},
+		{`detector == "sid"`, []string{"ds-001"}},
+		{`energy >= 500`, []string{"ds-003", "ds-001", "ds-002"}}, // inherited from /lc
+		{`name ~ "zh-*"`, []string{"ds-001", "ds-002"}},
+		{`format == "dna-seq"`, []string{"ds-004"}},
+		{`has(detector)`, []string{"ds-001", "ds-002"}},
+		{`!has(detector) && experiment == "lc"`, []string{"ds-003"}},
+		{`records > 100000 || format == "raw"`, []string{"ds-003", "ds-001", "ds-002"}},
+		{`size > 1000`, nil},
+		{`true`, []string{"ds-004", "ds-003", "ds-001", "ds-002"}},
+		{`(experiment == "dna") || (detector == "ld")`, []string{"ds-004", "ds-002"}},
+		{`year == 2006`, []string{"ds-001"}}, // numeric compare on string attr
+	}
+	for _, tc := range cases {
+		got, err := c.Query(tc.q)
+		if err != nil {
+			t.Fatalf("query %q: %v", tc.q, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("query %q returned %d results, want %d (%v)", tc.q, len(got), len(tc.want), got)
+		}
+		for i, info := range got {
+			if info.Dataset.ID != tc.want[i] {
+				t.Fatalf("query %q result %d = %s, want %s", tc.q, i, info.Dataset.ID, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestQuerySyntaxErrors(t *testing.T) {
+	c := buildCatalog(t)
+	for _, q := range []string{
+		"", "   ", "energy >", "(energy > 1", `name == "unterminated`,
+		"&& energy", "energy == 5 extra", "has(", "energy = 5",
+	} {
+		if _, err := c.Query(q); err == nil {
+			t.Errorf("query %q accepted", q)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := buildCatalog(t)
+	if err := c.Remove("/lc/zh"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FindByID("ds-001"); err == nil {
+		t.Fatal("removed dataset still indexed")
+	}
+	if _, err := c.FindByID("ds-002"); err == nil {
+		t.Fatal("removed subtree dataset still indexed")
+	}
+	if _, err := c.FindByID("ds-003"); err != nil {
+		t.Fatal("sibling dataset lost")
+	}
+	if err := c.Remove("/nope"); err == nil {
+		t.Fatal("Remove of missing entry succeeded")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	c := buildCatalog(t)
+	var buf bytes.Buffer
+	if err := c.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same datasets, same inherited-query behaviour.
+	for _, q := range []string{`true`, `experiment == "lc" && size > 100`, `detector == "sid"`} {
+		a, _ := c.Query(q)
+		b, err := back.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d after round trip", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Dataset.ID != b[i].Dataset.ID {
+				t.Fatalf("query %q order changed", q)
+			}
+		}
+	}
+	info, err := back.Get("/lc/zh/zh-500-run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Attrs["detector"] != "sid" || info.Dataset.Records != 500000 {
+		t.Fatalf("attrs lost in round trip: %+v", info)
+	}
+}
+
+func TestXMLRejectsGarbage(t *testing.T) {
+	if _, err := ReadXML(strings.NewReader("never xml")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDatasetUnderDatasetRejected(t *testing.T) {
+	c := buildCatalog(t)
+	err := c.AddDataset("/lc/zh/zh-500-run1", DatasetRef{ID: "x", Name: "y"}, nil)
+	if err == nil {
+		t.Fatal("dataset nested under dataset accepted")
+	}
+}

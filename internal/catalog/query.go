@@ -1,0 +1,283 @@
+package catalog
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// The catalog query language (§3.3 "search for interesting data using a
+// query language that operates on the metadata"):
+//
+//	expr   := or
+//	or     := and ("||" and)*
+//	and    := not ("&&" not)*
+//	not    := "!" not | primary
+//	primary:= "(" expr ")" | "has(" key ")" | "true" | "false" | comparison
+//	comp   := key op literal
+//	op     := == != < <= > >= ~        (~ is glob match)
+//	key    := identifier (letters, digits, '_', '-', '.')
+//	literal:= "quoted string" | number | bare-word
+//
+// Comparisons are numeric when both sides parse as numbers, else string.
+// Missing keys make any comparison false (so !has(x) is the way to test
+// absence). Builtin keys: name, id, path, size (MB), records, format.
+
+type queryExpr interface {
+	eval(attrs map[string]string) bool
+}
+
+type qBool bool
+
+func (b qBool) eval(map[string]string) bool { return bool(b) }
+
+type qNot struct{ x queryExpr }
+
+func (n qNot) eval(a map[string]string) bool { return !n.x.eval(a) }
+
+type qAnd struct{ l, r queryExpr }
+
+func (x qAnd) eval(a map[string]string) bool { return x.l.eval(a) && x.r.eval(a) }
+
+type qOr struct{ l, r queryExpr }
+
+func (x qOr) eval(a map[string]string) bool { return x.l.eval(a) || x.r.eval(a) }
+
+type qHas struct{ key string }
+
+func (h qHas) eval(a map[string]string) bool { _, ok := a[h.key]; return ok }
+
+type qCmp struct {
+	key string
+	op  string
+	lit string
+}
+
+func (c qCmp) eval(a map[string]string) bool {
+	v, ok := a[c.key]
+	if !ok {
+		return false
+	}
+	if c.op == "~" {
+		matched, err := path.Match(c.lit, v)
+		return err == nil && matched
+	}
+	lf, lerr := strconv.ParseFloat(v, 64)
+	rf, rerr := strconv.ParseFloat(c.lit, 64)
+	if lerr == nil && rerr == nil {
+		switch c.op {
+		case "==":
+			return lf == rf
+		case "!=":
+			return lf != rf
+		case "<":
+			return lf < rf
+		case "<=":
+			return lf <= rf
+		case ">":
+			return lf > rf
+		case ">=":
+			return lf >= rf
+		}
+	}
+	switch c.op {
+	case "==":
+		return v == c.lit
+	case "!=":
+		return v != c.lit
+	case "<":
+		return v < c.lit
+	case "<=":
+		return v <= c.lit
+	case ">":
+		return v > c.lit
+	case ">=":
+		return v >= c.lit
+	}
+	return false
+}
+
+// query tokenizer.
+
+type qToken struct {
+	kind string // "ident", "str", "op", "(", ")", "eof"
+	text string
+}
+
+func qLex(src string) ([]qToken, error) {
+	var toks []qToken
+	i := 0
+	isIdent := func(c byte) bool {
+		return c == '_' || c == '-' || c == '.' || c == '*' || c == '?' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, qToken{string(c), string(c)})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("catalog: unterminated string in query")
+			}
+			toks = append(toks, qToken{"str", src[i+1 : j]})
+			i = j + 1
+		case strings.HasPrefix(src[i:], "&&"), strings.HasPrefix(src[i:], "||"),
+			strings.HasPrefix(src[i:], "=="), strings.HasPrefix(src[i:], "!="),
+			strings.HasPrefix(src[i:], "<="), strings.HasPrefix(src[i:], ">="):
+			toks = append(toks, qToken{"op", src[i : i+2]})
+			i += 2
+		case c == '<' || c == '>' || c == '!' || c == '~':
+			toks = append(toks, qToken{"op", string(c)})
+			i++
+		case isIdent(c):
+			j := i
+			for j < len(src) && isIdent(src[j]) {
+				j++
+			}
+			toks = append(toks, qToken{"ident", src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("catalog: unexpected %q in query", string(c))
+		}
+	}
+	toks = append(toks, qToken{"eof", ""})
+	return toks, nil
+}
+
+type qParser struct {
+	toks []qToken
+	pos  int
+}
+
+func (p *qParser) cur() qToken { return p.toks[p.pos] }
+
+func (p *qParser) advance() qToken {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+// parseQuery compiles a query string.
+func parseQuery(src string) (queryExpr, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("catalog: empty query")
+	}
+	toks, err := qLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qParser{toks: toks}
+	expr, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != "eof" {
+		return nil, fmt.Errorf("catalog: trailing %q in query", p.cur().text)
+	}
+	return expr, nil
+}
+
+func (p *qParser) or() (queryExpr, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == "op" && p.cur().text == "||" {
+		p.advance()
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = qOr{l, r}
+	}
+	return l, nil
+}
+
+func (p *qParser) and() (queryExpr, error) {
+	l, err := p.not()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == "op" && p.cur().text == "&&" {
+		p.advance()
+		r, err := p.not()
+		if err != nil {
+			return nil, err
+		}
+		l = qAnd{l, r}
+	}
+	return l, nil
+}
+
+func (p *qParser) not() (queryExpr, error) {
+	if p.cur().kind == "op" && p.cur().text == "!" {
+		p.advance()
+		x, err := p.not()
+		if err != nil {
+			return nil, err
+		}
+		return qNot{x}, nil
+	}
+	return p.primary()
+}
+
+func (p *qParser) primary() (queryExpr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == "(":
+		p.advance()
+		x, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != ")" {
+			return nil, fmt.Errorf("catalog: missing ')' in query")
+		}
+		p.advance()
+		return x, nil
+	case t.kind == "ident" && t.text == "true":
+		p.advance()
+		return qBool(true), nil
+	case t.kind == "ident" && t.text == "false":
+		p.advance()
+		return qBool(false), nil
+	case t.kind == "ident" && t.text == "has" && p.toks[p.pos+1].kind == "(":
+		p.advance() // has
+		p.advance() // (
+		key := p.advance()
+		if key.kind != "ident" && key.kind != "str" {
+			return nil, fmt.Errorf("catalog: has() needs a key")
+		}
+		if p.cur().kind != ")" {
+			return nil, fmt.Errorf("catalog: missing ')' after has(%s", key.text)
+		}
+		p.advance()
+		return qHas{key.text}, nil
+	case t.kind == "ident" || t.kind == "str":
+		key := p.advance()
+		op := p.cur()
+		if op.kind != "op" || op.text == "&&" || op.text == "||" || op.text == "!" {
+			return nil, fmt.Errorf("catalog: expected comparison after %q", key.text)
+		}
+		p.advance()
+		lit := p.cur()
+		if lit.kind != "ident" && lit.kind != "str" {
+			return nil, fmt.Errorf("catalog: expected value after %q %s", key.text, op.text)
+		}
+		p.advance()
+		return qCmp{key: key.text, op: op.text, lit: lit.text}, nil
+	default:
+		return nil, fmt.Errorf("catalog: unexpected %q in query", t.text)
+	}
+}

@@ -1,0 +1,110 @@
+package codeloader
+
+import (
+	"testing"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/analysis"
+)
+
+const okScript = `function process(r) {}`
+
+func TestStoreAssignsVersionsAndHashes(t *testing.T) {
+	l := New()
+	b1, err := l.Store(Bundle{Name: "a", Language: LangScript, Source: okScript})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Version != 1 || b1.Hash == "" {
+		t.Fatalf("bundle = %+v", b1)
+	}
+	// Identical content: same version back.
+	b1again, err := l.Store(Bundle{Name: "a", Language: LangScript, Source: okScript})
+	if err != nil || b1again.Version != 1 {
+		t.Fatalf("re-upload: %+v, %v", b1again, err)
+	}
+	// Changed content bumps the version.
+	b2, err := l.Store(Bundle{Name: "a", Language: LangScript, Source: okScript + "\nx = 1;"})
+	if err != nil || b2.Version != 2 {
+		t.Fatalf("v2 = %+v, %v", b2, err)
+	}
+	if b2.Hash == b1.Hash {
+		t.Fatal("different content, same hash")
+	}
+	// History retrievable.
+	old, ok := l.Version("a", 1)
+	if !ok || old.Hash != b1.Hash {
+		t.Fatal("version history lost")
+	}
+	latest, ok := l.Latest("a")
+	if !ok || latest.Version != 2 {
+		t.Fatal("latest wrong")
+	}
+	if _, ok := l.Latest("nope"); ok {
+		t.Fatal("phantom bundle")
+	}
+	if names := l.Names(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestValidateRejectsBadBundles(t *testing.T) {
+	l := New()
+	cases := []Bundle{
+		{Language: LangScript, Source: okScript},                  // no name
+		{Name: "x", Language: LangScript},                         // no source
+		{Name: "x", Language: LangScript, Source: "function ("},   // syntax error
+		{Name: "x", Language: LangNative},                         // no analysis
+		{Name: "x", Language: Language("java"), Source: okScript}, // unknown lang
+	}
+	for i, b := range cases {
+		if _, err := l.Store(b); err == nil {
+			t.Errorf("case %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestInstantiateScript(t *testing.T) {
+	b := &Bundle{Name: "s", Language: LangScript, Source: okScript, Decoder: "raw"}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &analysis.Context{Tree: aida.NewTree()}
+	if err := a.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Process([]byte("x"), ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstantiateNative(t *testing.T) {
+	reg := analysis.NewRegistry()
+	reg.Register("counter", func(params map[string]string) (analysis.Analysis, error) {
+		return &analysis.Func{}, nil
+	})
+	b := &Bundle{Name: "n", Language: LangNative, Analysis: "counter"}
+	a, err := b.Instantiate(reg)
+	if err != nil || a == nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	bad := &Bundle{Name: "n", Language: LangNative, Analysis: "ghost"}
+	if _, err := bad.Instantiate(reg); err == nil {
+		t.Fatal("unknown native analysis instantiated")
+	}
+}
+
+func TestSizeBytesReflectsPayload(t *testing.T) {
+	small := &Bundle{Name: "s", Language: LangScript, Source: "x"}
+	big := &Bundle{Name: "s", Language: LangScript, Source: string(make([]byte, 15*1024))}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatal("size not reflecting source")
+	}
+	if big.SizeBytes() < 15*1024 {
+		t.Fatalf("15kb bundle reports %d bytes", big.SizeBytes())
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/gsi"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/rmi"
+	"github.com/ipa-grid/ipa/internal/session"
+	"github.com/ipa-grid/ipa/internal/wsrf"
+)
+
+// Client is the scientist's tool — the JAS3-with-plug-ins analogue. It
+// follows the four steps of Figure 1: connect securely and create a
+// session; select a dataset and submit it for analysis; initiate runs
+// with custom code; collect and display merged results.
+type Client struct {
+	ws  *wsrf.Client
+	rmi *rmi.Client
+
+	sessionID string
+	token     string
+	engines   int
+	rmiAddr   string
+
+	mu      sync.Mutex
+	tree    *aida.Tree // client-side mirror of the merged results
+	version int64
+}
+
+// Connect authenticates to a manager. proxy may be nil only for
+// plain-HTTP (test) managers; ca supplies the trust anchors.
+func Connect(addr string, proxy *gsi.Proxy, ca *gsi.CA) (*Client, error) {
+	if proxy == nil {
+		return &Client{ws: wsrf.NewClient(addr, nil), tree: aida.NewTree()}, nil
+	}
+	if ca == nil {
+		return nil, fmt.Errorf("core: proxy given without CA pool")
+	}
+	return ConnectWithPool(addr, proxy, ca.Pool())
+}
+
+// ConnectWithPool is Connect with an explicit trust-anchor pool (used by
+// external clients that load the CA certificate from disk).
+func ConnectWithPool(addr string, proxy *gsi.Proxy, roots *x509.CertPool) (*Client, error) {
+	var cfg *tls.Config
+	if proxy != nil {
+		cfg = gsi.ClientTLSConfig(proxy, roots)
+		cfg.ServerName = "localhost"
+	}
+	return &Client{ws: wsrf.NewClient(addr, cfg), tree: aida.NewTree()}, nil
+}
+
+// CreateSession performs step 2 of Figure 2: create the session resource
+// and connect the result-polling plug-in to the RMI endpoint.
+func (c *Client) CreateSession() error {
+	var resp CreateSessionResponse
+	if err := c.ws.Call("Control.CreateSession", "", &CreateSessionRequest{}, &resp); err != nil {
+		return err
+	}
+	c.sessionID = resp.SessionID
+	c.token = resp.Token
+	c.engines = resp.Engines
+	c.rmiAddr = resp.RMIAddr
+	rc, err := rmi.Dial(resp.RMIAddr, resp.Token)
+	if err != nil {
+		return fmt.Errorf("core: connecting result channel: %w", err)
+	}
+	c.rmi = rc
+	return nil
+}
+
+// SessionID returns the active session's ID.
+func (c *Client) SessionID() string { return c.sessionID }
+
+// Token returns the session token (for GridFTP uploads etc.).
+func (c *Client) Token() string { return c.token }
+
+// Engines returns the per-session engine count policy.
+func (c *Client) Engines() int { return c.engines }
+
+// ListCatalog browses a catalog directory (the Figure 3 dialog).
+func (c *Client) ListCatalog(path string) ([]CatalogEntry, error) {
+	var resp CatalogListResponse
+	if err := c.ws.Call("Catalog.List", "", &CatalogListRequest{Path: path}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// QueryCatalog searches datasets by metadata.
+func (c *Client) QueryCatalog(q string) ([]CatalogEntry, error) {
+	var resp CatalogListResponse
+	if err := c.ws.Call("Catalog.Query", "", &CatalogQueryRequest{Query: q}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// StagingTimes reports an attach's phase durations in milliseconds.
+type StagingTimes struct {
+	SizeMB    float64
+	Parts     int
+	MoveWhole int64
+	Split     int64
+	MoveParts int64
+	Imbalance float64
+}
+
+// AttachDataset selects and stages a dataset (steps 4–5 of Figure 2).
+func (c *Client) AttachDataset(datasetID string) (StagingTimes, error) {
+	var resp AttachResponse
+	if err := c.ws.Call("Session.AttachDataset", c.sessionID, &AttachRequest{DatasetID: datasetID}, &resp); err != nil {
+		return StagingTimes{}, err
+	}
+	return StagingTimes{
+		SizeMB: resp.SizeMB, Parts: resp.Parts,
+		MoveWhole: resp.MoveWholeMS, Split: resp.SplitMS, MoveParts: resp.MovePartsMS,
+		Imbalance: resp.Imbalance,
+	}, nil
+}
+
+// LoadScript ships interpreter source as the session's analysis code.
+func (c *Client) LoadScript(name, source, decoder string, params map[string]string) (version int, err error) {
+	return c.loadCode(LoadCodeRequest{
+		Name: name, Language: "script", Source: source, Decoder: decoder, Params: kvs(params),
+	})
+}
+
+// LoadNative selects a pre-installed analysis by name.
+func (c *Client) LoadNative(name, analysisName string, params map[string]string) (version int, err error) {
+	return c.loadCode(LoadCodeRequest{
+		Name: name, Language: "native", Analysis: analysisName, Params: kvs(params),
+	})
+}
+
+func kvs(params map[string]string) []KV {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]KV, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, KV{k, params[k]})
+	}
+	return out
+}
+
+func (c *Client) loadCode(req LoadCodeRequest) (int, error) {
+	var resp LoadCodeResponse
+	if err := c.ws.Call("Session.LoadCode", c.sessionID, &req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Run starts the analysis on every engine.
+func (c *Client) Run() error { return c.control(session.ActionRun, 0) }
+
+// Pause suspends all engines.
+func (c *Client) Pause() error { return c.control(session.ActionPause, 0) }
+
+// Stop halts and rewinds all engines.
+func (c *Client) Stop() error { return c.control(session.ActionStop, 0) }
+
+// Rewind restarts the analysis from the first event (fresh histograms,
+// newest code).
+func (c *Client) Rewind() error { return c.control(session.ActionRewind, 0) }
+
+// Step runs n events on every engine then pauses.
+func (c *Client) Step(n int64) error { return c.control(session.ActionStep, n) }
+
+func (c *Client) control(a session.Action, n int64) error {
+	return c.ws.Call("Session.Control", c.sessionID, &ControlRequest{Action: string(a), N: n}, &OK{})
+}
+
+// Status fetches the session status.
+func (c *Client) Status() (StatusResponse, error) {
+	var resp StatusResponse
+	err := c.ws.Call("Session.Status", c.sessionID, &StatusRequest{}, &resp)
+	return resp, err
+}
+
+// Update is the result of one poll cycle.
+type Update struct {
+	// Changed reports whether anything new arrived.
+	Changed bool
+	// ChangedPaths lists the object paths that were updated.
+	ChangedPaths []string
+	// Progress summarizes every engine.
+	Progress []merge.WorkerProgress
+	// Logs carries new analysis print() output.
+	Logs []string
+	// EventsDone/EventsTotal aggregate progress over engines.
+	EventsDone, EventsTotal int64
+}
+
+// Poll fetches merged-histogram updates from the AIDA manager via RMI —
+// the "Start Polling for Data" plug-in of Figure 2. The client keeps a
+// local mirror tree; each poll applies only changed objects.
+func (c *Client) Poll() (Update, error) {
+	if c.rmi == nil {
+		return Update{}, fmt.Errorf("core: no session (CreateSession first)")
+	}
+	var reply merge.PollReply
+	err := c.rmi.Call("AIDAManager.Poll", merge.PollArgs{
+		SessionID: c.sessionID, SinceVersion: c.version,
+	}, &reply)
+	if err != nil {
+		return Update{}, err
+	}
+	up := Update{Changed: reply.Changed, Progress: reply.Progress, Logs: reply.Logs}
+	for _, p := range reply.Progress {
+		up.EventsDone += p.EventsDone
+		up.EventsTotal += p.EventsTotal
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version = reply.Version
+	for _, path := range reply.Removed {
+		c.tree.Rm(path)
+	}
+	for _, ent := range reply.Entries {
+		obj, err := ent.Object.Restore()
+		if err != nil {
+			return up, fmt.Errorf("core: bad object %s in poll: %w", ent.Path, err)
+		}
+		c.tree.Rm(ent.Path)
+		if err := c.tree.PutAt(ent.Path, obj); err != nil {
+			return up, err
+		}
+		up.ChangedPaths = append(up.ChangedPaths, ent.Path)
+	}
+	return up, nil
+}
+
+// Tree returns the client's mirror of the merged results (live view; do
+// not mutate).
+func (c *Client) Tree() *aida.Tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree
+}
+
+// Histogram1D fetches a mirrored histogram by path, or nil.
+func (c *Client) Histogram1D(path string) *aida.Histogram1D {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, _ := c.tree.Get(path).(*aida.Histogram1D)
+	return h
+}
+
+// CloseSession tears down the remote session and the result channel.
+func (c *Client) CloseSession() error {
+	if c.sessionID == "" {
+		return nil
+	}
+	err := c.ws.Call("Session.Close", c.sessionID, &CloseRequest{}, &OK{})
+	if c.rmi != nil {
+		c.rmi.Close()
+		c.rmi = nil
+	}
+	c.sessionID = ""
+	return err
+}

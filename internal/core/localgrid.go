@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/catalog"
+	"github.com/ipa-grid/ipa/internal/codeloader"
+	"github.com/ipa-grid/ipa/internal/engine"
+	"github.com/ipa-grid/ipa/internal/events"
+	"github.com/ipa-grid/ipa/internal/gram"
+	"github.com/ipa-grid/ipa/internal/gsi"
+	"github.com/ipa-grid/ipa/internal/locator"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/registry"
+	"github.com/ipa-grid/ipa/internal/scheduler"
+	"github.com/ipa-grid/ipa/internal/session"
+	"github.com/ipa-grid/ipa/internal/storage"
+)
+
+// GridOptions size a LocalGrid.
+type GridOptions struct {
+	// Nodes is the worker-node count (default 4).
+	Nodes int
+	// EnginesPerSession is the site policy (default = Nodes).
+	EnginesPerSession int
+	// BaseDir hosts storage elements (default: a temp dir).
+	BaseDir string
+	// Secure enables mutual-TLS WSRF (default true). Plain HTTP skips
+	// authentication — only for focused tests.
+	Insecure bool
+	// SnapshotEvery tunes engine snapshot frequency (default 500).
+	SnapshotEvery int
+}
+
+// LocalGrid is a complete single-process Grid site on loopback TCP:
+// CA + VO, an N-node scheduler with interactive and batch queues, GRAM,
+// shared-disk and per-node scratch storage elements, the merge manager,
+// and a manager node serving WSRF + RMI — everything the paper's Figure 2
+// shows, with real protocols end to end.
+type LocalGrid struct {
+	CA      *gsi.CA
+	VO      *gsi.VO
+	Cluster *scheduler.Cluster
+	Gram    *gram.JobManager
+	Catalog *catalog.Catalog
+	Locator *locator.Service
+	Merge   *merge.Manager
+	Reg     *registry.Registry
+	Loader  *codeloader.Loader
+	Shared  *storage.Element
+	Manager *Manager
+	Session *session.Service
+
+	baseDir string
+	opts    GridOptions
+
+	mu      sync.Mutex
+	scratch map[string]*storage.Element
+	engines []*engine.Engine
+	users   map[string]*gsi.Credential
+	stop    chan struct{}
+}
+
+// NewLocalGrid stands the site up.
+func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 4
+	}
+	if opts.EnginesPerSession <= 0 {
+		opts.EnginesPerSession = opts.Nodes
+	}
+	if opts.BaseDir == "" {
+		dir, err := os.MkdirTemp("", "ipa-grid-*")
+		if err != nil {
+			return nil, err
+		}
+		opts.BaseDir = dir
+	}
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 500
+	}
+	g := &LocalGrid{
+		opts: opts, baseDir: opts.BaseDir,
+		scratch: make(map[string]*storage.Element),
+		users:   make(map[string]*gsi.Credential),
+		stop:    make(chan struct{}),
+	}
+
+	// Security fabric.
+	ca, err := gsi.NewCA("IPA LocalGrid CA")
+	if err != nil {
+		return nil, err
+	}
+	g.CA = ca
+	g.VO = gsi.NewVO("lc-vo")
+
+	// Compute element: nodes + the dedicated interactive queue (§2.3).
+	var nodes []scheduler.NodeConfig
+	for i := 0; i < opts.Nodes; i++ {
+		nodes = append(nodes, scheduler.NodeConfig{Name: fmt.Sprintf("node%02d", i), Slots: 1})
+	}
+	cluster, err := scheduler.New(nodes, []scheduler.QueueConfig{
+		{Name: "interactive", Priority: 10, Preempting: true},
+		{Name: "batch", Priority: 1, Preemptible: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.Cluster = cluster
+	g.Gram = gram.NewJobManager(cluster)
+
+	// Storage: shared disk + per-node scratch.
+	g.Shared, err = storage.New("shared", filepath.Join(opts.BaseDir, "shared"))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		name := fmt.Sprintf("node%02d", i)
+		el, err := storage.New(name, filepath.Join(opts.BaseDir, "scratch", name))
+		if err != nil {
+			return nil, err
+		}
+		g.scratch[name] = el
+	}
+
+	// Services.
+	g.Catalog = catalog.New()
+	g.Locator = locator.New("local")
+	g.Merge = merge.NewManager()
+	g.Reg = registry.New()
+	g.Loader = codeloader.New()
+
+	// The engine launcher: what GRAM "executes" on a worker node.
+	g.Gram.RegisterLauncher(session.EngineExecutable, func(ctx context.Context, node string, index int, jd gram.JobDescription) error {
+		sessionID := jd.Environment["IPA_SESSION"]
+		workerID := fmt.Sprintf("engine-%02d", index)
+		eng := engine.New(engine.Config{
+			SessionID:     sessionID,
+			WorkerID:      workerID,
+			Publisher:     g.Merge,
+			SnapshotEvery: opts.SnapshotEvery,
+		})
+		g.mu.Lock()
+		g.engines = append(g.engines, eng)
+		g.mu.Unlock()
+		if err := g.Reg.Register(registry.Worker{
+			SessionID: sessionID, WorkerID: workerID, Node: node, Handle: eng,
+		}); err != nil {
+			return err
+		}
+		go func() {
+			<-ctx.Done()
+			eng.Shutdown()
+		}()
+		eng.Serve() // blocks until Shutdown
+		return nil
+	})
+
+	sessions, err := session.New(session.Config{
+		Gram: g.Gram, Registry: g.Reg, Locator: g.Locator, Catalog: g.Catalog,
+		Merge: g.Merge, Loader: g.Loader, SharedDisk: g.Shared,
+		WorkerScratch: func(node string) (*storage.Element, error) {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			el := g.scratch[node]
+			if el == nil {
+				return nil, fmt.Errorf("core: no scratch for node %q", node)
+			}
+			return el, nil
+		},
+		Engines: opts.EnginesPerSession,
+		Queue:   "interactive",
+		Site:    "local",
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.Session = sessions
+
+	mgrCfg := ManagerConfig{
+		Sessions: sessions, Catalog: g.Catalog, Merge: g.Merge,
+		EngineCount: opts.EnginesPerSession,
+	}
+	if !opts.Insecure {
+		host, err := ca.IssueHost("ipa-manager", []string{"localhost", "127.0.0.1"}, 24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		mgrCfg.Host = host
+		mgrCfg.Roots = ca
+		mgrCfg.VO = g.VO
+	}
+	mgr, err := NewManager(mgrCfg, "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	g.Manager = mgr
+	go mgr.sweepLoop(time.Minute, g.stop)
+	return g, nil
+}
+
+// AddUser enrolls a person: CA-issued certificate plus VO membership.
+func (g *LocalGrid) AddUser(cn string, roles ...gsi.Role) (*gsi.Credential, error) {
+	cred, err := g.CA.IssueUser(g.VO.Name(), cn, 12*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	if len(roles) == 0 {
+		roles = []gsi.Role{gsi.RoleAnalyst}
+	}
+	g.VO.Add(cred.DN(), []string{"higgs"}, roles...)
+	g.VO.MapAccount(cred.DN(), cn)
+	g.mu.Lock()
+	g.users[cn] = cred
+	g.mu.Unlock()
+	return cred, nil
+}
+
+// ClientFor builds a connected client for a user: obtain proxy → connect
+// (step 1 of Figure 2).
+func (g *LocalGrid) ClientFor(cn string) (*Client, error) {
+	g.mu.Lock()
+	cred := g.users[cn]
+	g.mu.Unlock()
+	if cred == nil {
+		return nil, fmt.Errorf("core: no user %q (AddUser first)", cn)
+	}
+	if g.opts.Insecure {
+		return Connect(g.Manager.Addr(), nil, nil)
+	}
+	proxy, err := gsi.NewProxy(cred, 2*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	return Connect(g.Manager.Addr(), proxy, g.CA)
+}
+
+// PublishDataset generates an LC event dataset, registers it in the
+// catalog and the locator (as a file:// replica), and returns its ID —
+// the ipa-gen workflow condensed for tests and examples.
+func (g *LocalGrid) PublishDataset(id, dir, name string, nEvents int, cfg events.GenConfig, attrs map[string]string) error {
+	path := filepath.Join(g.baseDir, "published", id+".ipa")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	bytes, err := events.GenerateFile(path, cfg, nEvents)
+	if err != nil {
+		return err
+	}
+	ref := catalog.DatasetRef{
+		ID: id, Name: name, SizeMB: float64(bytes) / (1 << 20),
+		Records: int64(nEvents), Format: events.EventDecoderName,
+	}
+	if err := g.Catalog.AddDataset(dir, ref, attrs); err != nil {
+		return err
+	}
+	return g.Locator.Register(id, locator.Replica{URL: "file://" + path, Site: "local", Priority: 5})
+}
+
+// Scratch exposes a node's scratch element (tests).
+func (g *LocalGrid) Scratch(node string) *storage.Element {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.scratch[node]
+}
+
+// Close tears the whole site down.
+func (g *LocalGrid) Close() {
+	close(g.stop)
+	for _, id := range g.Session.Sessions() {
+		g.Session.Close(id)
+	}
+	g.Manager.Close()
+	g.Cluster.Close()
+	g.mu.Lock()
+	engines := g.engines
+	g.engines = nil
+	g.mu.Unlock()
+	for _, e := range engines {
+		e.Shutdown()
+	}
+}

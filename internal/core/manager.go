@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/catalog"
+	"github.com/ipa-grid/ipa/internal/codeloader"
+	"github.com/ipa-grid/ipa/internal/gsi"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/rmi"
+	"github.com/ipa-grid/ipa/internal/session"
+	"github.com/ipa-grid/ipa/internal/wsrf"
+)
+
+// ManagerConfig wires a manager node.
+type ManagerConfig struct {
+	// Sessions is the composed session service.
+	Sessions *session.Service
+	// Catalog backs the Dataset Catalog Service.
+	Catalog *catalog.Catalog
+	// Merge is the AIDA manager exposed over RMI.
+	Merge *merge.Manager
+	// VO authorizes operations (nil = allow all authenticated users;
+	// plain-HTTP containers then allow everyone — test mode only).
+	VO *gsi.VO
+	// Host credential + CA pool enable mutual-TLS service endpoints.
+	Host  *gsi.Credential
+	Roots *gsi.CA
+	// EngineCount reported to clients.
+	EngineCount int
+}
+
+// Manager is the running manager node: the WSRF container with the
+// control/session/catalog services plus the RMI endpoint for the AIDA
+// manager — the "IPA Service Element" box of Figure 2.
+type Manager struct {
+	cfg       ManagerConfig
+	Container *wsrf.Container
+	RMI       *rmi.Server
+	rmiAddr   string
+}
+
+// opsRequiring maps WSRF actions to VO operations.
+var opsRequiring = map[string]gsi.Operation{
+	"Control.CreateSession": gsi.OpCreateSession,
+	"Session.AttachDataset": gsi.OpStageData,
+	"Session.LoadCode":      gsi.OpControlRun,
+	"Session.Control":       gsi.OpControlRun,
+	"Session.Status":        gsi.OpPollResults,
+	"Session.Close":         gsi.OpControlRun,
+	"Catalog.List":          gsi.OpReadCatalog,
+	"Catalog.Query":         gsi.OpReadCatalog,
+}
+
+// NewManager assembles the services and starts listeners on loopback.
+// Pass ":0" style addresses to pick free ports.
+func NewManager(cfg ManagerConfig, wsrfAddr, rmiAddr string) (*Manager, error) {
+	if cfg.Sessions == nil || cfg.Catalog == nil || cfg.Merge == nil {
+		return nil, fmt.Errorf("core: incomplete manager configuration")
+	}
+	m := &Manager{cfg: cfg}
+
+	authz := func(id *gsi.Identity, action string) error {
+		if cfg.VO == nil {
+			return nil
+		}
+		op, guarded := opsRequiring[action]
+		if !guarded {
+			return nil
+		}
+		return cfg.VO.Authorize(id, op)
+	}
+	m.Container = wsrf.NewContainer(authz)
+	m.register()
+
+	if cfg.Host != nil && cfg.Roots != nil {
+		if err := m.Container.ListenTLS(wsrfAddr, cfg.Host, cfg.Roots.Pool()); err != nil {
+			return nil, fmt.Errorf("core: wsrf listener: %w", err)
+		}
+	} else {
+		if err := m.Container.ListenHTTP(wsrfAddr); err != nil {
+			return nil, fmt.Errorf("core: wsrf listener: %w", err)
+		}
+	}
+
+	// RMI endpoint: insecure transport, but every call must carry a live
+	// session token (§3.7).
+	m.RMI = rmi.NewServer(func(token, object, method string) error {
+		return cfg.Sessions.ValidateToken(token)
+	})
+	if err := m.RMI.Register("AIDAManager", cfg.Merge); err != nil {
+		m.Container.Close()
+		return nil, err
+	}
+	addr, err := m.RMI.ListenAndServe(rmiAddr)
+	if err != nil {
+		m.Container.Close()
+		return nil, fmt.Errorf("core: rmi listener: %w", err)
+	}
+	m.rmiAddr = addr.String()
+	return m, nil
+}
+
+// Addr returns the WSRF endpoint address.
+func (m *Manager) Addr() string { return m.Container.Addr() }
+
+// RMIAddr returns the AIDA manager RMI address.
+func (m *Manager) RMIAddr() string { return m.rmiAddr }
+
+// Close stops both listeners.
+func (m *Manager) Close() {
+	m.Container.Close()
+	m.RMI.Close()
+}
+
+func identityDN(ctx *wsrf.OpContext) string {
+	if ctx.Identity != nil {
+		return ctx.Identity.DN
+	}
+	return "(unauthenticated)"
+}
+
+func (m *Manager) register() {
+	c := m.Container
+	svc := m.cfg.Sessions
+
+	c.Register("Control.CreateSession", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		sess, err := svc.Create(identityDN(ctx))
+		if err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultInternal, "%v", err)
+		}
+		return &CreateSessionResponse{
+			SessionID: sess.ID, Token: sess.Token,
+			Engines: m.cfg.EngineCount, RMIAddr: m.rmiAddr,
+		}, nil
+	})
+
+	c.Register("Catalog.List", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		var req CatalogListRequest
+		if err := decode(&req); err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		if req.Path == "" {
+			req.Path = "/"
+		}
+		infos, err := m.cfg.Catalog.List(req.Path)
+		if err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		return catalogEntries(infos), nil
+	})
+
+	c.Register("Catalog.Query", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		var req CatalogQueryRequest
+		if err := decode(&req); err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		infos, err := m.cfg.Catalog.Query(req.Query)
+		if err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		return catalogEntries(infos), nil
+	})
+
+	c.Register("Session.AttachDataset", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		var req AttachRequest
+		if err := decode(&req); err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		rep, err := svc.AttachDataset(ctx.ResourceKey, req.DatasetID)
+		if err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultInternal, "%v", err)
+		}
+		return &AttachResponse{
+			SizeMB: rep.SizeMB, Parts: rep.Parts,
+			MoveWholeMS: rep.MoveWhole.Milliseconds(),
+			SplitMS:     rep.Split.Milliseconds(),
+			MovePartsMS: rep.MoveParts.Milliseconds(),
+			Imbalance:   rep.Imbalance,
+			Replica:     rep.ReplicaURL,
+		}, nil
+	})
+
+	c.Register("Session.LoadCode", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		var req LoadCodeRequest
+		if err := decode(&req); err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		params := map[string]string{}
+		for _, kv := range req.Params {
+			params[kv.Key] = kv.Value
+		}
+		bundle := codeloader.Bundle{
+			Name:     req.Name,
+			Language: codeloader.Language(req.Language),
+			Source:   req.Source,
+			Analysis: req.Analysis,
+			Decoder:  req.Decoder,
+			Params:   params,
+		}
+		stored, err := svc.LoadCode(ctx.ResourceKey, bundle)
+		if err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		return &LoadCodeResponse{Version: stored.Version, Hash: stored.Hash, Bytes: stored.SizeBytes()}, nil
+	})
+
+	c.Register("Session.Control", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		var req ControlRequest
+		if err := decode(&req); err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		if err := svc.Control(ctx.ResourceKey, session.Action(req.Action), req.N); err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultBadInput, "%v", err)
+		}
+		return &OK{}, nil
+	})
+
+	c.Register("Session.Status", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		st, err := svc.Status(ctx.ResourceKey)
+		if err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultNoSuchRes, "%v", err)
+		}
+		resp := &StatusResponse{State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle}
+		for _, e := range st.Engines {
+			resp.Engines = append(resp.Engines, EngineStatusXML{
+				Node: e.Node, State: string(e.State), Err: e.Err, Done: e.Done, Total: e.Total,
+			})
+		}
+		return resp, nil
+	})
+
+	c.Register("Session.Close", func(ctx *wsrf.OpContext, decode func(any) error) (any, error) {
+		if err := svc.Close(ctx.ResourceKey); err != nil {
+			return nil, wsrf.Faultf(wsrf.FaultNoSuchRes, "%v", err)
+		}
+		return &OK{}, nil
+	})
+}
+
+func catalogEntries(infos []catalog.Info) *CatalogListResponse {
+	resp := &CatalogListResponse{}
+	for _, info := range infos {
+		e := CatalogEntry{Path: info.Path, IsDir: info.IsDir}
+		for k, v := range info.Attrs {
+			e.Attrs = append(e.Attrs, KV{k, v})
+		}
+		if info.Dataset != nil {
+			e.ID = info.Dataset.ID
+			e.Name = info.Dataset.Name
+			e.SizeMB = info.Dataset.SizeMB
+			e.Records = info.Dataset.Records
+			e.Format = info.Dataset.Format
+		}
+		resp.Entries = append(resp.Entries, e)
+	}
+	return resp
+}
+
+// sweepLoop keeps session lifetimes honest; started by LocalGrid.
+func (m *Manager) sweepLoop(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.cfg.Sessions.Sweep()
+		case <-stop:
+			return
+		}
+	}
+}

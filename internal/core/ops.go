@@ -1,0 +1,139 @@
+// Package core assembles the IPA framework: the manager node that hosts
+// every Web Service of Figure 2, the client the scientist drives (the JAS3
+// analogue), and an in-process LocalGrid that stands up a complete Grid
+// site — CA, VO, scheduler, GRAM, storage elements, GridFTP, manager —
+// on loopback TCP with real protocols.
+package core
+
+import "encoding/xml"
+
+// Wire payloads for the manager's WSRF operations. One request/response
+// struct pair per operation, XML-tagged for the envelope body.
+
+// CreateSessionRequest starts a session (Control.CreateSession).
+type CreateSessionRequest struct {
+	XMLName xml.Name `xml:"createSession"`
+}
+
+// CreateSessionResponse returns the session "pointer" (§3.2) and the
+// token guarding RMI and GridFTP access.
+type CreateSessionResponse struct {
+	XMLName   xml.Name `xml:"session"`
+	SessionID string   `xml:"id"`
+	Token     string   `xml:"token"`
+	Engines   int      `xml:"engines"`
+	RMIAddr   string   `xml:"rmiAddr"`
+}
+
+// CatalogListRequest browses one catalog directory (Catalog.List).
+type CatalogListRequest struct {
+	XMLName xml.Name `xml:"list"`
+	Path    string   `xml:"path"`
+}
+
+// CatalogQueryRequest searches the catalog (Catalog.Query).
+type CatalogQueryRequest struct {
+	XMLName xml.Name `xml:"query"`
+	Query   string   `xml:"q"`
+}
+
+// CatalogEntry is one browse/search row.
+type CatalogEntry struct {
+	Path    string  `xml:"path"`
+	IsDir   bool    `xml:"dir,attr"`
+	ID      string  `xml:"id,omitempty"`
+	Name    string  `xml:"name,omitempty"`
+	SizeMB  float64 `xml:"sizeMB,omitempty"`
+	Records int64   `xml:"records,omitempty"`
+	Format  string  `xml:"format,omitempty"`
+	Attrs   []KV    `xml:"attr"`
+}
+
+// KV is one metadata pair on the wire.
+type KV struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// CatalogListResponse returns browse rows.
+type CatalogListResponse struct {
+	XMLName xml.Name       `xml:"entries"`
+	Entries []CatalogEntry `xml:"entry"`
+}
+
+// AttachRequest stages a dataset into the session (Session.AttachDataset).
+type AttachRequest struct {
+	XMLName   xml.Name `xml:"attach"`
+	DatasetID string   `xml:"dataset"`
+}
+
+// AttachResponse reports staging phase timings (Table 2's columns).
+type AttachResponse struct {
+	XMLName     xml.Name `xml:"staged"`
+	SizeMB      float64  `xml:"sizeMB"`
+	Parts       int      `xml:"parts"`
+	MoveWholeMS int64    `xml:"moveWholeMS"`
+	SplitMS     int64    `xml:"splitMS"`
+	MovePartsMS int64    `xml:"movePartsMS"`
+	Imbalance   float64  `xml:"imbalance"`
+	Replica     string   `xml:"replica"`
+}
+
+// LoadCodeRequest ships an analysis bundle (Session.LoadCode).
+type LoadCodeRequest struct {
+	XMLName  xml.Name `xml:"loadCode"`
+	Name     string   `xml:"name"`
+	Language string   `xml:"language"`
+	Source   string   `xml:"source,omitempty"`
+	Analysis string   `xml:"analysis,omitempty"`
+	Decoder  string   `xml:"decoder,omitempty"`
+	Params   []KV     `xml:"param"`
+}
+
+// LoadCodeResponse acknowledges with the assigned version.
+type LoadCodeResponse struct {
+	XMLName xml.Name `xml:"loaded"`
+	Version int      `xml:"version"`
+	Hash    string   `xml:"hash"`
+	Bytes   int      `xml:"bytes"`
+}
+
+// ControlRequest drives the run (Session.Control).
+type ControlRequest struct {
+	XMLName xml.Name `xml:"control"`
+	Action  string   `xml:"action"`
+	N       int64    `xml:"n,omitempty"`
+}
+
+// StatusRequest asks for session status (Session.Status).
+type StatusRequest struct {
+	XMLName xml.Name `xml:"status"`
+}
+
+// EngineStatusXML is one engine row in a status report.
+type EngineStatusXML struct {
+	Node  string `xml:"node,attr"`
+	State string `xml:"state,attr"`
+	Err   string `xml:"err,omitempty"`
+	Done  int64  `xml:"done,attr"`
+	Total int64  `xml:"total,attr"`
+}
+
+// StatusResponse summarizes the session.
+type StatusResponse struct {
+	XMLName xml.Name          `xml:"sessionStatus"`
+	State   string            `xml:"state"`
+	Dataset string            `xml:"dataset,omitempty"`
+	Bundle  string            `xml:"bundle,omitempty"`
+	Engines []EngineStatusXML `xml:"engine"`
+}
+
+// CloseRequest tears the session down (Session.Close).
+type CloseRequest struct {
+	XMLName xml.Name `xml:"close"`
+}
+
+// OK is the empty acknowledgement.
+type OK struct {
+	XMLName xml.Name `xml:"ok"`
+}

@@ -1,0 +1,185 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.At(3, func() { got = append(got, 3) })
+	k.At(1, func() { got = append(got, 1) })
+	k.At(2, func() { got = append(got, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3 {
+		t.Fatalf("now = %v, want 3", k.Now())
+	}
+}
+
+func TestKernelFIFOAtSameTime(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestKernelAfterRelative(t *testing.T) {
+	k := New()
+	var at Time
+	k.After(2, func() {
+		k.After(3, func() { at = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Fatalf("nested After fired at %v, want 5", at)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e := k.At(1, func() { fired = true })
+	e.Cancel()
+	e.Cancel() // idempotent
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Fired() != 0 {
+		t.Fatalf("fired count = %d, want 0", k.Fired())
+	}
+}
+
+func TestKernelCancelDuringRun(t *testing.T) {
+	k := New()
+	var second *Event
+	fired := false
+	k.At(1, func() { second.Cancel() })
+	second = k.At(2, func() { fired = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(1, func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	k := New()
+	k.SetEventBudget(100)
+	var loop func()
+	loop = func() { k.After(1, loop) }
+	k.After(1, loop)
+	if err := k.Run(); err == nil {
+		t.Fatal("runaway simulation did not trip the event budget")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 10} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1,2,3 only", fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("now = %v, want exactly 5", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestSeqPipeline(t *testing.T) {
+	k := New()
+	var doneAt Time
+	var order []string
+	NewSeq(k, func() { doneAt = k.Now() }).
+		Then(func() Time { order = append(order, "a"); return 10 }).
+		Then(func() Time { order = append(order, "b"); return 5 }).
+		Then(func() Time { order = append(order, "c"); return 0 }).
+		Start()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 15 {
+		t.Fatalf("sequence finished at %v, want 15", doneAt)
+	}
+	if len(order) != 3 || order[0] != "a" || order[2] != "c" {
+		t.Fatalf("stage order %v", order)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	done := false
+	b := NewBarrier(3, func() { done = true })
+	b.Arrive()
+	b.Arrive()
+	if done {
+		t.Fatal("barrier released early")
+	}
+	b.Arrive()
+	if !done {
+		t.Fatal("barrier never released")
+	}
+}
+
+func TestBarrierZero(t *testing.T) {
+	done := false
+	NewBarrier(0, func() { done = true })
+	if !done {
+		t.Fatal("zero barrier should release immediately")
+	}
+}
+
+func TestBarrierOverArrivePanics(t *testing.T) {
+	b := NewBarrier(1, nil)
+	b.Arrive()
+	defer func() {
+		if recover() == nil {
+			t.Error("over-arrival did not panic")
+		}
+	}()
+	b.Arrive()
+}

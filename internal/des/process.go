@@ -1,0 +1,76 @@
+package des
+
+// This file provides small composition helpers for building sequential
+// "processes" out of event callbacks without goroutines: a Seq runs a list
+// of stages where each stage decides how long it takes, and a Barrier joins
+// parallel activities.
+
+// Seq chains virtual-time stages. Each stage returns the virtual duration
+// it consumes; the next stage starts when the previous one finishes.
+// A stage may also schedule its own events; Seq only provides the common
+// "phase pipeline" shape used by the staging experiments.
+type Seq struct {
+	k      *Kernel
+	stages []func() Time
+	done   func()
+}
+
+// NewSeq returns a sequence bound to kernel k that calls done (if non-nil)
+// when the final stage completes.
+func NewSeq(k *Kernel, done func()) *Seq { return &Seq{k: k, done: done} }
+
+// Then appends a stage and returns the sequence for chaining.
+func (s *Seq) Then(stage func() Time) *Seq {
+	s.stages = append(s.stages, stage)
+	return s
+}
+
+// Start begins executing stages at the current virtual time.
+func (s *Seq) Start() {
+	s.next(0)
+}
+
+func (s *Seq) next(i int) {
+	if i >= len(s.stages) {
+		if s.done != nil {
+			s.done()
+		}
+		return
+	}
+	d := s.stages[i]()
+	if d < 0 {
+		d = 0
+	}
+	s.k.After(d, func() { s.next(i + 1) })
+}
+
+// Barrier invokes done once Arrive has been called n times.
+// It is the DES analogue of sync.WaitGroup for event callbacks.
+type Barrier struct {
+	remaining int
+	done      func()
+}
+
+// NewBarrier returns a barrier expecting n arrivals.
+func NewBarrier(n int, done func()) *Barrier {
+	b := &Barrier{remaining: n, done: done}
+	if n == 0 && done != nil {
+		done()
+	}
+	return b
+}
+
+// Arrive records one arrival; the final arrival runs the completion callback
+// synchronously.
+func (b *Barrier) Arrive() {
+	if b.remaining <= 0 {
+		panic("des: Barrier.Arrive called more times than size")
+	}
+	b.remaining--
+	if b.remaining == 0 && b.done != nil {
+		b.done()
+	}
+}
+
+// Remaining reports how many arrivals are still expected.
+func (b *Barrier) Remaining() int { return b.remaining }

@@ -1,0 +1,228 @@
+package events
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/ipa-grid/ipa/internal/dataset"
+)
+
+// GenConfig parameterizes the Linear Collider event generator.
+// Zero values take physically sensible defaults for √s = 500 GeV.
+type GenConfig struct {
+	Seed           int64
+	Run            int32
+	CMEnergy       float64 // √s in GeV (default 500)
+	HiggsMass      float64 // default 120 (the LC benchmark of the era)
+	ZMass          float64 // default 91.2
+	SignalFraction float64 // default 0.15
+	JetRes         float64 // relative jet energy resolution (default 0.05)
+	AvgSoft        float64 // mean soft-particle multiplicity (default 40)
+	ThreeJetFrac   float64 // gluon-radiation fraction in background (default 0.25)
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.CMEnergy == 0 {
+		c.CMEnergy = 500
+	}
+	if c.HiggsMass == 0 {
+		c.HiggsMass = 120
+	}
+	if c.ZMass == 0 {
+		c.ZMass = 91.2
+	}
+	if c.SignalFraction == 0 {
+		c.SignalFraction = 0.15
+	}
+	if c.JetRes == 0 {
+		c.JetRes = 0.05
+	}
+	if c.AvgSoft == 0 {
+		c.AvgSoft = 40
+	}
+	if c.ThreeJetFrac == 0 {
+		c.ThreeJetFrac = 0.25
+	}
+	return c
+}
+
+// Generator produces a deterministic stream of events for a given seed —
+// the stand-in for the paper's 471 MB of simulated LC data.
+type Generator struct {
+	cfg GenConfig
+	rng *rand.Rand
+	n   int64
+}
+
+// NewGenerator returns a generator for the given configuration.
+func NewGenerator(cfg GenConfig) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (g *Generator) Config() GenConfig { return g.cfg }
+
+// Next generates the next event.
+func (g *Generator) Next() *Event {
+	e := &Event{Number: g.n, Run: g.cfg.Run}
+	g.n++
+	if g.rng.Float64() < g.cfg.SignalFraction {
+		e.IsSignal = true
+		g.signal(e)
+	} else {
+		g.background(e)
+	}
+	g.soft(e)
+	return e
+}
+
+// randDirection returns an isotropic unit vector.
+func (g *Generator) randDirection() (x, y, z float64) {
+	z = 2*g.rng.Float64() - 1
+	phi := 2 * math.Pi * g.rng.Float64()
+	s := math.Sqrt(1 - z*z)
+	return s * math.Cos(phi), s * math.Sin(phi), z
+}
+
+// twoBody splits parent into two children of masses m1, m2, isotropic in
+// the parent rest frame, boosted to the lab.
+func (g *Generator) twoBody(parent FourVec, m1, m2 float64) (FourVec, FourVec) {
+	m := parent.Mass()
+	if m < m1+m2 {
+		// Off-shell fluctuation: scale masses down to fit.
+		scale := m / (m1 + m2) * 0.999
+		m1 *= scale
+		m2 *= scale
+	}
+	// Momentum of either child in the parent rest frame.
+	term1 := m*m - (m1+m2)*(m1+m2)
+	term2 := m*m - (m1-m2)*(m1-m2)
+	p := math.Sqrt(math.Max(term1*term2, 0)) / (2 * m)
+	dx, dy, dz := g.randDirection()
+	c1 := FourVec{p * dx, p * dy, p * dz, math.Sqrt(p*p + m1*m1)}
+	c2 := FourVec{-p * dx, -p * dy, -p * dz, math.Sqrt(p*p + m2*m2)}
+	bx, by, bz := parent.BoostVector()
+	return c1.Boost(bx, by, bz), c2.Boost(bx, by, bz)
+}
+
+// smear applies jet energy resolution, preserving direction.
+func (g *Generator) smear(v FourVec) FourVec {
+	f := 1 + g.rng.NormFloat64()*g.cfg.JetRes
+	if f < 0.2 {
+		f = 0.2
+	}
+	return FourVec{v.Px * f, v.Py * f, v.Pz * f, v.E * f}
+}
+
+func jetParticle(v FourVec, id int32, charge int8) Particle {
+	return Particle{ID: id, Charge: charge,
+		Px: float32(v.Px), Py: float32(v.Py), Pz: float32(v.Pz), E: float32(v.E)}
+}
+
+// signal generates e+e- → ZH, H → bb̄, Z → qq̄.
+func (g *Generator) signal(e *Event) {
+	s := g.cfg.CMEnergy
+	mH, mZ := g.cfg.HiggsMass, g.cfg.ZMass
+	// Two-body production momentum.
+	cm := FourVec{0, 0, 0, s}
+	z4, h4 := g.twoBody(cm, mZ, mH)
+	// Decays: jet pseudo-particles carry a small intrinsic mass.
+	b1, b2 := g.twoBody(h4, 5, 5)
+	q1, q2 := g.twoBody(z4, 1.5, 1.5)
+	e.Particles = append(e.Particles,
+		jetParticle(g.smear(b1), IDBJet, 0),
+		jetParticle(g.smear(b2), -IDBJet, 0),
+		jetParticle(g.smear(q1), IDQuarkJet, 0),
+		jetParticle(g.smear(q2), -IDQuarkJet, 0),
+	)
+}
+
+// background generates continuum e+e- → qq̄(g): two or three jets sharing
+// the full collision energy, giving a smooth combinatorial dijet-mass
+// spectrum under the Higgs peak.
+func (g *Generator) background(e *Event) {
+	s := g.cfg.CMEnergy
+	cm := FourVec{0, 0, 0, s}
+	if g.rng.Float64() < g.cfg.ThreeJetFrac {
+		// qq̄g: split off a gluon system first with a broad mass.
+		mQQ := s * (0.3 + 0.6*g.rng.Float64())
+		qq, gluon := g.twoBody(cm, mQQ, 2)
+		j1, j2 := g.twoBody(qq, 1.5, 1.5)
+		e.Particles = append(e.Particles,
+			jetParticle(g.smear(j1), IDQuarkJet, 0),
+			jetParticle(g.smear(j2), -IDQuarkJet, 0),
+			jetParticle(g.smear(gluon), IDPhoton, 0),
+		)
+		return
+	}
+	j1, j2 := g.twoBody(cm, 1.5, 1.5)
+	e.Particles = append(e.Particles,
+		jetParticle(g.smear(j1), IDQuarkJet, 0),
+		jetParticle(g.smear(j2), -IDQuarkJet, 0),
+	)
+}
+
+// soft adds low-energy hadrons (the underlying event), which dominate the
+// record size and the per-event analysis cost, as in real LC data.
+func (g *Generator) soft(e *Event) {
+	n := g.poisson(g.cfg.AvgSoft)
+	for i := 0; i < n; i++ {
+		dx, dy, dz := g.randDirection()
+		p := g.rng.ExpFloat64() * 1.5 // GeV
+		m := 0.14                     // pion mass
+		v := FourVec{p * dx, p * dy, p * dz, math.Sqrt(p*p + m*m)}
+		charge := int8(1)
+		if g.rng.Intn(2) == 0 {
+			charge = -1
+		}
+		e.Particles = append(e.Particles, jetParticle(v, IDPionPlus*int32(charge), charge))
+	}
+}
+
+func (g *Generator) poisson(mean float64) int {
+	// Knuth's method is fine for means ~40.
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+// WriteDataset appends n generated events to a dataset writer and returns
+// the total payload bytes written.
+func WriteDataset(w *dataset.Writer, g *Generator, n int) (int64, error) {
+	var buf []byte
+	var bytes int64
+	for i := 0; i < n; i++ {
+		buf = Marshal(buf[:0], g.Next())
+		if err := w.Append(buf); err != nil {
+			return bytes, fmt.Errorf("events: writing event %d: %w", i, err)
+		}
+		bytes += int64(len(buf))
+	}
+	return bytes, nil
+}
+
+// GenerateFile writes a complete dataset container with n events to path.
+func GenerateFile(path string, cfg GenConfig, n int) (int64, error) {
+	w, closer, err := dataset.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	g := NewGenerator(cfg)
+	bytes, err := WriteDataset(w, g, n)
+	if err != nil {
+		closer()
+		return bytes, err
+	}
+	return bytes, closer()
+}

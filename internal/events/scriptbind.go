@@ -1,0 +1,84 @@
+package events
+
+import (
+	"github.com/ipa-grid/ipa/internal/script"
+)
+
+// EventDecoderName is the script record-decoder key for LC event records.
+const EventDecoderName = "lc-event"
+
+// scriptEvent exposes a decoded event to scripts as an object with
+// members: number, run, signal, n, particles (array of particle objects).
+func scriptEvent(e *Event) script.Value {
+	parts := &script.Array{Elems: make([]script.Value, len(e.Particles))}
+	for i, p := range e.Particles {
+		v := p.Vec()
+		parts.Elems[i] = &script.MapObject{
+			Name: "particle",
+			Members: map[string]script.Value{
+				"id":     float64(p.ID),
+				"charge": float64(p.Charge),
+				"px":     v.Px,
+				"py":     v.Py,
+				"pz":     v.Pz,
+				"e":      v.E,
+				"pt":     v.Pt(),
+				"p":      v.P(),
+				"mass":   v.Mass(),
+				"cost":   v.CosTheta(),
+			},
+		}
+	}
+	return &script.MapObject{
+		Name: "event",
+		Members: map[string]script.Value{
+			"number":    float64(e.Number),
+			"run":       float64(e.Run),
+			"signal":    e.IsSignal,
+			"n":         float64(len(e.Particles)),
+			"particles": parts,
+		},
+	}
+}
+
+// pairMass computes the invariant mass of two particle script objects —
+// provided natively because it is the hot inner loop of every dijet scan.
+func pairMass(args []script.Value) (script.Value, error) {
+	if len(args) != 2 {
+		return nil, errArity
+	}
+	v1, err := particleVec(args[0])
+	if err != nil {
+		return nil, err
+	}
+	v2, err := particleVec(args[1])
+	if err != nil {
+		return nil, err
+	}
+	return v1.Add(v2).Mass(), nil
+}
+
+var errArity = &script.RuntimeError{Msg: "pairMass expects (particle, particle)"}
+
+func particleVec(v script.Value) (FourVec, error) {
+	o, ok := v.(*script.MapObject)
+	if !ok || o.Name != "particle" {
+		return FourVec{}, &script.RuntimeError{Msg: "pairMass: argument is not a particle"}
+	}
+	px, _ := o.Members["px"].(float64)
+	py, _ := o.Members["py"].(float64)
+	pz, _ := o.Members["pz"].(float64)
+	e, _ := o.Members["e"].(float64)
+	return FourVec{px, py, pz, e}, nil
+}
+
+func init() {
+	script.RegisterDecoder(EventDecoderName, func(rec []byte) (script.Value, error) {
+		var e Event
+		if err := UnmarshalInto(rec, &e); err != nil {
+			return nil, err
+		}
+		return scriptEvent(&e), nil
+	})
+	script.RegisterGlobal("pairMass", script.HostFunc(pairMass))
+}

@@ -1,0 +1,193 @@
+// Package fit implements linear least-squares fitting.
+//
+// The paper fits its measured staging/analysis times to closed-form models
+// (T_local = 11.5·X and T_grid = 0.38·X + 53 + (62 + 5.3·X)/N); this package
+// provides the machinery to redo that fit against our simulated
+// measurements and compare coefficients, and it backs the aida fitter.
+//
+// Everything is dense normal-equations + Gaussian elimination with partial
+// pivoting, which is ample for the handful-of-parameters fits used here.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations are (numerically)
+// singular — usually a sign of redundant basis functions or too few points.
+var ErrSingular = errors.New("fit: singular system")
+
+// Solve solves the linear system a·x = b in place using Gaussian elimination
+// with partial pivoting. a must be square with len(a) == len(b).
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("fit: bad system shape %dx? vs %d", n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("fit: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for c := i + 1; c < n; c++ {
+			sum -= a[i][c] * x[c]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+// Linear fits y ≈ Σ_j coef_j · design[i][j] by least squares.
+// design is the row-major design matrix (one row per observation).
+func Linear(design [][]float64, y []float64) ([]float64, error) {
+	m := len(design)
+	if m == 0 || len(y) != m {
+		return nil, fmt.Errorf("fit: %d rows vs %d targets", m, len(y))
+	}
+	p := len(design[0])
+	if p == 0 {
+		return nil, errors.New("fit: empty design row")
+	}
+	if m < p {
+		return nil, fmt.Errorf("fit: underdetermined: %d observations for %d parameters", m, p)
+	}
+	// Normal equations: (XᵀX) c = Xᵀy.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for i, row := range design {
+		if len(row) != p {
+			return nil, fmt.Errorf("fit: ragged design row %d", i)
+		}
+		for a := 0; a < p; a++ {
+			xty[a] += row[a] * y[i]
+			for b := a; b < p; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	return Solve(xtx, xty)
+}
+
+// Basis fits y ≈ Σ_j coef_j · fns_j(x).
+func Basis(x, y []float64, fns []func(float64) float64) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("fit: %d x vs %d y", len(x), len(y))
+	}
+	design := make([][]float64, len(x))
+	for i, xv := range x {
+		row := make([]float64, len(fns))
+		for j, f := range fns {
+			row[j] = f(xv)
+		}
+		design[i] = row
+	}
+	return Linear(design, y)
+}
+
+// Polynomial fits y ≈ Σ_{k=0..degree} coef_k · x^k.
+func Polynomial(x, y []float64, degree int) ([]float64, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("fit: negative degree %d", degree)
+	}
+	fns := make([]func(float64) float64, degree+1)
+	for k := 0; k <= degree; k++ {
+		k := k
+		fns[k] = func(v float64) float64 { return math.Pow(v, float64(k)) }
+	}
+	return Basis(x, y, fns)
+}
+
+// Eval evaluates a fitted basis model at x.
+func Eval(coef []float64, fns []func(float64) float64, x float64) float64 {
+	s := 0.0
+	for j, c := range coef {
+		s += c * fns[j](x)
+	}
+	return s
+}
+
+// Residuals returns y_i − ŷ_i for a design-matrix fit.
+func Residuals(design [][]float64, y, coef []float64) []float64 {
+	res := make([]float64, len(y))
+	for i, row := range design {
+		pred := 0.0
+		for j, c := range coef {
+			pred += c * row[j]
+		}
+		res[i] = y[i] - pred
+	}
+	return res
+}
+
+// RMSE returns the root-mean-square of residuals.
+func RMSE(res []float64) float64 {
+	if len(res) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range res {
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(res)))
+}
+
+// R2 returns the coefficient of determination for predictions ŷ against y.
+func R2(y, res []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssTot, ssRes float64
+	for i, v := range y {
+		ssTot += (v - mean) * (v - mean)
+		ssRes += res[i] * res[i]
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,179 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, 4}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 3, 1e-12) || !almost(x[1], 4, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{5, 7}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 7, 1e-12) || !almost(x[1], 5, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := Solve(a, b); err == nil {
+		t.Fatal("singular system solved without error")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("ragged system accepted")
+	}
+}
+
+func TestPolynomialExact(t *testing.T) {
+	// y = 2 + 3x - 0.5x²
+	xs := []float64{-2, -1, 0, 1, 2, 3, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 3*x - 0.5*x*x
+	}
+	c, err := Polynomial(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c[0], 2, 1e-9) || !almost(c[1], 3, 1e-9) || !almost(c[2], -0.5, 1e-9) {
+		t.Fatalf("coefficients %v, want [2 3 -0.5]", c)
+	}
+}
+
+func TestLinearRecoversPaperLocalModel(t *testing.T) {
+	// The paper's local model T = 11.5·X is a one-parameter fit through
+	// the origin. Generate noiseless points and recover the slope.
+	design := [][]float64{}
+	y := []float64{}
+	for _, x := range []float64{1, 10, 100, 471, 1000} {
+		design = append(design, []float64{x})
+		y = append(y, 11.5*x)
+	}
+	c, err := Linear(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c[0], 11.5, 1e-9) {
+		t.Fatalf("slope %v, want 11.5", c[0])
+	}
+}
+
+func TestLinearRecoversPaperGridModel(t *testing.T) {
+	// T_grid(X,N) = 0.38X + 53 + 62/N + 5.3·X/N — a 4-basis linear fit.
+	var design [][]float64
+	var y []float64
+	for _, x := range []float64{1, 10, 100, 471, 800} {
+		for _, n := range []float64{1, 2, 4, 8, 16} {
+			design = append(design, []float64{x, 1, 1 / n, x / n})
+			y = append(y, 0.38*x+53+62/n+5.3*x/n)
+		}
+	}
+	c, err := Linear(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.38, 53, 62, 5.3}
+	for i := range want {
+		if !almost(c[i], want[i], 1e-6) {
+			t.Fatalf("coefficient %d = %v, want %v (all: %v)", i, c[i], want[i], c)
+		}
+	}
+	res := Residuals(design, y, c)
+	if RMSE(res) > 1e-9 {
+		t.Fatalf("noiseless fit has RMSE %v", RMSE(res))
+	}
+	if r2 := R2(y, res); !almost(r2, 1, 1e-9) {
+		t.Fatalf("R² = %v, want 1", r2)
+	}
+}
+
+func TestUnderdetermined(t *testing.T) {
+	if _, err := Linear([][]float64{{1, 2}}, []float64{3}); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+}
+
+func TestBasisFit(t *testing.T) {
+	fns := []func(float64) float64{
+		func(x float64) float64 { return 1 },
+		math.Sqrt,
+	}
+	xs := []float64{1, 4, 9, 16, 25}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 7 - 2*math.Sqrt(x)
+	}
+	c, err := Basis(xs, ys, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c[0], 7, 1e-9) || !almost(c[1], -2, 1e-9) {
+		t.Fatalf("coefficients %v", c)
+	}
+	if v := Eval(c, fns, 9); !almost(v, 1, 1e-9) {
+		t.Fatalf("Eval = %v, want 1", v)
+	}
+}
+
+// Property: for any well-conditioned random linear model, fitting noiseless
+// samples recovers the generating coefficients.
+func TestQuickLinearRecovery(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		// Clamp coefficients into a sane range to avoid overflow.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 100)
+		}
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		var design [][]float64
+		var y []float64
+		for x := 1.0; x <= 12; x++ {
+			design = append(design, []float64{1, x, x * x})
+			y = append(y, a+b*x+c*x*x)
+		}
+		got, err := Linear(design, y)
+		if err != nil {
+			return false
+		}
+		return almost(got[0], a, 1e-5) && almost(got[1], b, 1e-5) && almost(got[2], c, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR2Constant(t *testing.T) {
+	y := []float64{5, 5, 5}
+	res := []float64{0, 0, 0}
+	if r := R2(y, res); r != 1 {
+		t.Fatalf("R² of perfect fit to constant = %v, want 1", r)
+	}
+}

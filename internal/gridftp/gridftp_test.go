@@ -1,0 +1,256 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/ipa-grid/ipa/internal/storage"
+)
+
+func newServer(t *testing.T, check TokenChecker) (*Server, *storage.Element, string) {
+	t.Helper()
+	store, err := storage.New("se-test", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, check)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, store, addr
+}
+
+func randBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestStoreAndRetrieve(t *testing.T) {
+	_, store, addr := newServer(t, nil)
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := randBytes(3*blockSize+12345, 1) // multiple blocks + remainder
+	if err := c.StoreBytes("/data/part0.ipa", payload); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := store.ReadBytes("/data/part0.ipa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, payload) {
+		t.Fatal("stored bytes differ")
+	}
+	got, err := c.RetrieveBytes("/data/part0.ipa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("retrieved bytes differ")
+	}
+}
+
+func TestParallelStreamCounts(t *testing.T) {
+	_, _, addr := newServer(t, nil)
+	for _, streams := range []int{1, 2, 8} {
+		c, err := Dial(addr, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetParallel(streams); err != nil {
+			t.Fatal(err)
+		}
+		payload := randBytes(2*blockSize+99, int64(streams))
+		path := fmt.Sprintf("/p%d.bin", streams)
+		if err := c.StoreBytes(path, payload); err != nil {
+			t.Fatalf("streams=%d: %v", streams, err)
+		}
+		got, err := c.RetrieveBytes(path)
+		if err != nil {
+			t.Fatalf("streams=%d: %v", streams, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("streams=%d: corrupted", streams)
+		}
+		c.Close()
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	_, _, addr := newServer(t, nil)
+	c, _ := Dial(addr, "")
+	defer c.Close()
+	if err := c.StoreBytes("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RetrieveBytes("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestSizeAndChecksum(t *testing.T) {
+	_, store, addr := newServer(t, nil)
+	payload := randBytes(10000, 7)
+	if err := store.PutBytes("/f.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Dial(addr, "")
+	defer c.Close()
+	size, err := c.Size("/f.bin")
+	if err != nil || size != 10000 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	sum, err := c.Checksum("/f.bin")
+	if err != nil || sum != crc32.ChecksumIEEE(payload) {
+		t.Fatalf("Checksum = %08x, %v", sum, err)
+	}
+	if err := c.VerifyTransfer("/f.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyTransfer("/f.bin", payload[1:]); err == nil {
+		t.Fatal("corrupt verify passed")
+	}
+	if _, err := c.Size("/missing"); err == nil {
+		t.Fatal("SIZE of missing file succeeded")
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	check := func(token string) error {
+		if token != "sesame" {
+			return errors.New("wrong token")
+		}
+		return nil
+	}
+	_, _, addr := newServer(t, check)
+	if _, err := Dial(addr, "wrong"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	c, err := Dial(addr, "sesame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.StoreBytes("/ok", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThirdPartyTransfer(t *testing.T) {
+	// Source server (the manager's shared disk) pushes to a destination
+	// server (a worker scratch area) — the §3.4 staging path.
+	_, srcStore, srcAddr := newServer(t, nil)
+	_, dstStore, dstAddr := newServer(t, nil)
+	payload := randBytes(2*blockSize+500, 42)
+	if err := srcStore.PutBytes("/dataset/part3", payload); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Dial(srcAddr, "")
+	defer c.Close()
+	n, err := c.ThirdParty("/dataset/part3", dstAddr, "/scratch/part3", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("transferred %d, want %d", n, len(payload))
+	}
+	got, err := dstStore.ReadBytes("/scratch/part3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("third-party corrupted data")
+	}
+}
+
+func TestRetrieveMissing(t *testing.T) {
+	_, _, addr := newServer(t, nil)
+	c, _ := Dial(addr, "")
+	defer c.Close()
+	if _, err := c.RetrieveBytes("/nope"); err == nil {
+		t.Fatal("RETR of missing file succeeded")
+	}
+	// Connection still usable.
+	if err := c.StoreBytes("/after", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRetrieveFiles(t *testing.T) {
+	_, _, addr := newServer(t, nil)
+	c, _ := Dial(addr, "")
+	defer c.Close()
+	dir := t.TempDir()
+	local := filepath.Join(dir, "in.bin")
+	payload := randBytes(blockSize+77, 5)
+	if err := writeFile(local, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreFile("/files/in.bin", local); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.bin")
+	n, err := c.RetrieveFile("/files/in.bin", out)
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("RetrieveFile = %d, %v", n, err)
+	}
+	got, err := readFile(out)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatal("file round trip corrupted")
+	}
+}
+
+func TestStorageQuota(t *testing.T) {
+	store, err := storage.New("small", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetQuota(1000)
+	if err := store.PutBytes("/a", make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutBytes("/b", make([]byte, 600)); err == nil {
+		t.Fatal("quota not enforced")
+	}
+	// Replacing a file reuses its allocation.
+	if err := store.PutBytes("/a", make([]byte, 900)); err != nil {
+		t.Fatalf("replace within quota failed: %v", err)
+	}
+}
+
+func TestStoragePathEscapeRejected(t *testing.T) {
+	store, _ := storage.New("s", t.TempDir())
+	if err := store.PutBytes("../../escape", []byte("x")); err == nil {
+		// filepath.Clean of "/../../escape" is "/escape" — confined.
+		if store.Exists("../../escape") {
+			p, _ := store.LocalPath("../../escape")
+			if !bytes.HasPrefix([]byte(p), []byte(store.Root())) {
+				t.Fatal("path escaped the root")
+			}
+		}
+	}
+}
+
+func writeFile(path string, b []byte) error {
+	return osWriteFile(path, b)
+}
+
+func readFile(path string) ([]byte, error) {
+	return osReadFile(path)
+}

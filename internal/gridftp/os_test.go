@@ -1,0 +1,7 @@
+package gridftp
+
+import "os"
+
+func osWriteFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+
+func osReadFile(path string) ([]byte, error) { return os.ReadFile(path) }

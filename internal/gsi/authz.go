@@ -1,0 +1,146 @@
+package gsi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Authorization: once a peer is authenticated (an Identity), the site
+// decides what it may do. The paper: "the service could then authorize the
+// client to use certain resources, depending on the policy of the Grid
+// site" (§3.1). Two classic mechanisms are provided: the gridmap file
+// (DN → local account) and VO role policy ("the user is properly
+// recognized by the Virtual Organization", §1).
+
+// Operation names a privileged action in the IPA framework.
+type Operation string
+
+// The operations IPA services guard.
+const (
+	OpCreateSession Operation = "session.create"
+	OpControlRun    Operation = "session.control"
+	OpSubmitJobs    Operation = "gram.submit"
+	OpReadCatalog   Operation = "catalog.read"
+	OpWriteCatalog  Operation = "catalog.write"
+	OpStageData     Operation = "data.stage"
+	OpPollResults   Operation = "results.poll"
+)
+
+// Role is a VO-assigned capability bundle.
+type Role string
+
+// Standard roles.
+const (
+	RoleAnalyst Role = "analyst" // run interactive analyses
+	RoleAdmin   Role = "admin"   // manage catalog entries
+	RoleMonitor Role = "monitor" // read-only result polling
+)
+
+// rolePermissions maps each role to its allowed operations.
+var rolePermissions = map[Role]map[Operation]bool{
+	RoleAnalyst: {
+		OpCreateSession: true, OpControlRun: true, OpSubmitJobs: true,
+		OpReadCatalog: true, OpStageData: true, OpPollResults: true,
+	},
+	RoleAdmin: {
+		OpCreateSession: true, OpControlRun: true, OpSubmitJobs: true,
+		OpReadCatalog: true, OpWriteCatalog: true, OpStageData: true, OpPollResults: true,
+	},
+	RoleMonitor: {
+		OpReadCatalog: true, OpPollResults: true,
+	},
+}
+
+// Membership records a user's standing within a VO.
+type Membership struct {
+	Groups []string
+	Roles  []Role
+}
+
+// VO is a Virtual Organization membership service (a VOMS stand-in).
+type VO struct {
+	name string
+
+	mu      sync.RWMutex
+	members map[string]*Membership // DN → membership
+	gridmap map[string]string      // DN → local account
+}
+
+// NewVO creates an empty VO.
+func NewVO(name string) *VO {
+	return &VO{name: name, members: make(map[string]*Membership), gridmap: make(map[string]string)}
+}
+
+// Name returns the VO name.
+func (vo *VO) Name() string { return vo.name }
+
+// Add registers a member DN with groups and roles.
+func (vo *VO) Add(dn string, groups []string, roles ...Role) {
+	vo.mu.Lock()
+	defer vo.mu.Unlock()
+	vo.members[dn] = &Membership{Groups: append([]string(nil), groups...), Roles: append([]Role(nil), roles...)}
+}
+
+// MapAccount assigns the local account for a DN (the gridmap file line).
+func (vo *VO) MapAccount(dn, account string) {
+	vo.mu.Lock()
+	defer vo.mu.Unlock()
+	vo.gridmap[dn] = account
+}
+
+// Membership returns a member's record, or nil for non-members.
+func (vo *VO) Membership(dn string) *Membership {
+	vo.mu.RLock()
+	defer vo.mu.RUnlock()
+	return vo.members[dn]
+}
+
+// LocalAccount resolves a DN through the gridmap.
+func (vo *VO) LocalAccount(dn string) (string, bool) {
+	vo.mu.RLock()
+	defer vo.mu.RUnlock()
+	a, ok := vo.gridmap[dn]
+	return a, ok
+}
+
+// AuthzError explains a denied operation.
+type AuthzError struct {
+	DN string
+	Op Operation
+	VO string
+}
+
+func (e *AuthzError) Error() string {
+	return fmt.Sprintf("gsi: %s not authorized for %s in VO %s", e.DN, e.Op, e.VO)
+}
+
+// Authorize checks whether the identity may perform op. Non-members are
+// always denied; members are allowed if any of their roles grants op.
+func (vo *VO) Authorize(id *Identity, op Operation) error {
+	if id == nil {
+		return &AuthzError{DN: "(anonymous)", Op: op, VO: vo.name}
+	}
+	m := vo.Membership(id.DN)
+	if m == nil {
+		return &AuthzError{DN: id.DN, Op: op, VO: vo.name}
+	}
+	for _, r := range m.Roles {
+		if rolePermissions[r][op] {
+			return nil
+		}
+	}
+	return &AuthzError{DN: id.DN, Op: op, VO: vo.name}
+}
+
+// Members lists member DNs, sorted (for admin tooling).
+func (vo *VO) Members() []string {
+	vo.mu.RLock()
+	defer vo.mu.RUnlock()
+	out := make([]string, 0, len(vo.members))
+	for dn := range vo.members {
+		out = append(out, dn)
+	}
+	sort.Strings(out)
+	return out
+}

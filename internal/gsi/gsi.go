@@ -1,0 +1,340 @@
+// Package gsi implements the Grid Security Infrastructure the paper's
+// framework authenticates with (§3.1–3.2): an X.509 certificate authority,
+// user/host end-entity certificates, short-lived RFC-3820-style proxy
+// certificates ("a Grid proxy plug-in ... creates a proxy certificate that
+// can be used to authenticate the client with the service"), mutual-TLS
+// configuration, and DN-based authorization (gridmap + VO roles).
+//
+// Everything is real cryptography from the standard library: ECDSA P-256
+// keys, signed certificates, and a custom chain verifier implementing the
+// proxy rule (a proxy is signed by the end-entity certificate itself and
+// appends "CN=proxy" to the subject).
+package gsi
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+)
+
+// Organization is the O= component all framework certificates share.
+const Organization = "IPA Grid"
+
+// serialCounter hands out unique serial numbers within a process.
+var serialCounter int64 = 1000
+
+func nextSerial() *big.Int {
+	serialCounter++
+	return big.NewInt(serialCounter)
+}
+
+// Credential is a certificate plus its private key.
+type Credential struct {
+	Cert *x509.Certificate
+	Key  *ecdsa.PrivateKey
+}
+
+// DN returns the credential's distinguished name in Grid slash form.
+func (c *Credential) DN() string { return DNString(c.Cert.Subject) }
+
+// DNString renders a pkix.Name like "/O=IPA Grid/OU=vo/CN=alice".
+func DNString(name pkix.Name) string {
+	var b strings.Builder
+	for _, o := range name.Organization {
+		fmt.Fprintf(&b, "/O=%s", o)
+	}
+	for _, ou := range name.OrganizationalUnit {
+		fmt.Fprintf(&b, "/OU=%s", ou)
+	}
+	if name.CommonName != "" {
+		fmt.Fprintf(&b, "/CN=%s", name.CommonName)
+	}
+	return b.String()
+}
+
+// CA is a certificate authority for one Grid (one per test/site).
+type CA struct {
+	cred Credential
+}
+
+// NewCA creates a self-signed certificate authority.
+func NewCA(name string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: generating CA key: %w", err)
+	}
+	tpl := &x509.Certificate{
+		SerialNumber: nextSerial(),
+		Subject: pkix.Name{
+			Organization: []string{Organization},
+			CommonName:   name,
+		},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, tpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: self-signing CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{cred: Credential{Cert: cert, Key: key}}, nil
+}
+
+// Certificate returns the CA certificate (distribute to all parties).
+func (ca *CA) Certificate() *x509.Certificate { return ca.cred.Cert }
+
+// Pool returns a cert pool containing just this CA.
+func (ca *CA) Pool() *x509.CertPool {
+	p := x509.NewCertPool()
+	p.AddCert(ca.cred.Cert)
+	return p
+}
+
+func (ca *CA) issue(tpl *x509.Certificate) (*Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, ca.cred.Cert, &key.PublicKey, ca.cred.Key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Credential{Cert: cert, Key: key}, nil
+}
+
+// IssueUser creates an end-entity certificate for a person in a VO unit.
+func (ca *CA) IssueUser(vo, cn string, lifetime time.Duration) (*Credential, error) {
+	if cn == "" {
+		return nil, errors.New("gsi: empty user CN")
+	}
+	return ca.issue(&x509.Certificate{
+		SerialNumber: nextSerial(),
+		Subject: pkix.Name{
+			Organization:       []string{Organization},
+			OrganizationalUnit: []string{vo},
+			CommonName:         cn,
+		},
+		NotBefore:             time.Now().Add(-5 * time.Minute),
+		NotAfter:              time.Now().Add(lifetime),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+	})
+}
+
+// IssueHost creates a service certificate valid for the given host names.
+func (ca *CA) IssueHost(cn string, hosts []string, lifetime time.Duration) (*Credential, error) {
+	return ca.issue(&x509.Certificate{
+		SerialNumber: nextSerial(),
+		Subject: pkix.Name{
+			Organization: []string{Organization},
+			CommonName:   cn,
+		},
+		DNSNames:              hosts,
+		NotBefore:             time.Now().Add(-5 * time.Minute),
+		NotAfter:              time.Now().Add(lifetime),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+	})
+}
+
+// proxyCN is the subject suffix marking proxy certificates.
+const proxyCN = "proxy"
+
+// Proxy is a short-lived delegated credential: a certificate signed by the
+// user's end-entity certificate rather than the CA.
+type Proxy struct {
+	Cert   *x509.Certificate
+	Key    *ecdsa.PrivateKey
+	Issuer *x509.Certificate // the end-entity certificate
+}
+
+// NewProxy creates a proxy certificate from a user credential, the
+// operation behind the client's "Obtain Proxy" step (Figure 2, step 1).
+func NewProxy(user *Credential, lifetime time.Duration) (*Proxy, error) {
+	if lifetime <= 0 {
+		return nil, errors.New("gsi: proxy lifetime must be positive")
+	}
+	if time.Now().Add(lifetime).After(user.Cert.NotAfter) {
+		lifetime = time.Until(user.Cert.NotAfter)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	subject := user.Cert.Subject
+	subject.CommonName = user.Cert.Subject.CommonName + "/" + proxyCN
+	tpl := &x509.Certificate{
+		SerialNumber:          nextSerial(),
+		Subject:               subject,
+		NotBefore:             time.Now().Add(-time.Minute),
+		NotAfter:              time.Now().Add(lifetime),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, user.Cert, &key.PublicKey, user.Key)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: signing proxy: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{Cert: cert, Key: key, Issuer: user.Cert}, nil
+}
+
+// Expired reports whether the proxy is past its lifetime.
+func (p *Proxy) Expired(now time.Time) bool { return now.After(p.Cert.NotAfter) }
+
+// DN returns the proxy's subject DN (including the /CN=proxy suffix).
+func (p *Proxy) DN() string { return DNString(p.Cert.Subject) }
+
+// TLSCertificate packages the proxy chain for a TLS handshake:
+// leaf = proxy, intermediate = user certificate.
+func (p *Proxy) TLSCertificate() tls.Certificate {
+	return tls.Certificate{
+		Certificate: [][]byte{p.Cert.Raw, p.Issuer.Raw},
+		PrivateKey:  p.Key,
+	}
+}
+
+// Identity is the authenticated peer resulting from chain verification.
+type Identity struct {
+	// DN is the end-entity distinguished name (proxy suffix stripped).
+	DN string
+	// CN is the end-entity common name.
+	CN string
+	// ViaProxy reports whether a proxy certificate was presented.
+	ViaProxy bool
+	// Expires is the earliest expiry in the verified chain.
+	Expires time.Time
+}
+
+// ErrNotAuthenticated is returned when no usable peer chain is present.
+var ErrNotAuthenticated = errors.New("gsi: peer did not authenticate")
+
+// VerifyPeer validates a presented certificate chain under Grid proxy
+// rules: either [user] signed by the CA, or [proxy, user] where the proxy
+// is signed by the user certificate, carries the user's subject plus a
+// "/CN=proxy" component, and is within both validity windows.
+func VerifyPeer(rawCerts [][]byte, roots *x509.CertPool, now time.Time) (*Identity, error) {
+	if len(rawCerts) == 0 {
+		return nil, ErrNotAuthenticated
+	}
+	certs := make([]*x509.Certificate, len(rawCerts))
+	for i, raw := range rawCerts {
+		c, err := x509.ParseCertificate(raw)
+		if err != nil {
+			return nil, fmt.Errorf("gsi: parsing peer certificate %d: %w", i, err)
+		}
+		certs[i] = c
+	}
+	verifyEE := func(ee *x509.Certificate) error {
+		_, err := ee.Verify(x509.VerifyOptions{
+			Roots:       roots,
+			CurrentTime: now,
+			KeyUsages:   []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+		})
+		return err
+	}
+	leaf := certs[0]
+	if !strings.HasSuffix(leaf.Subject.CommonName, "/"+proxyCN) {
+		// Plain end-entity authentication.
+		if err := verifyEE(leaf); err != nil {
+			return nil, fmt.Errorf("gsi: end-entity verification: %w", err)
+		}
+		return &Identity{
+			DN:      DNString(leaf.Subject),
+			CN:      leaf.Subject.CommonName,
+			Expires: leaf.NotAfter,
+		}, nil
+	}
+	// Proxy chain: need the signing end-entity certificate next.
+	if len(certs) < 2 {
+		return nil, errors.New("gsi: proxy presented without its issuer certificate")
+	}
+	user := certs[1]
+	if err := verifyEE(user); err != nil {
+		return nil, fmt.Errorf("gsi: proxy issuer verification: %w", err)
+	}
+	// Proxy subject must be user subject + "/proxy" on the CN.
+	wantCN := user.Subject.CommonName + "/" + proxyCN
+	if leaf.Subject.CommonName != wantCN {
+		return nil, fmt.Errorf("gsi: proxy CN %q does not extend issuer CN %q", leaf.Subject.CommonName, user.Subject.CommonName)
+	}
+	// Signature check: proxy is signed by the user's key.
+	if err := user.CheckSignature(leaf.SignatureAlgorithm, leaf.RawTBSCertificate, leaf.Signature); err != nil {
+		return nil, fmt.Errorf("gsi: proxy signature invalid: %w", err)
+	}
+	if now.Before(leaf.NotBefore) || now.After(leaf.NotAfter) {
+		return nil, fmt.Errorf("gsi: proxy expired at %v", leaf.NotAfter)
+	}
+	expires := leaf.NotAfter
+	if user.NotAfter.Before(expires) {
+		expires = user.NotAfter
+	}
+	return &Identity{
+		DN:       DNString(user.Subject),
+		CN:       user.Subject.CommonName,
+		ViaProxy: true,
+		Expires:  expires,
+	}, nil
+}
+
+// ServerTLSConfig builds a mutual-TLS server configuration that verifies
+// peers under proxy rules and stores the Identity for handlers to fetch
+// with PeerIdentity.
+func ServerTLSConfig(host *Credential, roots *x509.CertPool) *tls.Config {
+	return &tls.Config{
+		MinVersion: tls.VersionTLS12,
+		Certificates: []tls.Certificate{{
+			Certificate: [][]byte{host.Cert.Raw},
+			PrivateKey:  host.Key,
+		}},
+		ClientAuth: tls.RequireAnyClientCert,
+		VerifyPeerCertificate: func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+			_, err := VerifyPeer(rawCerts, roots, time.Now())
+			return err
+		},
+	}
+}
+
+// ClientTLSConfig builds the client side of mutual TLS using a proxy —
+// this is what every IPA plug-in uses to contact the Web Services.
+func ClientTLSConfig(p *Proxy, roots *x509.CertPool) *tls.Config {
+	return &tls.Config{
+		MinVersion:   tls.VersionTLS12,
+		RootCAs:      roots,
+		Certificates: []tls.Certificate{p.TLSCertificate()},
+	}
+}
+
+// PeerIdentity extracts the verified Grid identity from a completed TLS
+// connection state.
+func PeerIdentity(cs tls.ConnectionState, roots *x509.CertPool) (*Identity, error) {
+	raw := make([][]byte, len(cs.PeerCertificates))
+	for i, c := range cs.PeerCertificates {
+		raw[i] = c.Raw
+	}
+	return VerifyPeer(raw, roots, time.Now())
+}

@@ -1,0 +1,264 @@
+package gsi
+
+import (
+	"crypto/tls"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("IPA Test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestIssueUserAndDN(t *testing.T) {
+	ca := newTestCA(t)
+	u, err := ca.IssueUser("lc-vo", "alice", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.DN(); got != "/O=IPA Grid/OU=lc-vo/CN=alice" {
+		t.Fatalf("DN = %q", got)
+	}
+}
+
+func TestProxyVerify(t *testing.T) {
+	ca := newTestCA(t)
+	u, err := ca.IssueUser("lc-vo", "alice", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(u, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := VerifyPeer([][]byte{p.Cert.Raw, u.Cert.Raw}, ca.Pool(), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.ViaProxy {
+		t.Fatal("identity not marked as proxy")
+	}
+	if id.DN != "/O=IPA Grid/OU=lc-vo/CN=alice" {
+		t.Fatalf("identity DN = %q (proxy suffix must be stripped)", id.DN)
+	}
+	if id.CN != "alice" {
+		t.Fatalf("CN = %q", id.CN)
+	}
+}
+
+func TestPlainUserVerify(t *testing.T) {
+	ca := newTestCA(t)
+	u, _ := ca.IssueUser("lc-vo", "bob", time.Hour)
+	id, err := VerifyPeer([][]byte{u.Cert.Raw}, ca.Pool(), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.ViaProxy || id.CN != "bob" {
+		t.Fatalf("identity = %+v", id)
+	}
+}
+
+func TestProxyWithoutIssuerRejected(t *testing.T) {
+	ca := newTestCA(t)
+	u, _ := ca.IssueUser("lc-vo", "alice", time.Hour)
+	p, _ := NewProxy(u, time.Minute)
+	if _, err := VerifyPeer([][]byte{p.Cert.Raw}, ca.Pool(), time.Now()); err == nil {
+		t.Fatal("proxy without issuer accepted")
+	}
+}
+
+func TestProxyFromWrongUserRejected(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueUser("lc-vo", "alice", time.Hour)
+	mallory, _ := ca.IssueUser("lc-vo", "mallory", time.Hour)
+	p, _ := NewProxy(alice, time.Minute)
+	// Present alice's proxy with mallory's certificate as issuer.
+	if _, err := VerifyPeer([][]byte{p.Cert.Raw, mallory.Cert.Raw}, ca.Pool(), time.Now()); err == nil {
+		t.Fatal("proxy accepted with mismatched issuer")
+	}
+}
+
+func TestExpiredProxyRejected(t *testing.T) {
+	ca := newTestCA(t)
+	u, _ := ca.IssueUser("lc-vo", "alice", time.Hour)
+	p, _ := NewProxy(u, time.Minute)
+	future := time.Now().Add(2 * time.Hour)
+	if _, err := VerifyPeer([][]byte{p.Cert.Raw, u.Cert.Raw}, ca.Pool(), future); err == nil {
+		t.Fatal("expired proxy accepted")
+	}
+	if !p.Expired(future) {
+		t.Fatal("Expired() disagrees")
+	}
+}
+
+func TestForeignCARejected(t *testing.T) {
+	ca1 := newTestCA(t)
+	ca2 := newTestCA(t)
+	u, _ := ca2.IssueUser("lc-vo", "eve", time.Hour)
+	p, _ := NewProxy(u, time.Minute)
+	if _, err := VerifyPeer([][]byte{p.Cert.Raw, u.Cert.Raw}, ca1.Pool(), time.Now()); err == nil {
+		t.Fatal("foreign-CA proxy accepted")
+	}
+}
+
+func TestProxyLifetimeClampedToUserCert(t *testing.T) {
+	ca := newTestCA(t)
+	u, _ := ca.IssueUser("lc-vo", "alice", 10*time.Minute)
+	p, err := NewProxy(u, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cert.NotAfter.After(u.Cert.NotAfter.Add(time.Second)) {
+		t.Fatal("proxy outlives its user certificate")
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	ca := newTestCA(t)
+	if _, err := VerifyPeer(nil, ca.Pool(), time.Now()); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+// TestMutualTLSWithProxy runs a real TLS handshake: server with host cert,
+// client with proxy chain, both verifying against the CA.
+func TestMutualTLSWithProxy(t *testing.T) {
+	ca := newTestCA(t)
+	host, err := ca.IssueHost("ipa-manager", []string{"localhost", "127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := ca.IssueUser("lc-vo", "alice", time.Hour)
+	proxy, _ := NewProxy(user, time.Hour)
+
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", ServerTLSConfig(host, ca.Pool()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		dn  string
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer conn.Close()
+		tc := conn.(*tls.Conn)
+		if err := tc.Handshake(); err != nil {
+			done <- result{err: err}
+			return
+		}
+		id, err := PeerIdentity(tc.ConnectionState(), ca.Pool())
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		io.WriteString(conn, "hello "+id.CN)
+		done <- result{dn: id.DN}
+	}()
+
+	cfg := ClientTLSConfig(proxy, ca.Pool())
+	cfg.ServerName = "localhost"
+	conn, err := tls.Dial("tcp", ln.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 64)
+	n, _ := conn.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hello alice") {
+		t.Fatalf("server reply %q", buf[:n])
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.dn != "/O=IPA Grid/OU=lc-vo/CN=alice" {
+		t.Fatalf("server saw DN %q", r.dn)
+	}
+}
+
+func TestTLSRejectsClientWithoutCert(t *testing.T) {
+	ca := newTestCA(t)
+	host, _ := ca.IssueHost("ipa-manager", []string{"localhost"}, time.Hour)
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", ServerTLSConfig(host, ca.Pool()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			tc := conn.(*tls.Conn)
+			tc.Handshake() // expected to fail
+			conn.Close()
+		}
+	}()
+	cfg := &tls.Config{RootCAs: ca.Pool(), ServerName: "localhost", MinVersion: tls.VersionTLS12}
+	conn, err := tls.Dial("tcp", ln.Addr().String(), cfg)
+	if err == nil {
+		// Server requires a client cert; the failure can surface on the
+		// first read instead of the handshake depending on TLS version.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		_, err = conn.Read(make([]byte, 1))
+		conn.Close()
+	}
+	if err == nil {
+		t.Fatal("certificate-less client was not rejected")
+	}
+}
+
+func TestVOAuthorization(t *testing.T) {
+	vo := NewVO("lc-vo")
+	vo.Add("/O=IPA Grid/OU=lc-vo/CN=alice", []string{"higgs"}, RoleAnalyst)
+	vo.Add("/O=IPA Grid/OU=lc-vo/CN=ops", nil, RoleMonitor)
+	vo.MapAccount("/O=IPA Grid/OU=lc-vo/CN=alice", "lcuser01")
+
+	alice := &Identity{DN: "/O=IPA Grid/OU=lc-vo/CN=alice", CN: "alice"}
+	ops := &Identity{DN: "/O=IPA Grid/OU=lc-vo/CN=ops", CN: "ops"}
+	eve := &Identity{DN: "/O=IPA Grid/OU=lc-vo/CN=eve", CN: "eve"}
+
+	if err := vo.Authorize(alice, OpCreateSession); err != nil {
+		t.Fatalf("analyst denied session: %v", err)
+	}
+	if err := vo.Authorize(alice, OpWriteCatalog); err == nil {
+		t.Fatal("analyst allowed catalog write")
+	}
+	if err := vo.Authorize(ops, OpPollResults); err != nil {
+		t.Fatalf("monitor denied polling: %v", err)
+	}
+	if err := vo.Authorize(ops, OpSubmitJobs); err == nil {
+		t.Fatal("monitor allowed job submission")
+	}
+	if err := vo.Authorize(eve, OpReadCatalog); err == nil {
+		t.Fatal("non-member authorized")
+	}
+	if err := vo.Authorize(nil, OpReadCatalog); err == nil {
+		t.Fatal("anonymous authorized")
+	}
+	if acct, ok := vo.LocalAccount(alice.DN); !ok || acct != "lcuser01" {
+		t.Fatalf("gridmap = %q, %v", acct, ok)
+	}
+	if _, ok := vo.LocalAccount(eve.DN); ok {
+		t.Fatal("gridmap resolved unknown DN")
+	}
+	if len(vo.Members()) != 2 {
+		t.Fatal("member list wrong")
+	}
+}
+
+var _ net.Conn = (*tls.Conn)(nil) // keep net import honest

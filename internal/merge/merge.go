@@ -1,0 +1,430 @@
+// Package merge implements the AIDA manager service of §3.7: "as soon as
+// the analysis begins, the intermediate results from each individual
+// analysis engine are collected and merged at the Manager node ... a
+// separate plug-in on the JAS client constantly polls the AIDA manager
+// ... to check for any updated histograms."
+//
+// Engines publish whole-tree snapshots tagged with a sequence number; the
+// manager keeps the latest snapshot per worker and merges on demand.
+// Clients poll with their last-seen version and receive either nothing
+// (unchanged) or the updated objects — incremental polling is what makes
+// sub-minute feedback affordable (ablation A4). For large worker counts a
+// SubMerger aggregates a group of workers and republishes upward as one
+// pseudo-worker, the §2.5 "sub-level of components" scalability design
+// (ablation A2).
+//
+// The exported method signatures are RMI-compatible (args/reply structs),
+// so a Manager registers directly on an rmi.Server.
+package merge
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+)
+
+// PublishArgs is an engine's snapshot upload.
+type PublishArgs struct {
+	SessionID string
+	WorkerID  string
+	// Seq orders snapshots from one worker; stale ones are dropped.
+	Seq int64
+	// Tree is the worker's full current result state.
+	Tree aida.TreeState
+	// EventsDone / EventsTotal drive the client progress display.
+	EventsDone  int64
+	EventsTotal int64
+	// Log carries accumulated script print() output (may be "").
+	Log string
+}
+
+// PublishReply acknowledges a snapshot.
+type PublishReply struct {
+	Accepted bool
+	Version  int64 // session version after this publish
+}
+
+// PollArgs is the client's update request.
+type PollArgs struct {
+	SessionID string
+	// SinceVersion is the client's last seen version (0 = everything).
+	SinceVersion int64
+	// Full forces a complete tree regardless of SinceVersion.
+	Full bool
+}
+
+// WorkerProgress summarizes one engine for the client status panel
+// ("Information about the hosts that has Analysis Engines running",
+// Figure 4).
+type WorkerProgress struct {
+	WorkerID    string
+	EventsDone  int64
+	EventsTotal int64
+	Seq         int64
+}
+
+// PollReply carries merged updates.
+type PollReply struct {
+	// Version is the current session version; poll with it next time.
+	Version int64
+	// Changed reports whether Entries carries anything new.
+	Changed bool
+	// Entries are the merged objects that changed since SinceVersion
+	// (or all of them for a full poll).
+	Entries []aida.TreeEntry
+	// Removed lists paths that disappeared (e.g. after rewind).
+	Removed []string
+	// Progress per worker, sorted by worker ID.
+	Progress []WorkerProgress
+	// Logs are new log lines since the last poll.
+	Logs []string
+}
+
+type workerState struct {
+	seq   int64
+	tree  *aida.Tree
+	done  int64
+	total int64
+}
+
+type sessionState struct {
+	version    int64
+	workers    map[string]*workerState
+	merged     *aida.Tree
+	objVersion map[string]int64 // path → version of last content change
+	gone       map[string]int64 // path → version at which it vanished
+	logs       []logLine
+	dirty      bool
+}
+
+type logLine struct {
+	version int64
+	text    string
+}
+
+// maxLogLines bounds per-session log retention.
+const maxLogLines = 1000
+
+// Manager is the root AIDA manager. Safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+}
+
+// NewManager creates an empty manager.
+func NewManager() *Manager { return &Manager{sessions: make(map[string]*sessionState)} }
+
+func (m *Manager) session(id string) *sessionState {
+	s := m.sessions[id]
+	if s == nil {
+		s = &sessionState{
+			workers:    make(map[string]*workerState),
+			merged:     aida.NewTree(),
+			objVersion: make(map[string]int64),
+			gone:       make(map[string]int64),
+		}
+		m.sessions[id] = s
+	}
+	return s
+}
+
+// Publish ingests a worker snapshot (RMI-compatible).
+func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
+	if args.SessionID == "" || args.WorkerID == "" {
+		return fmt.Errorf("merge: session and worker IDs required")
+	}
+	tree, err := args.Tree.Restore()
+	if err != nil {
+		return fmt.Errorf("merge: bad snapshot from %s: %w", args.WorkerID, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.session(args.SessionID)
+	w := s.workers[args.WorkerID]
+	if w == nil {
+		w = &workerState{}
+		s.workers[args.WorkerID] = w
+	}
+	if args.Seq <= w.seq && args.Seq != 0 {
+		// Stale or duplicate snapshot (out-of-order RMI retry): ignore.
+		reply.Accepted = false
+		reply.Version = s.version
+		return nil
+	}
+	w.seq = args.Seq
+	w.tree = tree
+	w.done = args.EventsDone
+	w.total = args.EventsTotal
+	s.version++
+	s.dirty = true
+	if args.Log != "" {
+		s.logs = append(s.logs, logLine{version: s.version, text: args.Log})
+		if len(s.logs) > maxLogLines {
+			s.logs = s.logs[len(s.logs)-maxLogLines:]
+		}
+	}
+	reply.Accepted = true
+	reply.Version = s.version
+	return nil
+}
+
+// remerge rebuilds the merged tree from worker snapshots and stamps
+// changed objects with the current version. Caller holds m.mu.
+func (s *sessionState) remerge() error {
+	if !s.dirty {
+		return nil
+	}
+	prev := s.merged
+	next := aida.NewTree()
+	ids := make([]string, 0, len(s.workers))
+	for id := range s.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if w := s.workers[id]; w.tree != nil {
+			if err := next.MergeFrom(w.tree); err != nil {
+				return err
+			}
+		}
+	}
+	// Stamp changes: any object whose serialized content differs from the
+	// previous merged tree gets the current version.
+	seen := map[string]bool{}
+	var firstErr error
+	next.Walk(func(path string, obj aida.Object) {
+		if firstErr != nil {
+			return
+		}
+		seen[path] = true
+		prevObj := prev.Get(path)
+		if prevObj == nil || !objectsEqual(prevObj, obj) {
+			s.objVersion[path] = s.version
+			delete(s.gone, path)
+		}
+	})
+	prev.Walk(func(path string, obj aida.Object) {
+		if !seen[path] {
+			s.gone[path] = s.version
+			delete(s.objVersion, path)
+		}
+	})
+	s.merged = next
+	s.dirty = false
+	return firstErr
+}
+
+// objectsEqual compares two objects through their serialized wire states
+// (gob bytes — structural equality, not pointer identity).
+func objectsEqual(a, b aida.Object) bool {
+	sa, errA := aida.StateOf(a)
+	sb, errB := aida.StateOf(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	var ba, bb bytes.Buffer
+	if gob.NewEncoder(&ba).Encode(&sa) != nil || gob.NewEncoder(&bb).Encode(&sb) != nil {
+		return false
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes())
+}
+
+// Poll returns merged updates since the client's version
+// (RMI-compatible).
+func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.session(args.SessionID)
+	if err := s.remerge(); err != nil {
+		return err
+	}
+	reply.Version = s.version
+	for _, id := range sortedWorkerIDs(s.workers) {
+		w := s.workers[id]
+		reply.Progress = append(reply.Progress, WorkerProgress{
+			WorkerID: id, EventsDone: w.done, EventsTotal: w.total, Seq: w.seq,
+		})
+	}
+	for _, l := range s.logs {
+		if l.version > args.SinceVersion {
+			reply.Logs = append(reply.Logs, l.text)
+		}
+	}
+	include := func(path string) bool {
+		if args.Full || args.SinceVersion == 0 {
+			return true
+		}
+		return s.objVersion[path] > args.SinceVersion
+	}
+	var firstErr error
+	s.merged.Walk(func(path string, obj aida.Object) {
+		if firstErr != nil || !include(path) {
+			return
+		}
+		st, err := aida.StateOf(obj)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		reply.Entries = append(reply.Entries, aida.TreeEntry{Path: path, Object: st})
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	for path, ver := range s.gone {
+		if args.Full || ver > args.SinceVersion {
+			reply.Removed = append(reply.Removed, path)
+		}
+	}
+	sort.Strings(reply.Removed)
+	reply.Changed = len(reply.Entries) > 0 || len(reply.Removed) > 0
+	return nil
+}
+
+func sortedWorkerIDs(m map[string]*workerState) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResetArgs clears a session's results (rewind).
+type ResetArgs struct {
+	SessionID string
+}
+
+// ResetReply acknowledges a reset.
+type ResetReply struct {
+	Version int64
+}
+
+// Reset drops all worker snapshots for a session — issued on rewind so the
+// next run starts from empty histograms (RMI-compatible).
+func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.session(args.SessionID)
+	s.version++
+	for path := range s.objVersion {
+		s.gone[path] = s.version
+		delete(s.objVersion, path)
+	}
+	s.workers = make(map[string]*workerState)
+	s.merged = aida.NewTree()
+	s.logs = nil
+	s.dirty = false
+	reply.Version = s.version
+	return nil
+}
+
+// Drop removes a session entirely (teardown).
+func (m *Manager) Drop(sessionID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sessions, sessionID)
+}
+
+// MergedTree returns a deep copy of the current merged tree (manager-side
+// consumers like XML export).
+func (m *Manager) MergedTree(sessionID string) (*aida.Tree, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.session(sessionID)
+	if err := s.remerge(); err != nil {
+		return nil, 0, err
+	}
+	cp, err := s.merged.Clone()
+	return cp, s.version, err
+}
+
+// Publisher abstracts where an engine sends snapshots: the root manager
+// directly, a SubMerger, or an RMI client in a remote-worker deployment.
+type Publisher interface {
+	Publish(args PublishArgs, reply *PublishReply) error
+}
+
+// SubMerger aggregates the engines of one group and forwards one combined
+// pseudo-worker snapshot upstream (§2.5). It implements Publisher so
+// engines can't tell it from the root manager.
+type SubMerger struct {
+	name     string
+	session  string
+	upstream Publisher
+
+	mu      sync.Mutex
+	local   *Manager
+	upSeq   int64
+	flushed int64
+	// FlushEvery forwards upstream after this many local publishes
+	// (1 = every time; larger batches trade freshness for fan-in).
+	FlushEvery int
+	pending    int
+}
+
+// NewSubMerger creates a group merger forwarding to upstream.
+func NewSubMerger(name, sessionID string, upstream Publisher, flushEvery int) *SubMerger {
+	if flushEvery <= 0 {
+		flushEvery = 1
+	}
+	return &SubMerger{
+		name: name, session: sessionID, upstream: upstream,
+		local: NewManager(), FlushEvery: flushEvery,
+	}
+}
+
+// Publish implements Publisher: merge locally, forward the group total.
+func (s *SubMerger) Publish(args PublishArgs, reply *PublishReply) error {
+	if err := s.local.Publish(args, reply); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending++
+	if s.pending < s.FlushEvery {
+		return nil
+	}
+	s.pending = 0
+	return s.flushLocked()
+}
+
+// Flush forces the group snapshot upstream (end of run).
+func (s *SubMerger) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *SubMerger) flushLocked() error {
+	tree, _, err := s.local.MergedTree(s.session)
+	if err != nil {
+		return err
+	}
+	st, err := tree.State()
+	if err != nil {
+		return err
+	}
+	var done, total int64
+	var poll PollReply
+	if err := s.local.Poll(PollArgs{SessionID: s.session}, &poll); err != nil {
+		return err
+	}
+	for _, p := range poll.Progress {
+		done += p.EventsDone
+		total += p.EventsTotal
+	}
+	s.upSeq++
+	var upReply PublishReply
+	return s.upstream.Publish(PublishArgs{
+		SessionID: s.session, WorkerID: s.name, Seq: s.upSeq,
+		Tree: *st, EventsDone: done, EventsTotal: total,
+	}, &upReply)
+}
+
+var _ Publisher = (*Manager)(nil)
+var _ Publisher = (*SubMerger)(nil)

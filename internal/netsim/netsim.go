@@ -1,0 +1,366 @@
+// Package netsim is a flow-level network simulator built on the des kernel.
+//
+// It models the paper's three network domains — the client's home WAN, the
+// Grid site's WAN uplink, and the site LAN between the manager/storage
+// element and the worker nodes — as directed links with finite capacity.
+// Concurrent transfers (GridFTP moving split dataset parts to N workers in
+// parallel, §3.4) share capacity according to max-min fairness computed by
+// progressive filling, so adding the ninth transfer slows the other eight
+// exactly as a fair-queueing network would.
+//
+// Rates are in MB/s and sizes in MB to match the units of the paper's
+// tables; there is no packet-level detail because the evaluation only
+// depends on completion times of multi-megabyte flows.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ipa-grid/ipa/internal/des"
+)
+
+// Link is a directed transmission resource with a fixed capacity in MB/s.
+type Link struct {
+	name     string
+	capacity float64
+
+	// accounting
+	carriedMB float64 // total bytes carried (MB)
+	busyInt   float64 // ∫ utilization dt, for mean-utilization reports
+	lastRate  float64 // aggregate rate at lastT
+	lastT     des.Time
+}
+
+// Name returns the link's identifier.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the configured capacity in MB/s.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// CarriedMB returns the total volume carried over the link so far.
+func (l *Link) CarriedMB() float64 { return l.carriedMB }
+
+// MeanUtilization reports average utilization in [0,1] since simulation start.
+func (l *Link) MeanUtilization(now des.Time) float64 {
+	l.settle(now)
+	if now <= 0 {
+		return 0
+	}
+	return l.busyInt / (float64(now) * l.capacity)
+}
+
+func (l *Link) settle(now des.Time) {
+	dt := float64(now - l.lastT)
+	if dt > 0 {
+		l.busyInt += l.lastRate * dt
+		l.carriedMB += l.lastRate * dt
+		l.lastT = now
+	}
+}
+
+// Flow is an in-progress transfer across a path of links.
+type Flow struct {
+	label      string
+	net        *Network
+	path       []*Link
+	remaining  float64 // MB left to move
+	size       float64
+	cap        float64 // per-flow rate cap (e.g. one TCP stream), 0 = none
+	rate       float64
+	lastT      des.Time
+	started    des.Time
+	finished   des.Time
+	done       bool
+	onDone     func(*Flow)
+	completion *des.Event
+	frozen     bool // scratch for the allocator
+}
+
+// Label returns the diagnostic label supplied at start.
+func (f *Flow) Label() string { return f.label }
+
+// Rate returns the currently allocated rate in MB/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// SizeMB returns the flow's total size.
+func (f *Flow) SizeMB() float64 { return f.size }
+
+// Done reports whether the flow has completed (or been cancelled).
+func (f *Flow) Done() bool { return f.done }
+
+// Started returns the virtual time the flow entered the network
+// (after any start latency).
+func (f *Flow) Started() des.Time { return f.started }
+
+// Finished returns the completion time; zero until done.
+func (f *Flow) Finished() des.Time { return f.finished }
+
+// Elapsed returns the transfer duration for a completed flow.
+func (f *Flow) Elapsed() des.Time { return f.finished - f.started }
+
+// FlowOpts tunes an individual transfer.
+type FlowOpts struct {
+	// Label identifies the flow in diagnostics.
+	Label string
+	// RateCap bounds the flow's rate in MB/s regardless of spare link
+	// capacity — the model for a single TCP stream's window-limited
+	// throughput. Zero means unbounded (limited only by the path).
+	RateCap float64
+	// Latency delays the flow's entry into the network — connection
+	// establishment, authentication handshakes, control-channel chatter.
+	Latency des.Time
+}
+
+// Network owns links and the active flow set.
+type Network struct {
+	k     *des.Kernel
+	links map[string]*Link
+	flows map[*Flow]struct{}
+}
+
+// New returns an empty network bound to kernel k.
+func New(k *des.Kernel) *Network {
+	return &Network{k: k, links: make(map[string]*Link), flows: make(map[*Flow]struct{})}
+}
+
+// Kernel returns the underlying DES kernel.
+func (n *Network) Kernel() *des.Kernel { return n.k }
+
+// AddLink creates a directed link with the given capacity in MB/s.
+// Adding a duplicate name or non-positive capacity panics: topologies are
+// static configuration, and a bad one is a programming error.
+func (n *Network) AddLink(name string, capacityMBps float64) *Link {
+	if capacityMBps <= 0 || math.IsNaN(capacityMBps) {
+		panic(fmt.Sprintf("netsim: link %q capacity %v must be positive", name, capacityMBps))
+	}
+	if _, dup := n.links[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %q", name))
+	}
+	l := &Link{name: name, capacity: capacityMBps}
+	n.links[name] = l
+	return l
+}
+
+// Link returns a previously added link, or nil.
+func (n *Network) Link(name string) *Link { return n.links[name] }
+
+// ActiveFlows returns the number of flows currently holding bandwidth.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// StartFlow begins a transfer of sizeMB across path. onDone (optional) fires
+// when the last byte arrives. A zero-size flow completes after its latency.
+func (n *Network) StartFlow(sizeMB float64, path []*Link, opts FlowOpts, onDone func(*Flow)) *Flow {
+	if sizeMB < 0 || math.IsNaN(sizeMB) {
+		panic(fmt.Sprintf("netsim: flow size %v must be non-negative", sizeMB))
+	}
+	if len(path) == 0 && opts.RateCap <= 0 {
+		panic("netsim: flow needs a non-empty path or a rate cap")
+	}
+	f := &Flow{
+		label:     opts.Label,
+		net:       n,
+		path:      path,
+		remaining: sizeMB,
+		size:      sizeMB,
+		cap:       opts.RateCap,
+		onDone:    onDone,
+	}
+	enter := func() {
+		f.started = n.k.Now()
+		f.lastT = n.k.Now()
+		if f.remaining == 0 {
+			f.complete()
+			return
+		}
+		n.flows[f] = struct{}{}
+		n.reallocate()
+	}
+	if opts.Latency > 0 {
+		n.k.After(opts.Latency, enter)
+	} else {
+		enter()
+	}
+	return f
+}
+
+// Cancel withdraws a flow from the network without firing its callback.
+func (n *Network) Cancel(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	if f.completion != nil {
+		f.completion.Cancel()
+	}
+	if _, ok := n.flows[f]; ok {
+		delete(n.flows, f)
+		n.reallocate()
+	}
+}
+
+func (f *Flow) complete() {
+	f.done = true
+	f.finished = f.net.k.Now()
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+}
+
+// reallocate recomputes max-min fair rates for all active flows and
+// reschedules completion events. Called on every flow arrival/departure.
+func (n *Network) reallocate() {
+	now := n.k.Now()
+
+	// 1. Charge elapsed progress at old rates, settle link accounting.
+	for f := range n.flows {
+		dt := float64(now - f.lastT)
+		if dt > 0 {
+			f.remaining -= f.rate * dt
+			if f.remaining < 1e-12 {
+				f.remaining = 0
+			}
+			f.lastT = now
+		}
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+	}
+	for _, l := range n.links {
+		l.settle(now)
+	}
+
+	// 2. Progressive filling. All unfrozen flows rise at the same water
+	// level until a link saturates (its flows freeze at the level) or a
+	// flow hits its cap (it freezes at the cap).
+	type linkState struct {
+		free  float64
+		count int
+	}
+	state := make(map[*Link]*linkState, len(n.links))
+	active := make([]*Flow, 0, len(n.flows))
+	for f := range n.flows {
+		f.frozen = false
+		f.rate = 0
+		active = append(active, f)
+		for _, l := range f.path {
+			ls := state[l]
+			if ls == nil {
+				ls = &linkState{free: l.capacity}
+				state[l] = ls
+			}
+			ls.count++
+		}
+	}
+	// Deterministic iteration order keeps simulations replayable.
+	sort.Slice(active, func(i, j int) bool {
+		return active[i].started < active[j].started || (active[i].started == active[j].started && active[i].label < active[j].label)
+	})
+
+	level := 0.0
+	unfrozen := len(active)
+	for unfrozen > 0 {
+		// Find the next freezing point above the current level.
+		next := math.Inf(1)
+		for _, ls := range state {
+			if ls.count > 0 {
+				cand := level + ls.free/float64(ls.count)
+				if cand < next {
+					next = cand
+				}
+			}
+		}
+		for _, f := range active {
+			if !f.frozen && f.cap > 0 && f.cap < next {
+				next = f.cap
+			}
+		}
+		if math.IsInf(next, 1) {
+			// No constraining link (cap-only flows already frozen?) —
+			// remaining flows are unconstrained; give them a huge rate.
+			for _, f := range active {
+				if !f.frozen {
+					f.rate = math.MaxFloat64 / 4
+					f.frozen = true
+					unfrozen--
+				}
+			}
+			break
+		}
+		rise := next - level
+		// Raise all unfrozen flows to the new level.
+		for _, f := range active {
+			if f.frozen {
+				continue
+			}
+			f.rate = next
+			for _, l := range f.path {
+				state[l].free -= rise
+			}
+		}
+		level = next
+		// Freeze flows at their cap.
+		for _, f := range active {
+			if !f.frozen && f.cap > 0 && f.rate >= f.cap-1e-12 {
+				f.rate = f.cap
+				f.frozen = true
+				unfrozen--
+				for _, l := range f.path {
+					state[l].count--
+				}
+			}
+		}
+		// Freeze flows on saturated links.
+		for l, ls := range state {
+			if ls.count > 0 && ls.free <= 1e-12 {
+				for _, f := range active {
+					if f.frozen {
+						continue
+					}
+					for _, fl := range f.path {
+						if fl == l {
+							f.frozen = true
+							unfrozen--
+							for _, l2 := range f.path {
+								state[l2].count--
+							}
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// 3. Update link aggregate rates and schedule completions.
+	rates := make(map[*Link]float64, len(state))
+	for _, f := range active {
+		for _, l := range f.path {
+			rates[l] += f.rate
+		}
+	}
+	for l, r := range rates {
+		l.lastRate = r
+	}
+	for l := range n.links {
+		if _, ok := rates[n.links[l]]; !ok {
+			n.links[l].lastRate = 0
+		}
+	}
+	for _, f := range active {
+		if f.rate <= 0 {
+			continue // stalled: no capacity at all
+		}
+		eta := des.Time(f.remaining / f.rate)
+		ff := f
+		f.completion = n.k.After(eta, func() {
+			delete(n.flows, ff)
+			ff.remaining = 0
+			ff.completion = nil
+			ff.complete()
+			n.reallocate()
+		})
+	}
+}

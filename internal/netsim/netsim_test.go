@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ipa-grid/ipa/internal/des"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlowTime(t *testing.T) {
+	k := des.New()
+	n := New(k)
+	wan := n.AddLink("wan", 10) // 10 MB/s
+	var done des.Time
+	n.StartFlow(100, []*Link{wan}, FlowOpts{Label: "x"}, func(f *Flow) { done = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(done), 10, 1e-9) {
+		t.Fatalf("100MB over 10MB/s finished at %v, want 10s", done)
+	}
+}
+
+func TestFlowLatency(t *testing.T) {
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	var done des.Time
+	n.StartFlow(100, []*Link{l}, FlowOpts{Latency: 5}, func(f *Flow) { done = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(done), 15, 1e-9) {
+		t.Fatalf("flow with 5s latency finished at %v, want 15s", done)
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	// Two equal flows on one link: each should see half the capacity and
+	// finish together at 2× the solo time.
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	var t1, t2 des.Time
+	n.StartFlow(50, []*Link{l}, FlowOpts{Label: "a"}, func(f *Flow) { t1 = k.Now() })
+	n.StartFlow(50, []*Link{l}, FlowOpts{Label: "b"}, func(f *Flow) { t2 = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(t1), 10, 1e-9) || !almost(float64(t2), 10, 1e-9) {
+		t.Fatalf("fair-shared flows finished at %v, %v; want both at 10s", t1, t2)
+	}
+}
+
+func TestShortFlowReleasesBandwidth(t *testing.T) {
+	// 10 MB/s link. Flow A = 100 MB, flow B = 10 MB. B finishes at t=2
+	// (5 MB/s each); A then gets the full link: 90 MB left at t=2 minus
+	// the 10 MB it already moved → A done at 2 + 90/10 = 11.
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	var ta, tb des.Time
+	n.StartFlow(100, []*Link{l}, FlowOpts{Label: "a"}, func(f *Flow) { ta = k.Now() })
+	n.StartFlow(10, []*Link{l}, FlowOpts{Label: "b"}, func(f *Flow) { tb = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(tb), 2, 1e-9) {
+		t.Fatalf("short flow finished at %v, want 2s", tb)
+	}
+	if !almost(float64(ta), 11, 1e-9) {
+		t.Fatalf("long flow finished at %v, want 11s", ta)
+	}
+}
+
+func TestRateCap(t *testing.T) {
+	// Single-stream cap of 2 MB/s on a 10 MB/s link.
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	var done des.Time
+	n.StartFlow(20, []*Link{l}, FlowOpts{RateCap: 2}, func(f *Flow) { done = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(done), 10, 1e-9) {
+		t.Fatalf("capped flow finished at %v, want 10s", done)
+	}
+}
+
+func TestCapFreesCapacityForOthers(t *testing.T) {
+	// Capped flow takes 2 MB/s; uncapped flow should get the other 8.
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	var tCap, tBig des.Time
+	n.StartFlow(20, []*Link{l}, FlowOpts{Label: "capped", RateCap: 2}, func(f *Flow) { tCap = k.Now() })
+	n.StartFlow(80, []*Link{l}, FlowOpts{Label: "big"}, func(f *Flow) { tBig = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(tCap), 10, 1e-9) {
+		t.Fatalf("capped flow finished at %v, want 10s", tCap)
+	}
+	if !almost(float64(tBig), 10, 1e-9) {
+		t.Fatalf("big flow finished at %v, want 10s (8 MB/s share)", tBig)
+	}
+}
+
+func TestMultiLinkPathBottleneck(t *testing.T) {
+	k := des.New()
+	n := New(k)
+	fast := n.AddLink("fast", 100)
+	slow := n.AddLink("slow", 5)
+	var done des.Time
+	n.StartFlow(50, []*Link{fast, slow}, FlowOpts{}, func(f *Flow) { done = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(done), 10, 1e-9) {
+		t.Fatalf("path bottleneck: finished at %v, want 10s", done)
+	}
+}
+
+func TestSourceUplinkShared(t *testing.T) {
+	// The paper's move-parts topology: one source uplink (capacity 10)
+	// feeding N=4 worker links (capacity 8 each). Each flow gets
+	// min(8, 10/4)=2.5 MB/s; 25 MB parts finish at 10s.
+	k := des.New()
+	n := New(k)
+	up := n.AddLink("uplink", 10)
+	var finish []des.Time
+	for i := 0; i < 4; i++ {
+		worker := n.AddLink("worker"+string(rune('0'+i)), 8)
+		n.StartFlow(25, []*Link{up, worker}, FlowOpts{}, func(f *Flow) { finish = append(finish, k.Now()) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(finish) != 4 {
+		t.Fatalf("%d flows finished, want 4", len(finish))
+	}
+	for _, ft := range finish {
+		if !almost(float64(ft), 10, 1e-9) {
+			t.Fatalf("flow finished at %v, want 10s (uplink-shared)", ft)
+		}
+	}
+}
+
+func TestZeroSizeFlow(t *testing.T) {
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	var done bool
+	n.StartFlow(0, []*Link{l}, FlowOpts{Latency: 3}, func(f *Flow) { done = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("zero-size flow never completed")
+	}
+	if k.Now() != 3 {
+		t.Fatalf("zero-size flow completed at %v, want 3 (latency only)", k.Now())
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	var aDone, bDone des.Time
+	fa := n.StartFlow(100, []*Link{l}, FlowOpts{Label: "a"}, func(f *Flow) { aDone = k.Now() })
+	n.StartFlow(50, []*Link{l}, FlowOpts{Label: "b"}, func(f *Flow) { bDone = k.Now() })
+	k.After(2, func() { n.Cancel(fa) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aDone != 0 {
+		t.Fatal("cancelled flow fired its callback")
+	}
+	// b: 2s at 5 MB/s = 10 MB, then 40 MB at 10 MB/s = 4s → t=6.
+	if !almost(float64(bDone), 6, 1e-9) {
+		t.Fatalf("survivor finished at %v, want 6s", bDone)
+	}
+}
+
+func TestLinkAccounting(t *testing.T) {
+	k := des.New()
+	n := New(k)
+	l := n.AddLink("l", 10)
+	n.StartFlow(50, []*Link{l}, FlowOpts{}, nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.CarriedMB(), 50, 1e-6) {
+		t.Fatalf("link carried %.2f MB, want 50", l.CarriedMB())
+	}
+	if u := l.MeanUtilization(k.Now()); !almost(u, 1.0, 1e-6) {
+		t.Fatalf("utilization %.3f, want 1.0 (link busy the whole run)", u)
+	}
+}
+
+// TestMaxMinInvariants drives a pseudo-random workload and checks the two
+// defining properties of the allocation after every event: no link is
+// oversubscribed, and every flow is bottlenecked somewhere (work-conserving).
+func TestMaxMinInvariants(t *testing.T) {
+	k := des.New()
+	n := New(k)
+	links := []*Link{n.AddLink("a", 7), n.AddLink("b", 13), n.AddLink("c", 5)}
+	paths := [][]*Link{
+		{links[0]},
+		{links[1]},
+		{links[0], links[1]},
+		{links[1], links[2]},
+		{links[0], links[1], links[2]},
+	}
+	// Seeded LCG so the test is deterministic without math/rand.
+	seed := uint64(42)
+	rnd := func() uint64 { seed = seed*6364136223846793005 + 1442695040888963407; return seed >> 33 }
+	for i := 0; i < 40; i++ {
+		p := paths[rnd()%uint64(len(paths))]
+		size := float64(1 + rnd()%200)
+		at := des.Time(rnd() % 50)
+		k.At(at, func() { n.StartFlow(size, p, FlowOpts{}, nil) })
+	}
+	check := func() {
+		use := map[*Link]float64{}
+		for f := range n.flows {
+			for _, l := range f.path {
+				use[l] += f.rate
+			}
+		}
+		for l, u := range use {
+			if u > l.capacity+1e-6 {
+				t.Fatalf("t=%v: link %s oversubscribed: %.4f > %.4f", k.Now(), l.name, u, l.capacity)
+			}
+		}
+		for f := range n.flows {
+			if f.rate <= 0 {
+				t.Fatalf("t=%v: active flow has zero rate", k.Now())
+			}
+			bottlenecked := f.cap > 0 && almost(f.rate, f.cap, 1e-6)
+			for _, l := range f.path {
+				if almost(use[l], l.capacity, 1e-6) {
+					bottlenecked = true
+				}
+			}
+			if !bottlenecked {
+				t.Fatalf("t=%v: flow %q at rate %.4f is not bottlenecked anywhere (not max-min)", k.Now(), f.label, f.rate)
+			}
+		}
+	}
+	for k.Step() {
+		check()
+	}
+}

@@ -1,0 +1,161 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/fit"
+)
+
+// Figure5Result holds the local and Grid time surfaces over dataset size
+// × node count, both from the paper's analytic model and from the DES.
+type Figure5Result struct {
+	Sizes []float64 // MB
+	Nodes []int
+	// [i][j] = seconds for Sizes[i], Nodes[j].
+	AnalyticLocal [][]float64
+	AnalyticGrid  [][]float64
+	SimLocal      [][]float64
+	SimGrid       [][]float64
+}
+
+// DefaultFigure5Sizes spans the paper's plotted range.
+func DefaultFigure5Sizes() []float64 {
+	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 471, 700, 1000}
+}
+
+// DefaultFigure5Nodes spans 1..64 like the paper's node axis (extended).
+func DefaultFigure5Nodes() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+// Figure5 computes the surfaces.
+func Figure5(p Params, sizes []float64, nodes []int) Figure5Result {
+	if len(sizes) == 0 {
+		sizes = DefaultFigure5Sizes()
+	}
+	if len(nodes) == 0 {
+		nodes = DefaultFigure5Nodes()
+	}
+	r := Figure5Result{Sizes: sizes, Nodes: nodes}
+	alloc := func() [][]float64 {
+		m := make([][]float64, len(sizes))
+		for i := range m {
+			m[i] = make([]float64, len(nodes))
+		}
+		return m
+	}
+	r.AnalyticLocal, r.AnalyticGrid = alloc(), alloc()
+	r.SimLocal, r.SimGrid = alloc(), alloc()
+	for i, x := range sizes {
+		local := SimulateLocal(p, x)
+		for j, n := range nodes {
+			r.AnalyticLocal[i][j] = PaperLocalT(x)
+			r.AnalyticGrid[i][j] = PaperGridT(x, n)
+			r.SimLocal[i][j] = float64(local.Total())
+			r.SimGrid[i][j] = float64(SimulateGrid(p, x, n).Total())
+		}
+	}
+	return r
+}
+
+// WriteCSV emits the surfaces as long-form CSV
+// (size,nodes,analytic_local,analytic_grid,sim_local,sim_grid).
+func (r Figure5Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "size_mb,nodes,analytic_local_s,analytic_grid_s,sim_local_s,sim_grid_s"); err != nil {
+		return err
+	}
+	for i, x := range r.Sizes {
+		for j, n := range r.Nodes {
+			if _, err := fmt.Fprintf(w, "%g,%d,%.2f,%.2f,%.2f,%.2f\n",
+				x, n, r.AnalyticLocal[i][j], r.AnalyticGrid[i][j], r.SimLocal[i][j], r.SimGrid[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GridSurface packages the simulated grid surface for SVG heatmaps.
+func (r Figure5Result) GridSurface() aida.Surface {
+	ys := make([]float64, len(r.Nodes))
+	for j, n := range r.Nodes {
+		ys[j] = float64(n)
+	}
+	return aida.Surface{Name: "grid", Xs: r.Sizes, Ys: ys, Z: r.SimGrid}
+}
+
+// AdvantageSurface is sim_local − sim_grid (positive = Grid wins), the
+// quantity Figure 5's two-surface plot lets the reader eyeball.
+func (r Figure5Result) AdvantageSurface() aida.Surface {
+	ys := make([]float64, len(r.Nodes))
+	for j, n := range r.Nodes {
+		ys[j] = float64(n)
+	}
+	z := make([][]float64, len(r.Sizes))
+	for i := range r.Sizes {
+		z[i] = make([]float64, len(r.Nodes))
+		for j := range r.Nodes {
+			z[i][j] = r.SimLocal[i][j] - r.SimGrid[i][j]
+		}
+	}
+	return aida.Surface{Name: "advantage", Xs: r.Sizes, Ys: ys, Z: z}
+}
+
+// EquationFit reproduces the paper's §4 fitting exercise: simulate the
+// sweep, then least-squares fit the paper's functional forms and compare
+// coefficients.
+type EquationFit struct {
+	// LocalSlope vs the paper's 11.5 (s/MB).
+	LocalSlope float64
+	LocalR2    float64
+	// Grid coefficients [a b c d] for T = a·X + b + c/N + d·X/N,
+	// vs the paper's [0.38 53 62 5.3].
+	GridCoef []float64
+	GridR2   float64
+}
+
+// PaperGridCoef returns the published grid-model coefficients.
+func PaperGridCoef() []float64 { return []float64{0.38, 53, 62, 5.3} }
+
+// PaperLocalSlope returns the published local-model slope.
+func PaperLocalSlope() float64 { return 11.5 }
+
+// FitEquations runs the sweep and the fits.
+func FitEquations(p Params) (EquationFit, error) {
+	sizes := []float64{10, 50, 100, 200, 471, 800}
+	nodes := []int{1, 2, 4, 8, 16}
+	var out EquationFit
+
+	// Local: one-parameter fit through the origin.
+	var ldesign [][]float64
+	var ly []float64
+	for _, x := range sizes {
+		ldesign = append(ldesign, []float64{x})
+		ly = append(ly, float64(SimulateLocal(p, x).Total()))
+	}
+	lcoef, err := fit.Linear(ldesign, ly)
+	if err != nil {
+		return out, err
+	}
+	out.LocalSlope = lcoef[0]
+	lres := fit.Residuals(ldesign, ly, lcoef)
+	out.LocalR2 = fit.R2(ly, lres)
+
+	// Grid: T = a·X + b + c/N + d·X/N.
+	var gdesign [][]float64
+	var gy []float64
+	for _, x := range sizes {
+		for _, n := range nodes {
+			gdesign = append(gdesign, []float64{x, 1, 1 / float64(n), x / float64(n)})
+			gy = append(gy, float64(SimulateGrid(p, x, n).Total()))
+		}
+	}
+	gcoef, err := fit.Linear(gdesign, gy)
+	if err != nil {
+		return out, err
+	}
+	out.GridCoef = gcoef
+	gres := fit.Residuals(gdesign, gy, gcoef)
+	out.GridR2 = fit.R2(gy, gres)
+	return out, nil
+}

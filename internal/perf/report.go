@@ -1,0 +1,119 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+)
+
+// Report rendering: the exact rows/series the paper reports, with the
+// published values side by side.
+
+func secs(v float64) string { return fmt.Sprintf("%.0f s", v) }
+
+func dev(sim, paper float64) string {
+	if paper == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.0f%%", (sim-paper)/paper*100)
+}
+
+// RenderTable1 prints the Table 1 comparison.
+func RenderTable1(w io.Writer, r Table1Result) error {
+	t := &aida.Table{
+		Title:   "Table 1 — local vs Grid (471 MB dataset, 16 nodes)",
+		Columns: []string{"Step", "Paper", "Simulated", "Deviation"},
+	}
+	t.AddRow("Local: get dataset (WAN)", secs(r.Paper.LocalGet), secs(float64(r.Local.GetDataset)), dev(float64(r.Local.GetDataset), r.Paper.LocalGet))
+	t.AddRow("Local: analysis (1 CPU)", secs(r.Paper.LocalAnalysis), secs(float64(r.Local.Analysis)), dev(float64(r.Local.Analysis), r.Paper.LocalAnalysis))
+	t.AddRow("Local: total", secs(r.Paper.LocalTotal), secs(float64(r.Local.Total())), dev(float64(r.Local.Total()), r.Paper.LocalTotal))
+	t.AddRow("Grid: stage dataset", secs(r.Paper.GridStage), secs(float64(r.Grid.StageTotal())), dev(float64(r.Grid.StageTotal()), r.Paper.GridStage))
+	t.AddRow("Grid: stage code", secs(r.Paper.GridCode), secs(float64(r.Grid.StageCode)), dev(float64(r.Grid.StageCode), r.Paper.GridCode))
+	t.AddRow("Grid: analysis", secs(r.Paper.GridAnalysis), secs(float64(r.Grid.Analysis)), dev(float64(r.Grid.Analysis), r.Paper.GridAnalysis))
+	t.AddRow("Grid: total", secs(r.Paper.GridTotal), secs(float64(r.Grid.Total())), dev(float64(r.Grid.Total()), r.Paper.GridTotal))
+	speedupPaper := r.Paper.LocalTotal / r.Paper.GridTotal
+	speedupSim := float64(r.Local.Total()) / float64(r.Grid.Total())
+	t.AddRow("Speedup (local/grid)", fmt.Sprintf("%.1fx", speedupPaper), fmt.Sprintf("%.1fx", speedupSim), "")
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// RenderTable2 prints the Table 2 sweep against the paper's rows.
+func RenderTable2(w io.Writer, sim []Table2Row) error {
+	paper := PaperTable2()
+	t := &aida.Table{
+		Title: "Table 2 — staging and analysis vs nodes (471 MB)",
+		Columns: []string{"Nodes",
+			"MoveWhole(p)", "MoveWhole(s)",
+			"Split(p)", "Split(s)",
+			"MoveParts(p)", "MoveParts(s)",
+			"Analysis(p)", "Analysis(s)"},
+	}
+	for i, row := range sim {
+		p := paper[i]
+		t.AddRow(fmt.Sprintf("%d", row.Nodes),
+			secs(p.MoveWhole), secs(row.MoveWhole),
+			secs(p.Split), secs(row.Split),
+			secs(p.MoveParts), secs(row.MoveParts),
+			secs(p.Analysis), secs(row.Analysis))
+	}
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// RenderEquations prints the fitted-coefficient comparison.
+func RenderEquations(w io.Writer, f EquationFit) error {
+	t := &aida.Table{
+		Title:   "§4 fitted equations — paper vs refit on simulated data",
+		Columns: []string{"Coefficient", "Paper", "Refit"},
+	}
+	t.AddRow("local slope (s/MB)", fmt.Sprintf("%.1f", PaperLocalSlope()), fmt.Sprintf("%.2f", f.LocalSlope))
+	names := []string{"grid a (X)", "grid b (const)", "grid c (1/N)", "grid d (X/N)"}
+	for i, p := range PaperGridCoef() {
+		t.AddRow(names[i], fmt.Sprintf("%.2f", p), fmt.Sprintf("%.2f", f.GridCoef[i]))
+	}
+	t.AddRow("local R²", "-", fmt.Sprintf("%.4f", f.LocalR2))
+	t.AddRow("grid R²", "-", fmt.Sprintf("%.4f", f.GridR2))
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// RenderFigure5 prints crossover sizes and a coarse text view of the
+// surfaces' winner map.
+func RenderFigure5(w io.Writer, r Figure5Result) error {
+	t := &aida.Table{
+		Title:   "Figure 5 — Grid-vs-local crossover dataset size (MB)",
+		Columns: []string{"Nodes", "Paper model", "Simulated"},
+	}
+	simLocal := func(x float64) float64 { return float64(SimulateLocal(PaperParams(), x).Total()) }
+	simGrid := func(x float64, n int) float64 { return float64(SimulateGrid(PaperParams(), x, n).Total()) }
+	for _, n := range r.Nodes {
+		pc := Crossover(n, PaperLocalT, PaperGridT)
+		sc := Crossover(n, simLocal, simGrid)
+		fmtX := func(v float64) string {
+			if v < 0 {
+				return "never"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmtX(pc), fmtX(sc))
+	}
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+	// Winner map: G where grid faster, L where local faster.
+	fmt.Fprintf(w, "\nWinner map (rows = size MB, cols = nodes %v; G = Grid wins):\n", r.Nodes)
+	for i, x := range r.Sizes {
+		fmt.Fprintf(w, "%8.0f  ", x)
+		for j := range r.Nodes {
+			if r.SimGrid[i][j] < r.SimLocal[i][j] {
+				fmt.Fprint(w, "G")
+			} else {
+				fmt.Fprint(w, "L")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package registry is the worker registry of Figure 2: analysis engines
+// send a "Ready Signal with Reference" as they start on the Grid, and the
+// session service looks the references up to control them. It also tracks
+// liveness via heartbeats so sessions can detect lost workers.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Worker is one registered analysis engine.
+type Worker struct {
+	SessionID string
+	WorkerID  string
+	Node      string
+	// Endpoint addresses the engine's control server ("" when the
+	// engine is reachable in-process through Handle).
+	Endpoint string
+	// Handle is an in-process reference to the engine (the fast path a
+	// 2006 jobmanager-fork deployment effectively had).
+	Handle any
+
+	Registered time.Time
+	LastSeen   time.Time
+}
+
+// Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]map[string]*Worker // session → worker ID → worker
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	r := &Registry{workers: make(map[string]map[string]*Worker)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Register records a ready signal. Re-registering a worker ID replaces the
+// previous entry (an engine restarted by the scheduler).
+func (r *Registry) Register(w Worker) error {
+	if w.SessionID == "" || w.WorkerID == "" {
+		return fmt.Errorf("registry: session and worker IDs required")
+	}
+	now := time.Now()
+	w.Registered = now
+	w.LastSeen = now
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.workers[w.SessionID] == nil {
+		r.workers[w.SessionID] = make(map[string]*Worker)
+	}
+	cp := w
+	r.workers[w.SessionID][w.WorkerID] = &cp
+	r.cond.Broadcast()
+	return nil
+}
+
+// Heartbeat refreshes a worker's liveness.
+func (r *Registry) Heartbeat(sessionID, workerID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.get(sessionID, workerID)
+	if w == nil {
+		return fmt.Errorf("registry: no worker %s/%s", sessionID, workerID)
+	}
+	w.LastSeen = time.Now()
+	return nil
+}
+
+func (r *Registry) get(sessionID, workerID string) *Worker {
+	if m := r.workers[sessionID]; m != nil {
+		return m[workerID]
+	}
+	return nil
+}
+
+// Lookup fetches one worker.
+func (r *Registry) Lookup(sessionID, workerID string) (Worker, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.get(sessionID, workerID)
+	if w == nil {
+		return Worker{}, false
+	}
+	return *w, true
+}
+
+// Workers lists a session's workers sorted by worker ID.
+func (r *Registry) Workers(sessionID string) []Worker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.workers[sessionID]
+	out := make([]Worker, 0, len(m))
+	for _, w := range m {
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WorkerID < out[j].WorkerID })
+	return out
+}
+
+// WaitReady blocks until n workers are registered for the session or the
+// timeout passes; it returns the workers present either way plus an error
+// on timeout. This is the "Ready Signal" barrier of session activation.
+func (r *Registry) WaitReady(sessionID string, n int, timeout time.Duration) ([]Worker, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer timer.Stop()
+	r.mu.Lock()
+	for len(r.workers[sessionID]) < n && time.Now().Before(deadline) {
+		r.cond.Wait()
+	}
+	count := len(r.workers[sessionID])
+	r.mu.Unlock()
+	workers := r.Workers(sessionID)
+	if count < n {
+		return workers, fmt.Errorf("registry: only %d/%d engines ready after %v", count, n, timeout)
+	}
+	return workers, nil
+}
+
+// Remove drops one worker; it reports whether it existed.
+func (r *Registry) Remove(sessionID, workerID string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.workers[sessionID]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[workerID]; !ok {
+		return false
+	}
+	delete(m, workerID)
+	return true
+}
+
+// RemoveSession drops every worker of a session (teardown).
+func (r *Registry) RemoveSession(sessionID string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.workers[sessionID])
+	delete(r.workers, sessionID)
+	return n
+}
+
+// Stale returns workers whose last heartbeat is older than maxAge.
+func (r *Registry) Stale(sessionID string, maxAge time.Duration) []Worker {
+	cutoff := time.Now().Add(-maxAge)
+	var out []Worker
+	for _, w := range r.Workers(sessionID) {
+		if w.LastSeen.Before(cutoff) {
+			out = append(out, w)
+		}
+	}
+	return out
+}

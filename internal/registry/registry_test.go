@@ -1,0 +1,126 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegisterLookupRemove(t *testing.T) {
+	r := New()
+	if err := r.Register(Worker{SessionID: "s", WorkerID: "w0", Node: "n0", Handle: 42}); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := r.Lookup("s", "w0")
+	if !ok || w.Node != "n0" || w.Handle.(int) != 42 {
+		t.Fatalf("lookup = %+v, %v", w, ok)
+	}
+	if _, ok := r.Lookup("s", "nope"); ok {
+		t.Fatal("phantom worker")
+	}
+	if !r.Remove("s", "w0") {
+		t.Fatal("remove missed")
+	}
+	if r.Remove("s", "w0") {
+		t.Fatal("double remove")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	if err := r.Register(Worker{}); err == nil {
+		t.Fatal("empty registration accepted")
+	}
+}
+
+func TestWorkersSorted(t *testing.T) {
+	r := New()
+	for _, id := range []string{"w2", "w0", "w1"} {
+		r.Register(Worker{SessionID: "s", WorkerID: id, Node: "n"})
+	}
+	ws := r.Workers("s")
+	if len(ws) != 3 || ws[0].WorkerID != "w0" || ws[2].WorkerID != "w2" {
+		t.Fatalf("workers = %+v", ws)
+	}
+}
+
+func TestWaitReadyBlocksUntilReady(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			r.Register(Worker{SessionID: "s", WorkerID: string(rune('a' + i)), Node: "n"})
+		}
+	}()
+	ws, err := r.WaitReady("s", 3, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("%d workers", len(ws))
+	}
+	wg.Wait()
+}
+
+func TestWaitReadyTimesOut(t *testing.T) {
+	r := New()
+	r.Register(Worker{SessionID: "s", WorkerID: "only", Node: "n"})
+	start := time.Now()
+	ws, err := r.WaitReady("s", 5, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("timeout not reported")
+	}
+	if len(ws) != 1 {
+		t.Fatalf("partial workers = %d", len(ws))
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("wait far exceeded timeout")
+	}
+}
+
+func TestHeartbeatAndStale(t *testing.T) {
+	r := New()
+	r.Register(Worker{SessionID: "s", WorkerID: "w", Node: "n"})
+	if err := r.Heartbeat("s", "w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Heartbeat("s", "ghost"); err == nil {
+		t.Fatal("heartbeat for ghost accepted")
+	}
+	if len(r.Stale("s", time.Hour)) != 0 {
+		t.Fatal("fresh worker reported stale")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if len(r.Stale("s", time.Nanosecond)) != 1 {
+		t.Fatal("stale worker not reported")
+	}
+}
+
+func TestRemoveSession(t *testing.T) {
+	r := New()
+	r.Register(Worker{SessionID: "s1", WorkerID: "a", Node: "n"})
+	r.Register(Worker{SessionID: "s1", WorkerID: "b", Node: "n"})
+	r.Register(Worker{SessionID: "s2", WorkerID: "c", Node: "n"})
+	if n := r.RemoveSession("s1"); n != 2 {
+		t.Fatalf("removed %d", n)
+	}
+	if len(r.Workers("s1")) != 0 || len(r.Workers("s2")) != 1 {
+		t.Fatal("session removal wrong")
+	}
+}
+
+func TestReRegisterReplaces(t *testing.T) {
+	r := New()
+	r.Register(Worker{SessionID: "s", WorkerID: "w", Node: "n0"})
+	r.Register(Worker{SessionID: "s", WorkerID: "w", Node: "n1"})
+	w, _ := r.Lookup("s", "w")
+	if w.Node != "n1" {
+		t.Fatalf("node = %s", w.Node)
+	}
+	if len(r.Workers("s")) != 1 {
+		t.Fatal("duplicate entries")
+	}
+}

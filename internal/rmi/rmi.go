@@ -1,0 +1,342 @@
+// Package rmi is the Remote Method Invocation layer of the reference
+// implementation (the "thin black arrows" of the paper's Figure 2).
+//
+// The JAS client polls the AIDA manager over RMI, and engines push result
+// snapshots the same way. The wire protocol is gob-encoded request/response
+// frames over TCP. Like the original — "all of the RMI connections are
+// insecure, but ... none of the RMI objects could be instantiated without
+// first creating a secure session with the Web Service" (§3.7) — every call
+// carries a session token that the server validates before dispatch.
+//
+// Objects are plain Go values; any exported method with the signature
+//
+//	func (o *T) Method(args A, reply *B) error
+//
+// is callable as "ObjectName.Method".
+package rmi
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+)
+
+// TokenValidator authorizes a session token for an object/method pair.
+// A nil validator on the server accepts everything (for tests only).
+type TokenValidator func(token, object, method string) error
+
+// ErrBadToken is the canonical rejection returned by validators.
+var ErrBadToken = errors.New("rmi: invalid or expired session token")
+
+// request is the wire header preceding the gob-encoded argument.
+type request struct {
+	Seq    uint64
+	Object string
+	Method string
+	Token  string
+}
+
+// response is the wire header preceding the gob-encoded reply.
+type response struct {
+	Seq uint64
+	Err string
+}
+
+type methodInfo struct {
+	fn        reflect.Value
+	argType   reflect.Type // value type
+	replyType reflect.Type // pointer element type
+}
+
+type objectInfo struct {
+	methods map[string]*methodInfo
+}
+
+// Server exports objects over a listener.
+type Server struct {
+	mu       sync.RWMutex
+	objects  map[string]*objectInfo
+	validate TokenValidator
+
+	lnMu     sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer creates a server; validate may be nil to accept all tokens.
+func NewServer(validate TokenValidator) *Server {
+	return &Server{
+		objects:  make(map[string]*objectInfo),
+		validate: validate,
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// Register exports obj's suitable methods under name.
+// It returns an error if no method matches the required signature.
+func (s *Server) Register(name string, obj any) error {
+	if name == "" || obj == nil {
+		return errors.New("rmi: empty registration")
+	}
+	t := reflect.TypeOf(obj)
+	info := &objectInfo{methods: make(map[string]*methodInfo)}
+	v := reflect.ValueOf(obj)
+	for i := 0; i < t.NumMethod(); i++ {
+		m := t.Method(i)
+		mt := m.Type
+		// Signature: receiver, args, *reply → error.
+		if mt.NumIn() != 3 || mt.NumOut() != 1 || mt.Out(0) != errType {
+			continue
+		}
+		if mt.In(2).Kind() != reflect.Pointer {
+			continue
+		}
+		info.methods[m.Name] = &methodInfo{
+			fn:        v.Method(i),
+			argType:   mt.In(1),
+			replyType: mt.In(2).Elem(),
+		}
+	}
+	if len(info.methods) == 0 {
+		return fmt.Errorf("rmi: %q has no methods of form Method(args T, reply *U) error", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.objects[name]; dup {
+		return fmt.Errorf("rmi: object %q already registered", name)
+	}
+	s.objects[name] = info
+	return nil
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) {
+	s.lnMu.Lock()
+	s.listener = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe starts serving on addr and returns the bound address.
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection
+		}
+		s.handle(&req, dec, enc)
+	}
+}
+
+func (s *Server) handle(req *request, dec *gob.Decoder, enc *gob.Encoder) {
+	fail := func(msg string) {
+		// The argument still needs draining to keep the stream aligned;
+		// decode into a throwaway interface.
+		var discard any
+		dec.Decode(&discard)
+		enc.Encode(&response{Seq: req.Seq, Err: msg})
+		enc.Encode(struct{}{})
+	}
+	s.mu.RLock()
+	obj := s.objects[req.Object]
+	s.mu.RUnlock()
+	if obj == nil {
+		fail(fmt.Sprintf("rmi: no object %q", req.Object))
+		return
+	}
+	m := obj.methods[req.Method]
+	if m == nil {
+		fail(fmt.Sprintf("rmi: %s has no method %q", req.Object, req.Method))
+		return
+	}
+	if s.validate != nil {
+		if err := s.validate(req.Token, req.Object, req.Method); err != nil {
+			fail(err.Error())
+			return
+		}
+	}
+	argp := reflect.New(m.argType)
+	if err := dec.DecodeValue(argp); err != nil {
+		enc.Encode(&response{Seq: req.Seq, Err: "rmi: decoding argument: " + err.Error()})
+		enc.Encode(struct{}{})
+		return
+	}
+	reply := reflect.New(m.replyType)
+	out := m.fn.Call([]reflect.Value{argp.Elem(), reply})
+	if errv := out[0].Interface(); errv != nil {
+		enc.Encode(&response{Seq: req.Seq, Err: errv.(error).Error()})
+		enc.Encode(struct{}{})
+		return
+	}
+	if err := enc.Encode(&response{Seq: req.Seq}); err != nil {
+		return
+	}
+	enc.EncodeValue(reply)
+}
+
+// RemoteError is an error string that crossed the wire.
+type RemoteError string
+
+func (e RemoteError) Error() string { return string(e) }
+
+// Client is a synchronous RMI client. It is safe for concurrent use; calls
+// are serialized over one connection (sufficient for the polling pattern).
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	dec   *gob.Decoder
+	enc   *gob.Encoder
+	seq   uint64
+	token string
+	addr  string
+}
+
+// Dial connects to an RMI server. token rides along on every call.
+func Dial(addr, token string) (*Client, error) {
+	c := &Client{addr: addr, token: token}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("rmi: dialing %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.dec = gob.NewDecoder(conn)
+	c.enc = gob.NewEncoder(conn)
+	return nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
+}
+
+// SetToken replaces the session token (after session renewal).
+func (c *Client) SetToken(token string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.token = token
+}
+
+// Call invokes object.method with args, decoding the result into reply
+// (a pointer). Remote failures come back as RemoteError.
+func (c *Client) Call(objectDotMethod string, args any, reply any) error {
+	obj, method, ok := splitTarget(objectDotMethod)
+	if !ok {
+		return fmt.Errorf("rmi: bad call target %q (want Object.Method)", objectDotMethod)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return err
+		}
+	}
+	c.seq++
+	req := request{Seq: c.seq, Object: obj, Method: method, Token: c.token}
+	if err := c.enc.Encode(&req); err != nil {
+		c.reset()
+		return fmt.Errorf("rmi: sending request: %w", err)
+	}
+	if err := c.enc.Encode(args); err != nil {
+		c.reset()
+		return fmt.Errorf("rmi: sending args: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.reset()
+		return fmt.Errorf("rmi: reading response: %w", err)
+	}
+	if resp.Err != "" {
+		// Drain the placeholder body.
+		var discard struct{}
+		c.dec.Decode(&discard)
+		return RemoteError(resp.Err)
+	}
+	if err := c.dec.Decode(reply); err != nil {
+		c.reset()
+		return fmt.Errorf("rmi: reading reply: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) reset() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = nil
+	c.dec, c.enc = nil, nil
+}
+
+func splitTarget(s string) (obj, method string, ok bool) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[:i], s[i+1:], s[:i] != "" && s[i+1:] != ""
+		}
+	}
+	return "", "", false
+}
+
+// ensure io is linked for interface docs (kept minimal).
+var _ io.Closer = (*Client)(nil)

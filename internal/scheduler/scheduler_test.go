@@ -1,0 +1,284 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func twoQueueCluster(t *testing.T, nodes, slots int) *Cluster {
+	t.Helper()
+	var nc []NodeConfig
+	for i := 0; i < nodes; i++ {
+		nc = append(nc, NodeConfig{Name: string(rune('a' + i)), Slots: slots})
+	}
+	c, err := New(nc, []QueueConfig{
+		{Name: "interactive", Priority: 10, Preempting: true},
+		{Name: "batch", Priority: 1, Preemptible: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestRunToCompletion(t *testing.T) {
+	c := twoQueueCluster(t, 2, 1)
+	ran := make(chan string, 1)
+	j, err := c.Submit(Spec{Name: "hello", User: "alice", Queue: "interactive",
+		Run: func(ctx context.Context, node string) error {
+			ran <- node
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Done {
+		t.Fatalf("state = %v", snap.State)
+	}
+	node := <-ran
+	if node != snap.Node {
+		t.Fatalf("ran on %q, snapshot says %q", node, snap.Node)
+	}
+}
+
+func TestFailurePropagates(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	boom := errors.New("segfault in user code")
+	j, _ := c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error { return boom }})
+	snap, _ := c.Wait(j.ID, 5*time.Second)
+	if snap.State != Failed || !errors.Is(snap.Err, boom) {
+		t.Fatalf("snap = %+v", snap)
+	}
+}
+
+func TestFIFOWithinQueue(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	var order []int
+	var mu sync.Mutex
+	block := make(chan struct{})
+	// First job occupies the single slot.
+	c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error {
+		<-block
+		return nil
+	}})
+	var jobs []*Job
+	for i := 1; i <= 3; i++ {
+		i := i
+		j, _ := c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		}})
+		jobs = append(jobs, j)
+	}
+	close(block)
+	for _, j := range jobs {
+		c.Wait(j.ID, 5*time.Second)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("execution order %v", order)
+		}
+	}
+}
+
+func TestPriorityQueueFirst(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	block := make(chan struct{})
+	c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error { <-block; return nil }})
+	var first atomic.Int32
+	// Queue a batch job then an interactive job while the slot is busy.
+	bj, _ := c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error {
+		first.CompareAndSwap(0, 2)
+		return nil
+	}})
+	ij, _ := c.Submit(Spec{Queue: "interactive", Run: func(context.Context, string) error {
+		first.CompareAndSwap(0, 1)
+		return nil
+	}})
+	// NOTE: the interactive queue is Preempting, so it will displace the
+	// blocked batch job rather than waiting.
+	snap, _ := c.Wait(ij.ID, 5*time.Second)
+	if snap.State != Done {
+		t.Fatalf("interactive job state %v", snap.State)
+	}
+	if first.Load() != 1 {
+		t.Fatalf("interactive job did not run first (marker=%d)", first.Load())
+	}
+	close(block)
+	c.Wait(bj.ID, 5*time.Second)
+}
+
+func TestPreemptionRequeuesVictim(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	victimRuns := atomic.Int32{}
+	victimStarted := make(chan struct{}, 2)
+	v, _ := c.Submit(Spec{Name: "victim", Queue: "batch", Run: func(ctx context.Context, _ string) error {
+		victimRuns.Add(1)
+		victimStarted <- struct{}{}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+			return nil
+		}
+	}})
+	<-victimStarted
+	i, _ := c.Submit(Spec{Name: "urgent", Queue: "interactive", Run: func(context.Context, string) error {
+		return nil
+	}})
+	snap, _ := c.Wait(i.ID, 5*time.Second)
+	if snap.State != Done {
+		t.Fatalf("urgent job %v", snap.State)
+	}
+	// Victim must eventually rerun and complete.
+	vsnap, _ := c.Wait(v.ID, 5*time.Second)
+	if vsnap.State != Done {
+		t.Fatalf("victim final state %v (err %v)", vsnap.State, vsnap.Err)
+	}
+	if victimRuns.Load() < 2 {
+		t.Fatalf("victim ran %d times, want ≥2 (preempt + rerun)", victimRuns.Load())
+	}
+}
+
+func TestCancelPending(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	block := make(chan struct{})
+	defer close(block)
+	c.Submit(Spec{Queue: "interactive", Run: func(context.Context, string) error { <-block; return nil }})
+	j, _ := c.Submit(Spec{Queue: "interactive", Run: func(context.Context, string) error { return nil }})
+	if err := c.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := c.Snapshot(j.ID)
+	if snap.State != Cancelled {
+		t.Fatalf("state = %v", snap.State)
+	}
+	if c.QueueLength("interactive") != 0 {
+		t.Fatal("cancelled job still queued")
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	started := make(chan struct{})
+	j, _ := c.Submit(Spec{Queue: "interactive", Run: func(ctx context.Context, _ string) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	<-started
+	if err := c.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := c.Wait(j.ID, 5*time.Second)
+	if snap.State != Cancelled {
+		t.Fatalf("state = %v", snap.State)
+	}
+}
+
+func TestParallelThroughput(t *testing.T) {
+	c := twoQueueCluster(t, 4, 2) // 8 slots
+	var running, peak atomic.Int32
+	var jobs []*Job
+	for i := 0; i < 32; i++ {
+		j, _ := c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error {
+			now := running.Add(1)
+			for {
+				p := peak.Load()
+				if now <= p || peak.CompareAndSwap(p, now) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			return nil
+		}})
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		snap, _ := c.Wait(j.ID, 10*time.Second)
+		if snap.State != Done {
+			t.Fatalf("job %d state %v", j.ID, snap.State)
+		}
+	}
+	if p := peak.Load(); p > 8 {
+		t.Fatalf("peak concurrency %d exceeds 8 slots", p)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("peak concurrency %d — no parallelism at all", p)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	if _, err := c.Submit(Spec{Queue: "interactive"}); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+	if _, err := c.Submit(Spec{Queue: "nope", Run: func(context.Context, string) error { return nil }}); err == nil {
+		t.Fatal("unknown queue accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, []QueueConfig{{Name: "q"}}); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+	if _, err := New([]NodeConfig{{Name: "n", Slots: 1}}, nil); err == nil {
+		t.Fatal("no queues accepted")
+	}
+	if _, err := New([]NodeConfig{{Name: "n", Slots: 0}}, []QueueConfig{{Name: "q"}}); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	if _, err := New([]NodeConfig{{Name: "n", Slots: 1}},
+		[]QueueConfig{{Name: "q"}, {Name: "q"}}); err == nil {
+		t.Fatal("duplicate queue accepted")
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	started := make(chan struct{})
+	r, _ := c.Submit(Spec{Queue: "batch", Run: func(ctx context.Context, _ string) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	<-started
+	p, _ := c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error { return nil }})
+	c.Close()
+	rs, _ := c.Wait(r.ID, 5*time.Second)
+	ps, _ := c.Snapshot(p.ID)
+	if rs.State != Cancelled || ps.State != Cancelled {
+		t.Fatalf("states after close: %v %v", rs.State, ps.State)
+	}
+	if _, err := c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error { return nil }}); err == nil {
+		t.Fatal("submit after close accepted")
+	}
+}
+
+func TestDispatchDelay(t *testing.T) {
+	c := twoQueueCluster(t, 1, 1)
+	c.DispatchDelay = 30 * time.Millisecond
+	start := time.Now()
+	j, _ := c.Submit(Spec{Queue: "batch", Run: func(context.Context, string) error { return nil }})
+	snap, _ := c.Wait(j.ID, 5*time.Second)
+	if snap.State != Done {
+		t.Fatalf("state %v", snap.State)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("dispatch delay not applied (elapsed %v)", elapsed)
+	}
+}

@@ -1,0 +1,370 @@
+package script
+
+import (
+	"fmt"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+)
+
+// Host-object bindings exposing AIDA to scripts. A script books and fills
+// histograms through the global `tree` object, exactly as the paper's PNUTS
+// analyses did through the Java AIDA API (§3.7):
+//
+//	h = tree.h1d("/higgs", "mass", "Dijet mass", 125, 0, 250)
+//	function process(ev) { ... h.fill(m) ... }
+
+// TreeObject wraps an aida.Tree for script access.
+type TreeObject struct {
+	Tree *aida.Tree
+}
+
+// TypeName implements HostObject.
+func (t *TreeObject) TypeName() string { return "tree" }
+
+// Member implements HostObject.
+func (t *TreeObject) Member(name string) (Value, bool) {
+	switch name {
+	case "h1d":
+		return HostFunc(func(args []Value) (Value, error) {
+			dir, nm, title, bins, lo, hi, err := histArgs(args)
+			if err != nil {
+				return nil, fmt.Errorf("tree.h1d: %v", err)
+			}
+			if existing, ok := t.Tree.Get(dir + "/" + nm).(*aida.Histogram1D); ok {
+				return &H1DObject{H: existing}, nil
+			}
+			h, err := t.Tree.H1D(dir, nm, title, bins, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			return &H1DObject{H: h}, nil
+		}), true
+	case "h2d":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 9 {
+				return nil, fmt.Errorf("tree.h2d expects (dir, name, title, nx, xlo, xhi, ny, ylo, yhi)")
+			}
+			dir, err1 := Str(args[0])
+			nm, err2 := Str(args[1])
+			title, err3 := Str(args[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("tree.h2d: dir, name, title must be strings")
+			}
+			var nums [6]float64
+			for i := 0; i < 6; i++ {
+				f, err := Number(args[3+i])
+				if err != nil {
+					return nil, fmt.Errorf("tree.h2d: %v", err)
+				}
+				nums[i] = f
+			}
+			if existing, ok := t.Tree.Get(dir + "/" + nm).(*aida.Histogram2D); ok {
+				return &H2DObject{H: existing}, nil
+			}
+			h, err := t.Tree.H2D(dir, nm, title, int(nums[0]), nums[1], nums[2], int(nums[3]), nums[4], nums[5])
+			if err != nil {
+				return nil, err
+			}
+			return &H2DObject{H: h}, nil
+		}), true
+	case "p1d":
+		return HostFunc(func(args []Value) (Value, error) {
+			dir, nm, title, bins, lo, hi, err := histArgs(args)
+			if err != nil {
+				return nil, fmt.Errorf("tree.p1d: %v", err)
+			}
+			if existing, ok := t.Tree.Get(dir + "/" + nm).(*aida.Profile1D); ok {
+				return &P1DObject{P: existing}, nil
+			}
+			p, err := t.Tree.P1D(dir, nm, title, bins, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			return &P1DObject{P: p}, nil
+		}), true
+	case "c1d":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("tree.c1d expects (dir, name, title)")
+			}
+			dir, err1 := Str(args[0])
+			nm, err2 := Str(args[1])
+			title, err3 := Str(args[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("tree.c1d: arguments must be strings")
+			}
+			if existing, ok := t.Tree.Get(dir + "/" + nm).(*aida.Cloud1D); ok {
+				return &C1DObject{C: existing}, nil
+			}
+			c, err := t.Tree.C1D(dir, nm, title)
+			if err != nil {
+				return nil, err
+			}
+			return &C1DObject{C: c}, nil
+		}), true
+	case "ls":
+		return HostFunc(func(args []Value) (Value, error) {
+			path := "/"
+			if len(args) == 1 {
+				p, err := Str(args[0])
+				if err != nil {
+					return nil, err
+				}
+				path = p
+			}
+			names, err := t.Tree.Ls(path)
+			if err != nil {
+				return nil, err
+			}
+			arr := &Array{}
+			for _, n := range names {
+				arr.Elems = append(arr.Elems, n)
+			}
+			return arr, nil
+		}), true
+	}
+	return nil, false
+}
+
+func histArgs(args []Value) (dir, name, title string, bins int, lo, hi float64, err error) {
+	if len(args) != 6 {
+		return "", "", "", 0, 0, 0, fmt.Errorf("expected (dir, name, title, bins, lo, hi), got %d args", len(args))
+	}
+	if dir, err = Str(args[0]); err != nil {
+		return
+	}
+	if name, err = Str(args[1]); err != nil {
+		return
+	}
+	if title, err = Str(args[2]); err != nil {
+		return
+	}
+	var b float64
+	if b, err = Number(args[3]); err != nil {
+		return
+	}
+	bins = int(b)
+	if lo, err = Number(args[4]); err != nil {
+		return
+	}
+	hi, err = Number(args[5])
+	return
+}
+
+// H1DObject wraps a Histogram1D.
+type H1DObject struct {
+	H *aida.Histogram1D
+}
+
+// TypeName implements HostObject.
+func (h *H1DObject) TypeName() string { return "histogram1d" }
+
+// Member implements HostObject.
+func (h *H1DObject) Member(name string) (Value, bool) {
+	switch name {
+	case "fill":
+		return HostFunc(func(args []Value) (Value, error) {
+			switch len(args) {
+			case 1:
+				x, err := Number(args[0])
+				if err != nil {
+					return nil, fmt.Errorf("fill: %v", err)
+				}
+				h.H.Fill(x)
+			case 2:
+				x, err := Number(args[0])
+				if err != nil {
+					return nil, fmt.Errorf("fill: %v", err)
+				}
+				w, err := Number(args[1])
+				if err != nil {
+					return nil, fmt.Errorf("fill: %v", err)
+				}
+				h.H.FillW(x, w)
+			default:
+				return nil, fmt.Errorf("fill expects (x) or (x, weight)")
+			}
+			return nil, nil
+		}), true
+	case "mean":
+		return HostFunc(func([]Value) (Value, error) { return h.H.Mean(), nil }), true
+	case "rms":
+		return HostFunc(func([]Value) (Value, error) { return h.H.Rms(), nil }), true
+	case "entries":
+		return HostFunc(func([]Value) (Value, error) { return float64(h.H.Entries()), nil }), true
+	case "maxBinHeight":
+		return HostFunc(func([]Value) (Value, error) { return h.H.MaxBinHeight(), nil }), true
+	case "binHeight":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("binHeight expects (bin)")
+			}
+			i, err := Number(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if int(i) < 0 || int(i) >= h.H.Axis().Bins() {
+				return nil, fmt.Errorf("binHeight: bin %d out of range", int(i))
+			}
+			return h.H.BinHeight(int(i)), nil
+		}), true
+	case "binCenter":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("binCenter expects (bin)")
+			}
+			i, err := Number(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if int(i) < 0 || int(i) >= h.H.Axis().Bins() {
+				return nil, fmt.Errorf("binCenter: bin %d out of range", int(i))
+			}
+			return h.H.Axis().BinCenter(int(i)), nil
+		}), true
+	case "bins":
+		return HostFunc(func([]Value) (Value, error) { return float64(h.H.Axis().Bins()), nil }), true
+	case "reset":
+		return HostFunc(func([]Value) (Value, error) { h.H.Reset(); return nil, nil }), true
+	case "scale":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("scale expects (factor)")
+			}
+			f, err := Number(args[0])
+			if err != nil {
+				return nil, err
+			}
+			h.H.Scale(f)
+			return nil, nil
+		}), true
+	case "annotate":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("annotate expects (key, value)")
+			}
+			k, err := Str(args[0])
+			if err != nil {
+				return nil, err
+			}
+			h.H.Annotations().Set(k, ToString(args[1]))
+			return nil, nil
+		}), true
+	}
+	return nil, false
+}
+
+// H2DObject wraps a Histogram2D.
+type H2DObject struct {
+	H *aida.Histogram2D
+}
+
+// TypeName implements HostObject.
+func (h *H2DObject) TypeName() string { return "histogram2d" }
+
+// Member implements HostObject.
+func (h *H2DObject) Member(name string) (Value, bool) {
+	switch name {
+	case "fill":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 2 && len(args) != 3 {
+				return nil, fmt.Errorf("fill expects (x, y) or (x, y, weight)")
+			}
+			x, err := Number(args[0])
+			if err != nil {
+				return nil, err
+			}
+			y, err := Number(args[1])
+			if err != nil {
+				return nil, err
+			}
+			w := 1.0
+			if len(args) == 3 {
+				if w, err = Number(args[2]); err != nil {
+					return nil, err
+				}
+			}
+			h.H.FillW(x, y, w)
+			return nil, nil
+		}), true
+	case "entries":
+		return HostFunc(func([]Value) (Value, error) { return float64(h.H.Entries()), nil }), true
+	case "meanX":
+		return HostFunc(func([]Value) (Value, error) { return h.H.MeanX(), nil }), true
+	case "meanY":
+		return HostFunc(func([]Value) (Value, error) { return h.H.MeanY(), nil }), true
+	}
+	return nil, false
+}
+
+// P1DObject wraps a Profile1D.
+type P1DObject struct {
+	P *aida.Profile1D
+}
+
+// TypeName implements HostObject.
+func (p *P1DObject) TypeName() string { return "profile1d" }
+
+// Member implements HostObject.
+func (p *P1DObject) Member(name string) (Value, bool) {
+	switch name {
+	case "fill":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("fill expects (x, y)")
+			}
+			x, err := Number(args[0])
+			if err != nil {
+				return nil, err
+			}
+			y, err := Number(args[1])
+			if err != nil {
+				return nil, err
+			}
+			p.P.Fill(x, y)
+			return nil, nil
+		}), true
+	case "entries":
+		return HostFunc(func([]Value) (Value, error) { return float64(p.P.Entries()), nil }), true
+	}
+	return nil, false
+}
+
+// C1DObject wraps a Cloud1D.
+type C1DObject struct {
+	C *aida.Cloud1D
+}
+
+// TypeName implements HostObject.
+func (c *C1DObject) TypeName() string { return "cloud1d" }
+
+// Member implements HostObject.
+func (c *C1DObject) Member(name string) (Value, bool) {
+	switch name {
+	case "fill":
+		return HostFunc(func(args []Value) (Value, error) {
+			if len(args) != 1 && len(args) != 2 {
+				return nil, fmt.Errorf("fill expects (x) or (x, weight)")
+			}
+			x, err := Number(args[0])
+			if err != nil {
+				return nil, err
+			}
+			w := 1.0
+			if len(args) == 2 {
+				if w, err = Number(args[1]); err != nil {
+					return nil, err
+				}
+			}
+			c.C.FillW(x, w)
+			return nil, nil
+		}), true
+	case "mean":
+		return HostFunc(func([]Value) (Value, error) { return c.C.Mean(), nil }), true
+	case "rms":
+		return HostFunc(func([]Value) (Value, error) { return c.C.Rms(), nil }), true
+	case "entries":
+		return HostFunc(func([]Value) (Value, error) { return float64(c.C.Entries()), nil }), true
+	}
+	return nil, false
+}

@@ -1,0 +1,772 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// RuntimeError is a script execution failure with its source position.
+type RuntimeError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("script:%s: %s", e.Pos, e.Msg) }
+
+// ErrFuelExhausted aborts scripts that exceed their execution budget — the
+// guard that keeps a runaway uploaded script from wedging a worker node.
+var ErrFuelExhausted = errors.New("script: execution budget exhausted")
+
+// env is a lexical scope.
+type env struct {
+	vars   map[string]Value
+	parent *env
+}
+
+func newEnv(parent *env) *env { return &env{vars: make(map[string]Value), parent: parent} }
+
+func (e *env) lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// assign updates name where it is bound, or defines it in scope e.
+func (e *env) assign(name string, v Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// control-flow signals threaded through exec.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// Options configure an interpreter.
+type Options struct {
+	// Fuel bounds the number of AST evaluations (0 = DefaultFuel).
+	Fuel int64
+	// Output receives print()/println() text (nil = discard).
+	Output io.Writer
+	// MaxCallDepth bounds recursion (0 = 256).
+	MaxCallDepth int
+}
+
+// DefaultFuel is generous enough for per-event analysis over large staged
+// parts while still halting accidental infinite loops in bounded time.
+const DefaultFuel = 200_000_000
+
+// Interp executes compiled programs.
+type Interp struct {
+	globals   *env
+	fuel      int64
+	maxDepth  int
+	depth     int
+	out       io.Writer
+	returnVal Value
+}
+
+// New creates an interpreter with the standard library installed.
+func New(opts Options) *Interp {
+	in := &Interp{
+		globals:  newEnv(nil),
+		fuel:     opts.Fuel,
+		maxDepth: opts.MaxCallDepth,
+		out:      opts.Output,
+	}
+	if in.fuel <= 0 {
+		in.fuel = DefaultFuel
+	}
+	if in.maxDepth <= 0 {
+		in.maxDepth = 256
+	}
+	installBuiltins(in)
+	return in
+}
+
+// Define binds a global name (host objects, configuration values).
+func (in *Interp) Define(name string, v Value) { in.globals.vars[name] = v }
+
+// Lookup fetches a global.
+func (in *Interp) Lookup(name string) (Value, bool) { return in.globals.lookup(name) }
+
+// RemainingFuel returns the unspent execution budget.
+func (in *Interp) RemainingFuel() int64 { return in.fuel }
+
+// AddFuel extends the execution budget (the engine tops fuel up per event
+// so long datasets don't starve, while any single event stays bounded).
+func (in *Interp) AddFuel(n int64) { in.fuel += n }
+
+// Run executes a program's top-level statements in the global scope.
+func (in *Interp) Run(p *Program) error {
+	for _, s := range p.stmts {
+		c, err := in.exec(s, in.globals)
+		if err != nil {
+			return err
+		}
+		if c != ctrlNone {
+			return &RuntimeError{Pos: s.position(), Msg: "break/continue/return outside function or loop"}
+		}
+	}
+	return nil
+}
+
+// Call invokes a named global function with the given arguments.
+func (in *Interp) Call(name string, args ...Value) (Value, error) {
+	fn, ok := in.globals.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("script: no function %q defined", name)
+	}
+	return in.CallValue(fn, args)
+}
+
+// Has reports whether a global name is bound to a callable.
+func (in *Interp) Has(name string) bool {
+	v, ok := in.globals.lookup(name)
+	if !ok {
+		return false
+	}
+	switch v.(type) {
+	case *Closure, HostFunc:
+		return true
+	}
+	return false
+}
+
+// CallValue invokes a function value.
+func (in *Interp) CallValue(fn Value, args []Value) (Value, error) {
+	switch f := fn.(type) {
+	case *Closure:
+		return in.callClosure(f, args, Pos{})
+	case HostFunc:
+		return f(args)
+	default:
+		return nil, fmt.Errorf("script: value of type %s is not callable", TypeName(fn))
+	}
+}
+
+func (in *Interp) callClosure(f *Closure, args []Value, at Pos) (Value, error) {
+	if in.depth >= in.maxDepth {
+		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("call depth exceeds %d", in.maxDepth)}
+	}
+	scope := newEnv(f.env)
+	for i, p := range f.params {
+		if i < len(args) {
+			scope.vars[p] = args[i]
+		} else {
+			scope.vars[p] = nil
+		}
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	in.returnVal = nil
+	c, err := in.exec(f.body, scope)
+	if err != nil {
+		return nil, err
+	}
+	if c == ctrlReturn {
+		v := in.returnVal
+		in.returnVal = nil
+		return v, nil
+	}
+	return nil, nil
+}
+
+func (in *Interp) burn(pos Pos) error {
+	in.fuel--
+	if in.fuel < 0 {
+		return &RuntimeError{Pos: pos, Msg: ErrFuelExhausted.Error()}
+	}
+	return nil
+}
+
+func rtErr(pos Pos, format string, args ...any) error {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// exec runs a statement.
+func (in *Interp) exec(n Node, scope *env) (ctrl, error) {
+	if err := in.burn(n.position()); err != nil {
+		return ctrlNone, err
+	}
+	switch s := n.(type) {
+	case *exprStmt:
+		_, err := in.eval(s.x, scope)
+		return ctrlNone, err
+	case *blockStmt:
+		for _, st := range s.stmts {
+			c, err := in.exec(st, scope)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+		}
+		return ctrlNone, nil
+	case *ifStmt:
+		cond, err := in.eval(s.cond, scope)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if Truthy(cond) {
+			return in.exec(s.then, scope)
+		}
+		if s.alt != nil {
+			return in.exec(s.alt, scope)
+		}
+		return ctrlNone, nil
+	case *whileStmt:
+		for {
+			cond, err := in.eval(s.cond, scope)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !Truthy(cond) {
+				return ctrlNone, nil
+			}
+			c, err := in.exec(s.body, scope)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if err := in.burn(s.pos); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *forStmt:
+		if s.init != nil {
+			if _, err := in.eval(s.init, scope); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if s.cond != nil {
+				cond, err := in.eval(s.cond, scope)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !Truthy(cond) {
+					return ctrlNone, nil
+				}
+			}
+			c, err := in.exec(s.body, scope)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if s.post != nil {
+				if _, err := in.eval(s.post, scope); err != nil {
+					return ctrlNone, err
+				}
+			}
+			if err := in.burn(s.pos); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *forEachStmt:
+		iter, err := in.eval(s.iterable, scope)
+		if err != nil {
+			return ctrlNone, err
+		}
+		runBody := func(v Value) (ctrl, error) {
+			scope.assign(s.ident, v)
+			return in.exec(s.body, scope)
+		}
+		switch it := iter.(type) {
+		case *Array:
+			for _, v := range it.Elems {
+				c, err := runBody(v)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if c == ctrlBreak {
+					return ctrlNone, nil
+				}
+				if c == ctrlReturn {
+					return c, nil
+				}
+				if err := in.burn(s.pos); err != nil {
+					return ctrlNone, err
+				}
+			}
+			return ctrlNone, nil
+		case *Map:
+			for _, k := range sortedMapKeys(it) {
+				c, err := runBody(k)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if c == ctrlBreak {
+					return ctrlNone, nil
+				}
+				if c == ctrlReturn {
+					return c, nil
+				}
+			}
+			return ctrlNone, nil
+		case float64:
+			for i := 0.0; i < it; i++ {
+				c, err := runBody(i)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if c == ctrlBreak {
+					return ctrlNone, nil
+				}
+				if c == ctrlReturn {
+					return c, nil
+				}
+				if err := in.burn(s.pos); err != nil {
+					return ctrlNone, err
+				}
+			}
+			return ctrlNone, nil
+		default:
+			return ctrlNone, rtErr(s.pos, "cannot iterate over %s", TypeName(iter))
+		}
+	case *returnStmt:
+		if s.val != nil {
+			v, err := in.eval(s.val, scope)
+			if err != nil {
+				return ctrlNone, err
+			}
+			in.returnVal = v
+		} else {
+			in.returnVal = nil
+		}
+		return ctrlReturn, nil
+	case *breakStmt:
+		return ctrlBreak, nil
+	case *continueStmt:
+		return ctrlContinue, nil
+	default:
+		return ctrlNone, rtErr(n.position(), "internal: unknown statement %T", n)
+	}
+}
+
+// eval computes an expression value.
+func (in *Interp) eval(n Node, scope *env) (Value, error) {
+	if err := in.burn(n.position()); err != nil {
+		return nil, err
+	}
+	switch e := n.(type) {
+	case *numberLit:
+		return e.val, nil
+	case *stringLit:
+		return e.val, nil
+	case *boolLit:
+		return e.val, nil
+	case *nilLit:
+		return nil, nil
+	case *identExpr:
+		v, ok := scope.lookup(e.name)
+		if !ok {
+			return nil, rtErr(e.pos, "undefined variable %q", e.name)
+		}
+		return v, nil
+	case *arrayLit:
+		arr := &Array{Elems: make([]Value, 0, len(e.elems))}
+		for _, el := range e.elems {
+			v, err := in.eval(el, scope)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems = append(arr.Elems, v)
+		}
+		return arr, nil
+	case *mapLit:
+		m := NewMap()
+		for i := range e.keys {
+			k, err := in.eval(e.keys[i], scope)
+			if err != nil {
+				return nil, err
+			}
+			ks, ok := k.(string)
+			if !ok {
+				return nil, rtErr(e.keys[i].position(), "map key must be string, got %s", TypeName(k))
+			}
+			v, err := in.eval(e.vals[i], scope)
+			if err != nil {
+				return nil, err
+			}
+			m.Items[ks] = v
+		}
+		return m, nil
+	case *funcLit:
+		return &Closure{name: e.name, params: e.params, body: e.body, env: scope}, nil
+	case *unaryExpr:
+		x, err := in.eval(e.x, scope)
+		if err != nil {
+			return nil, err
+		}
+		switch e.op {
+		case tokMinus:
+			f, ok := x.(float64)
+			if !ok {
+				return nil, rtErr(e.pos, "cannot negate %s", TypeName(x))
+			}
+			return -f, nil
+		case tokNot:
+			return !Truthy(x), nil
+		}
+		return nil, rtErr(e.pos, "internal: bad unary op")
+	case *binaryExpr:
+		return in.evalBinary(e, scope)
+	case *ternaryExpr:
+		cond, err := in.eval(e.cond, scope)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(cond) {
+			return in.eval(e.then, scope)
+		}
+		return in.eval(e.alt, scope)
+	case *assignExpr:
+		return in.evalAssign(e, scope)
+	case *callExpr:
+		return in.evalCall(e, scope)
+	case *indexExpr:
+		target, err := in.eval(e.target, scope)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(e.index, scope)
+		if err != nil {
+			return nil, err
+		}
+		return indexValue(e.pos, target, idx)
+	case *memberExpr:
+		target, err := in.eval(e.target, scope)
+		if err != nil {
+			return nil, err
+		}
+		return memberValue(e.pos, target, e.name)
+	default:
+		return nil, rtErr(n.position(), "internal: unknown expression %T", n)
+	}
+}
+
+func (in *Interp) evalBinary(e *binaryExpr, scope *env) (Value, error) {
+	// Short-circuit logical operators.
+	if e.op == tokAnd || e.op == tokOr {
+		l, err := in.eval(e.l, scope)
+		if err != nil {
+			return nil, err
+		}
+		if e.op == tokAnd && !Truthy(l) {
+			return false, nil
+		}
+		if e.op == tokOr && Truthy(l) {
+			return true, nil
+		}
+		r, err := in.eval(e.r, scope)
+		if err != nil {
+			return nil, err
+		}
+		return Truthy(r), nil
+	}
+	l, err := in.eval(e.l, scope)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(e.r, scope)
+	if err != nil {
+		return nil, err
+	}
+	return applyBinary(e.pos, e.op, l, r)
+}
+
+func applyBinary(pos Pos, op tokKind, l, r Value) (Value, error) {
+	switch op {
+	case tokEq:
+		return valuesEqual(l, r), nil
+	case tokNe:
+		return !valuesEqual(l, r), nil
+	}
+	// String concatenation and comparison.
+	if ls, ok := l.(string); ok {
+		switch op {
+		case tokPlus:
+			return ls + ToString(r), nil
+		case tokLt, tokLe, tokGt, tokGe:
+			rs, ok := r.(string)
+			if !ok {
+				return nil, rtErr(pos, "cannot compare string with %s", TypeName(r))
+			}
+			switch op {
+			case tokLt:
+				return ls < rs, nil
+			case tokLe:
+				return ls <= rs, nil
+			case tokGt:
+				return ls > rs, nil
+			default:
+				return ls >= rs, nil
+			}
+		}
+	}
+	// number + string → concatenation (PNUTS-style convenience).
+	if _, ok := r.(string); ok && op == tokPlus {
+		return ToString(l) + r.(string), nil
+	}
+	// Array concatenation.
+	if la, ok := l.(*Array); ok && op == tokPlus {
+		if ra, ok := r.(*Array); ok {
+			out := &Array{Elems: make([]Value, 0, len(la.Elems)+len(ra.Elems))}
+			out.Elems = append(out.Elems, la.Elems...)
+			out.Elems = append(out.Elems, ra.Elems...)
+			return out, nil
+		}
+	}
+	lf, lok := l.(float64)
+	rf, rok := r.(float64)
+	if !lok || !rok {
+		return nil, rtErr(pos, "operator %v not defined for %s and %s", op, TypeName(l), TypeName(r))
+	}
+	switch op {
+	case tokPlus:
+		return lf + rf, nil
+	case tokMinus:
+		return lf - rf, nil
+	case tokStar:
+		return lf * rf, nil
+	case tokSlash:
+		if rf == 0 {
+			return nil, rtErr(pos, "division by zero")
+		}
+		return lf / rf, nil
+	case tokPercent:
+		if rf == 0 {
+			return nil, rtErr(pos, "modulo by zero")
+		}
+		return math.Mod(lf, rf), nil
+	case tokLt:
+		return lf < rf, nil
+	case tokLe:
+		return lf <= rf, nil
+	case tokGt:
+		return lf > rf, nil
+	case tokGe:
+		return lf >= rf, nil
+	}
+	return nil, rtErr(pos, "internal: bad binary op %v", op)
+}
+
+func (in *Interp) evalAssign(e *assignExpr, scope *env) (Value, error) {
+	val, err := in.eval(e.value, scope)
+	if err != nil {
+		return nil, err
+	}
+	// Compound ops read the old value first.
+	if e.op != tokAssign {
+		old, err := in.eval(e.target, scope)
+		if err != nil {
+			return nil, err
+		}
+		var binOp tokKind
+		switch e.op {
+		case tokPlusAssign:
+			binOp = tokPlus
+		case tokMinusAssign:
+			binOp = tokMinus
+		case tokStarAssign:
+			binOp = tokStar
+		case tokSlashAssign:
+			binOp = tokSlash
+		}
+		val, err = applyBinary(e.pos, binOp, old, val)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch t := e.target.(type) {
+	case *identExpr:
+		scope.assign(t.name, val)
+		return val, nil
+	case *indexExpr:
+		target, err := in.eval(t.target, scope)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(t.index, scope)
+		if err != nil {
+			return nil, err
+		}
+		switch tv := target.(type) {
+		case *Array:
+			i, err := arrayIndex(t.pos, tv, idx)
+			if err != nil {
+				return nil, err
+			}
+			tv.Elems[i] = val
+			return val, nil
+		case *Map:
+			k, ok := idx.(string)
+			if !ok {
+				return nil, rtErr(t.pos, "map key must be string, got %s", TypeName(idx))
+			}
+			tv.Items[k] = val
+			return val, nil
+		default:
+			return nil, rtErr(t.pos, "cannot index-assign into %s", TypeName(target))
+		}
+	case *memberExpr:
+		target, err := in.eval(t.target, scope)
+		if err != nil {
+			return nil, err
+		}
+		switch tv := target.(type) {
+		case *Map:
+			tv.Items[t.name] = val
+			return val, nil
+		case SettableHostObject:
+			if err := tv.SetMember(t.name, val); err != nil {
+				return nil, rtErr(t.pos, "%v", err)
+			}
+			return val, nil
+		default:
+			return nil, rtErr(t.pos, "cannot set member %q on %s", t.name, TypeName(target))
+		}
+	}
+	return nil, rtErr(e.pos, "internal: bad assignment target")
+}
+
+func (in *Interp) evalCall(e *callExpr, scope *env) (Value, error) {
+	callee, err := in.eval(e.callee, scope)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]Value, len(e.args))
+	for i, a := range e.args {
+		v, err := in.eval(a, scope)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch f := callee.(type) {
+	case *Closure:
+		return in.callClosure(f, args, e.pos)
+	case HostFunc:
+		v, err := f(args)
+		if err != nil {
+			if _, isRT := err.(*RuntimeError); isRT {
+				return nil, err
+			}
+			return nil, rtErr(e.pos, "%v", err)
+		}
+		return v, nil
+	default:
+		return nil, rtErr(e.pos, "cannot call %s", TypeName(callee))
+	}
+}
+
+func arrayIndex(pos Pos, a *Array, idx Value) (int, error) {
+	f, ok := idx.(float64)
+	if !ok {
+		return 0, rtErr(pos, "array index must be number, got %s", TypeName(idx))
+	}
+	i := int(f)
+	if float64(i) != f {
+		return 0, rtErr(pos, "array index %v is not an integer", f)
+	}
+	if i < 0 || i >= len(a.Elems) {
+		return 0, rtErr(pos, "array index %d out of range [0,%d)", i, len(a.Elems))
+	}
+	return i, nil
+}
+
+func indexValue(pos Pos, target, idx Value) (Value, error) {
+	switch t := target.(type) {
+	case *Array:
+		i, err := arrayIndex(pos, t, idx)
+		if err != nil {
+			return nil, err
+		}
+		return t.Elems[i], nil
+	case *Map:
+		k, ok := idx.(string)
+		if !ok {
+			return nil, rtErr(pos, "map key must be string, got %s", TypeName(idx))
+		}
+		return t.Items[k], nil
+	case string:
+		f, ok := idx.(float64)
+		if !ok {
+			return nil, rtErr(pos, "string index must be number")
+		}
+		i := int(f)
+		if i < 0 || i >= len(t) {
+			return nil, rtErr(pos, "string index %d out of range", i)
+		}
+		return string(t[i]), nil
+	default:
+		return nil, rtErr(pos, "cannot index %s", TypeName(target))
+	}
+}
+
+func memberValue(pos Pos, target Value, name string) (Value, error) {
+	switch t := target.(type) {
+	case *Map:
+		return t.Items[name], nil
+	case HostObject:
+		v, ok := t.Member(name)
+		if !ok {
+			return nil, rtErr(pos, "%s has no member %q", t.TypeName(), name)
+		}
+		return v, nil
+	case *Array:
+		if name == "length" {
+			return float64(len(t.Elems)), nil
+		}
+		return nil, rtErr(pos, "array has no member %q", name)
+	case string:
+		if name == "length" {
+			return float64(len(t)), nil
+		}
+		return nil, rtErr(pos, "string has no member %q", name)
+	default:
+		return nil, rtErr(pos, "%s has no members", TypeName(target))
+	}
+}
+
+func sortedMapKeys(m *Map) []Value {
+	keys := make([]string, 0, len(m.Items))
+	for k := range m.Items {
+		keys = append(keys, k)
+	}
+	// Deterministic iteration for reproducible analyses.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]Value, len(keys))
+	for i, k := range keys {
+		out[i] = k
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package script
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is any script runtime value. The concrete types are:
+//
+//	nil          — the nil value
+//	float64      — numbers
+//	string       — strings
+//	bool         — booleans
+//	*Array       — mutable arrays
+//	*Map         — string-keyed maps
+//	*Closure     — script functions
+//	HostFunc     — native functions
+//	HostObject   — native objects with named members
+type Value any
+
+// Array is a mutable script array.
+type Array struct {
+	Elems []Value
+}
+
+// NewArray builds an array value.
+func NewArray(elems ...Value) *Array { return &Array{Elems: elems} }
+
+// Map is a string-keyed script map.
+type Map struct {
+	Items map[string]Value
+}
+
+// NewMap builds an empty map value.
+func NewMap() *Map { return &Map{Items: make(map[string]Value)} }
+
+// Closure is a script-defined function bound to its defining environment.
+type Closure struct {
+	name   string
+	params []string
+	body   *blockStmt
+	env    *env
+}
+
+// Name returns the function's declared name ("" for anonymous).
+func (c *Closure) Name() string { return c.name }
+
+// HostFunc is a native function callable from scripts.
+type HostFunc func(args []Value) (Value, error)
+
+// HostObject exposes a native object to scripts. Member lookup covers both
+// properties and methods (methods are members whose value is a HostFunc).
+type HostObject interface {
+	// Member returns the named member; ok=false yields a runtime error
+	// naming the member and object.
+	Member(name string) (v Value, ok bool)
+	// TypeName labels the object in error messages, e.g. "histogram".
+	TypeName() string
+}
+
+// SettableHostObject additionally allows member assignment.
+type SettableHostObject interface {
+	HostObject
+	SetMember(name string, v Value) error
+}
+
+// Truthy implements the language's boolean coercion: false, nil, 0 and ""
+// are false; everything else is true.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// TypeName labels a value's type for error messages.
+func TypeName(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "bool"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Array:
+		return "array"
+	case *Map:
+		return "map"
+	case *Closure:
+		return "function"
+	case HostFunc:
+		return "function"
+	case HostObject:
+		return x.TypeName()
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// ToString renders a value for print() and string concatenation.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case *Array:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, e := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ToString(e))
+		}
+		b.WriteByte(']')
+		return b.String()
+	case *Map:
+		keys := make([]string, 0, len(x.Items))
+		for k := range x.Items {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s: %s", k, ToString(x.Items[k]))
+		}
+		b.WriteByte('}')
+		return b.String()
+	case *Closure:
+		if x.name != "" {
+			return "function " + x.name
+		}
+		return "function"
+	case HostFunc:
+		return "native function"
+	case HostObject:
+		return "<" + x.TypeName() + ">"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// valuesEqual implements ==. Numbers, strings, bools and nil compare by
+// value; arrays/maps/functions/host objects compare by identity.
+func valuesEqual(a, b Value) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case *Array:
+		y, ok := b.(*Array)
+		return ok && x == y
+	case *Map:
+		y, ok := b.(*Map)
+		return ok && x == y
+	case *Closure:
+		y, ok := b.(*Closure)
+		return ok && x == y
+	default:
+		return a == b
+	}
+}
+
+// Number converts a value to float64 or reports an error.
+func Number(v Value) (float64, error) {
+	if f, ok := v.(float64); ok {
+		return f, nil
+	}
+	return 0, fmt.Errorf("expected number, got %s", TypeName(v))
+}
+
+// Str converts a value to a string or reports an error.
+func Str(v Value) (string, error) {
+	if s, ok := v.(string); ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("expected string, got %s", TypeName(v))
+}
+
+// MapObject is a convenience HostObject backed by a Go map — useful for
+// exposing fixed-shape records (the decoded dataset events) without
+// defining a new type per field set.
+type MapObject struct {
+	Name    string
+	Members map[string]Value
+}
+
+// Member implements HostObject.
+func (m *MapObject) Member(name string) (Value, bool) {
+	v, ok := m.Members[name]
+	return v, ok
+}
+
+// TypeName implements HostObject.
+func (m *MapObject) TypeName() string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return "object"
+}

@@ -1,0 +1,225 @@
+package wsrf
+
+import (
+	"encoding/xml"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/gsi"
+)
+
+type pingReq struct {
+	XMLName xml.Name `xml:"ping"`
+	Msg     string   `xml:"msg"`
+	N       int      `xml:"n"`
+}
+
+type pingResp struct {
+	XMLName xml.Name `xml:"pong"`
+	Msg     string   `xml:"msg"`
+	N       int      `xml:"n"`
+}
+
+func startContainer(t *testing.T, authz Authorizer) (*Container, *Client) {
+	t.Helper()
+	c := NewContainer(authz)
+	c.Register("Ping.Echo", func(ctx *OpContext, decode func(any) error) (any, error) {
+		var req pingReq
+		if err := decode(&req); err != nil {
+			return nil, Faultf(FaultBadInput, "%v", err)
+		}
+		return &pingResp{Msg: req.Msg, N: req.N + 1}, nil
+	})
+	c.Register("Ping.Fail", func(ctx *OpContext, decode func(any) error) (any, error) {
+		return nil, Faultf(FaultBadInput, "deliberate")
+	})
+	c.Register("Ping.Boom", func(ctx *OpContext, decode func(any) error) (any, error) {
+		return nil, errors.New("plain internal error")
+	})
+	if err := c.ListenHTTP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, NewClient(c.Addr(), nil)
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, client := startContainer(t, nil)
+	var resp pingResp
+	if err := client.Call("Ping.Echo", "", &pingReq{Msg: "hi", N: 41}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != "hi" || resp.N != 42 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestFaultPropagation(t *testing.T) {
+	_, client := startContainer(t, nil)
+	err := client.Call("Ping.Fail", "", nil, nil)
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *Fault", err, err)
+	}
+	if f.Code != FaultBadInput || f.Message != "deliberate" {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestNonFaultErrorBecomesInternal(t *testing.T) {
+	_, client := startContainer(t, nil)
+	err := client.Call("Ping.Boom", "", nil, nil)
+	f, ok := err.(*Fault)
+	if !ok || f.Code != FaultInternal {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	_, client := startContainer(t, nil)
+	err := client.Call("Nope.Nothing", "", nil, nil)
+	f, ok := err.(*Fault)
+	if !ok || f.Code != FaultNoSuchOp {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAuthorizerDenies(t *testing.T) {
+	authz := func(id *gsi.Identity, action string) error {
+		if action == "Ping.Echo" {
+			return Faultf(FaultDenied, "not today")
+		}
+		return nil
+	}
+	_, client := startContainer(t, authz)
+	err := client.Call("Ping.Echo", "", &pingReq{}, &pingResp{})
+	f, ok := err.(*Fault)
+	if !ok || f.Code != FaultDenied {
+		t.Fatalf("err = %v", err)
+	}
+	if err := client.Call("Ping.Fail", "", nil, nil); err == nil ||
+		err.(*Fault).Code != FaultBadInput {
+		t.Fatalf("unrelated op affected: %v", err)
+	}
+}
+
+func TestResourceKeyReachesHandler(t *testing.T) {
+	c := NewContainer(nil)
+	var seenKey string
+	c.Register("Res.Touch", func(ctx *OpContext, decode func(any) error) (any, error) {
+		seenKey = ctx.ResourceKey
+		return nil, nil
+	})
+	if err := c.ListenHTTP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	client := NewClient(c.Addr(), nil)
+	if err := client.Call("Res.Touch", "key-123", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if seenKey != "key-123" {
+		t.Fatalf("resource key = %q", seenKey)
+	}
+}
+
+func TestMutualTLSIdentityReachesHandler(t *testing.T) {
+	ca, err := gsi.NewCA("test ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := ca.IssueHost("manager", []string{"localhost", "127.0.0.1"}, time.Hour)
+	user, _ := ca.IssueUser("lc-vo", "alice", time.Hour)
+	proxy, _ := gsi.NewProxy(user, time.Hour)
+
+	c := NewContainer(nil)
+	var gotDN string
+	var viaProxy bool
+	c.Register("Who.Am", func(ctx *OpContext, decode func(any) error) (any, error) {
+		if ctx.Identity != nil {
+			gotDN = ctx.Identity.DN
+			viaProxy = ctx.Identity.ViaProxy
+		}
+		return nil, nil
+	})
+	if err := c.ListenTLS("127.0.0.1:0", host, ca.Pool()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cfg := gsi.ClientTLSConfig(proxy, ca.Pool())
+	cfg.ServerName = "localhost"
+	client := NewClient(c.Addr(), cfg)
+	if err := client.Call("Who.Am", "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if gotDN != "/O=IPA Grid/OU=lc-vo/CN=alice" || !viaProxy {
+		t.Fatalf("identity = %q viaProxy=%v", gotDN, viaProxy)
+	}
+}
+
+func TestResourceHomeLifecycle(t *testing.T) {
+	destroyed := []string{}
+	h := NewResourceHome(func(r *Resource) { destroyed = append(destroyed, r.Key) })
+	r := h.Create("payload", 0)
+	if got, err := h.Get(r.Key); err != nil || got.Value != "payload" {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if h.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+	if err := h.Destroy(r.Key); err != nil {
+		t.Fatal(err)
+	}
+	if len(destroyed) != 1 || destroyed[0] != r.Key {
+		t.Fatal("onDestroy not invoked")
+	}
+	if _, err := h.Get(r.Key); err == nil {
+		t.Fatal("destroyed resource still resolvable")
+	}
+	if err := h.Destroy(r.Key); err == nil {
+		t.Fatal("double destroy accepted")
+	}
+}
+
+func TestResourceExpiry(t *testing.T) {
+	h := NewResourceHome(nil)
+	r := h.Create("x", time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	if _, err := h.Get(r.Key); err == nil {
+		t.Fatal("expired resource resolvable")
+	}
+	if n := h.Sweep(time.Now()); n != 1 {
+		t.Fatalf("Sweep removed %d", n)
+	}
+	if h.Len() != 0 {
+		t.Fatal("expired resource not swept")
+	}
+}
+
+func TestSetTermination(t *testing.T) {
+	h := NewResourceHome(nil)
+	r := h.Create("x", time.Millisecond)
+	if err := h.SetTermination(r.Key, time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := h.Get(r.Key); err != nil {
+		t.Fatal("renewed resource expired anyway")
+	}
+	if err := h.SetTermination("nope", time.Time{}); err == nil {
+		t.Fatal("SetTermination on missing resource accepted")
+	}
+}
+
+func TestKeysAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := NewKey()
+		if seen[k] {
+			t.Fatal("duplicate resource key")
+		}
+		seen[k] = true
+	}
+}

@@ -101,16 +101,20 @@ func BenchmarkHiggsAnalysis(b *testing.B) {
 	if err := ha.Init(ctx); err != nil {
 		b.Fatal(err)
 	}
-	var bytes int64
+	// SetBytes takes the per-operation byte count and must be fixed before
+	// the loop; deriving it from a running total after the loop produced
+	// nonsense MB/s figures.
+	var total int64
+	for _, rec := range recs {
+		total += int64(len(rec))
+	}
+	b.SetBytes(total / int64(len(recs)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec := recs[i%len(recs)]
-		if err := ha.Process(rec, ctx); err != nil {
+		if err := ha.Process(recs[i%len(recs)], ctx); err != nil {
 			b.Fatal(err)
 		}
-		bytes += int64(len(rec))
 	}
-	b.SetBytes(bytes / int64(b.N))
 }
 
 // BenchmarkScriptAnalysis measures the interpreted path per event.
@@ -201,6 +205,119 @@ func BenchmarkSnapshotPublish(b *testing.B) {
 		}, &rep)
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchPublishPollCycle measures one snapshot→publish→incremental-poll
+// cycle against a manager holding 20 histograms of which one changes per
+// cycle — the steady state of an interactive session. full selects the
+// retained whole-tree baseline path; otherwise the delta path.
+func benchPublishPollCycle(b *testing.B, full bool) {
+	b.Helper()
+	tree := aida.NewTree()
+	hs := make([]*aida.Histogram1D, 20)
+	for o := range hs {
+		h, err := tree.H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			h.Fill(float64(i % 100))
+		}
+		hs[o] = h
+	}
+	m := merge.NewManager()
+	var rep merge.PublishReply
+	publish := func(seq int64) {
+		args := merge.PublishArgs{SessionID: "s", WorkerID: "w", Seq: seq}
+		if full {
+			st, err := tree.State()
+			if err != nil {
+				b.Fatal(err)
+			}
+			args.Tree = *st
+		} else {
+			d, err := tree.Delta()
+			if err != nil {
+				b.Fatal(err)
+			}
+			args.Delta = d
+		}
+		if err := m.Publish(args, &rep); err != nil || !rep.Accepted {
+			b.Fatalf("publish seq %d: %v %+v", seq, err, rep)
+		}
+	}
+	publish(1)
+	var poll merge.PollReply
+	if err := m.Poll(merge.PollArgs{SessionID: "s"}, &poll); err != nil {
+		b.Fatal(err)
+	}
+	since := poll.Version
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs[i%len(hs)].Fill(50)
+		publish(int64(i + 2))
+		poll = merge.PollReply{}
+		if err := m.Poll(merge.PollArgs{SessionID: "s", SinceVersion: since}, &poll); err != nil {
+			b.Fatal(err)
+		}
+		if !poll.Changed || len(poll.Entries) != 1 {
+			b.Fatalf("cycle %d: poll = changed:%v entries:%d", i, poll.Changed, len(poll.Entries))
+		}
+		since = poll.Version
+	}
+}
+
+// BenchmarkDeltaPublish compares the delta publish+poll cycle against the
+// retained full-snapshot baseline (the headline of this PR's ablation:
+// cost proportional to what changed, not total state).
+func BenchmarkDeltaPublish(b *testing.B) {
+	b.Run("mode=full", func(b *testing.B) { benchPublishPollCycle(b, true) })
+	b.Run("mode=delta", func(b *testing.B) { benchPublishPollCycle(b, false) })
+}
+
+// BenchmarkPollIncremental measures the client-facing poll alone while a
+// delta-publishing worker keeps one of 50 histograms changing.
+func BenchmarkPollIncremental(b *testing.B) {
+	tree := aida.NewTree()
+	for o := 0; o < 50; o++ {
+		h, _ := tree.H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+		for i := 0; i < 1000; i++ {
+			h.Fill(float64(i % 100))
+		}
+	}
+	m := merge.NewManager()
+	var rep merge.PublishReply
+	d, err := tree.Delta()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Publish(merge.PublishArgs{SessionID: "s", WorkerID: "w", Seq: 1, Delta: d}, &rep); err != nil {
+		b.Fatal(err)
+	}
+	var warm merge.PollReply
+	if err := m.Poll(merge.PollArgs{SessionID: "s"}, &warm); err != nil {
+		b.Fatal(err)
+	}
+	tree.Get("/a/h00").(*aida.Histogram1D).Fill(1)
+	d, err = tree.Delta()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Publish(merge.PublishArgs{SessionID: "s", WorkerID: "w", Seq: 2, Delta: d}, &rep); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var poll merge.PollReply
+		if err := m.Poll(merge.PollArgs{SessionID: "s", SinceVersion: warm.Version}, &poll); err != nil {
+			b.Fatal(err)
+		}
+		if len(poll.Entries) != 1 {
+			b.Fatalf("poll entries = %d, want 1", len(poll.Entries))
 		}
 	}
 }

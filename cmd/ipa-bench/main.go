@@ -1,13 +1,15 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
-// Figure 5 CSV/SVG artifacts.
+// Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
+// (default BENCH_1.json) so successive PRs can track the perf trajectory.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|all] [-out DIR]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|all] [-out DIR] [-json FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,23 +23,48 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
+	jsonPath := flag.String("json", "BENCH_1.json", "metrics baseline file (\"\" disables)")
 	flag.Parse()
-	if err := run(*exp, *out); err != nil {
+	// A partial run writes a partial metrics map; never let it silently
+	// clobber the committed full baseline unless -json was given
+	// explicitly.
+	jsonSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json" {
+			jsonSet = true
+		}
+	})
+	if *exp != "all" && !jsonSet {
+		*jsonPath = ""
+	}
+	if err := run(*exp, *out, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ipa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, outDir string) error {
+func run(exp, outDir, jsonPath string) error {
 	p := perf.PaperParams()
 	w := os.Stdout
 	all := exp == "all"
+	switch exp {
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish":
+	default:
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|all)", exp)
+	}
+	// metrics accumulates the headline number of every experiment that
+	// ran; the baseline file lets future PRs diff perf without re-parsing
+	// tables.
+	metrics := map[string]float64{}
 
 	if all || exp == "table1" {
-		if err := perf.RenderTable1(w, perf.Table1(p)); err != nil {
+		r := perf.Table1(p)
+		if err := perf.RenderTable1(w, r); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
+		metrics["table1_local_s"] = float64(r.Local.Total())
+		metrics["table1_grid_s"] = float64(r.Grid.Total())
 	}
 	if all || exp == "table2" {
 		if err := perf.RenderTable2(w, perf.Table2(p)); err != nil {
@@ -117,6 +144,7 @@ func run(exp, outDir string) error {
 		}
 		t.AddRow("shared batch queue", shared)
 		fmt.Fprintln(w, t.String())
+		metrics["queue_dedicated_ms"] = float64(r.DedicatedMS)
 	}
 	if all || exp == "merge" {
 		rows, err := perf.MergeAblation(64, 4, 8, 8)
@@ -127,6 +155,7 @@ func run(exp, outDir string) error {
 			Columns: []string{"Mode", "Root publishes", "Wall ms"}}
 		for _, r := range rows {
 			t.AddRow(r.Mode, fmt.Sprintf("%d", r.RootPublishes), fmt.Sprintf("%d", r.WallMS))
+			metrics["merge_"+r.Mode+"_wall_ms"] = float64(r.WallMS)
 		}
 		fmt.Fprintln(w, t.String())
 	}
@@ -149,6 +178,39 @@ func run(exp, outDir string) error {
 		t.AddRow("full tree", fmt.Sprintf("%d", r.FullBytes))
 		t.AddRow("incremental", fmt.Sprintf("%d", r.IncrementalBytes))
 		fmt.Fprintln(w, t.String())
+		metrics["poll_full_bytes"] = float64(r.FullBytes)
+		metrics["poll_incremental_bytes"] = float64(r.IncrementalBytes)
+	}
+	if all || exp == "publish" {
+		rows, err := perf.PublishAblation(8, 50, 20, 1)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: "A5 — snapshot publishing, 8 workers x 50 rounds, 1 of 20 histograms touched",
+			Columns: []string{"Mode", "Wall ms", "Allocs/round", "Wire B/publish"}}
+		for _, r := range rows {
+			t.AddRow(r.Mode, fmt.Sprintf("%d", r.WallMS),
+				fmt.Sprintf("%.0f", r.AllocsPerRound), fmt.Sprintf("%d", r.WireBytesPerPublish))
+			metrics["publish_"+r.Mode+"_wall_ms"] = float64(r.WallMS)
+			metrics["publish_"+r.Mode+"_allocs_per_round"] = r.AllocsPerRound
+			metrics["publish_"+r.Mode+"_wire_bytes"] = float64(r.WireBytesPerPublish)
+		}
+		fmt.Fprintln(w, t.String())
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if dir := filepath.Dir(jsonPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d metrics)\n", jsonPath, len(metrics))
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module github.com/ipa-grid/ipa
+
+go 1.22

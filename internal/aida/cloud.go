@@ -25,6 +25,7 @@ type Cloud1D struct {
 	// Exact moments maintained while unbinned.
 	sumW, sumWX, sumWX2 float64
 	lo, hi              float64
+	dirty               bool // content mutations since the last ClearDirty
 }
 
 // NewCloud1D creates a cloud with the default auto-convert limit.
@@ -33,7 +34,8 @@ func NewCloud1D(name, title string) *Cloud1D { return NewCloud1DLimit(name, titl
 // NewCloud1DLimit creates a cloud converting after limit entries
 // (limit ≤ 0 means never).
 func NewCloud1DLimit(name, title string, limit int) *Cloud1D {
-	c := &Cloud1D{name: name, ann: NewAnnotation(), limit: limit, lo: math.Inf(1), hi: math.Inf(-1)}
+	c := &Cloud1D{name: name, ann: NewAnnotation(), limit: limit, lo: math.Inf(1), hi: math.Inf(-1),
+		dirty: true} // born dirty — see NewHistogram1D
 	if title != "" {
 		c.ann.Set(TitleKey, title)
 	}
@@ -65,6 +67,7 @@ func (c *Cloud1D) Fill(x float64) { c.FillW(x, 1) }
 
 // FillW adds x with weight w, converting when the limit is crossed.
 func (c *Cloud1D) FillW(x, w float64) {
+	c.dirty = true
 	if c.converted != nil {
 		c.converted.FillW(x, w)
 		return
@@ -146,6 +149,7 @@ func (c *Cloud1D) Convert(nBins int) *Histogram1D {
 	if c.converted != nil {
 		return c.converted
 	}
+	c.dirty = true
 	lo, hi := c.lo, c.hi
 	if len(c.xs) == 0 {
 		lo, hi = 0, 1
@@ -181,6 +185,7 @@ func (c *Cloud1D) Values() (xs, ws []float64) {
 
 // Reset clears everything, returning the cloud to unbinned mode.
 func (c *Cloud1D) Reset() {
+	c.dirty = true
 	c.xs, c.ws = nil, nil
 	c.converted = nil
 	c.sumW, c.sumWX, c.sumWX2 = 0, 0, 0
@@ -192,6 +197,7 @@ func (c *Cloud1D) Clone() *Cloud1D {
 	n := &Cloud1D{
 		name: c.name, ann: c.ann.clone(), limit: c.limit,
 		sumW: c.sumW, sumWX: c.sumWX, sumWX2: c.sumWX2, lo: c.lo, hi: c.hi,
+		dirty: c.dirty,
 	}
 	n.xs = append([]float64(nil), c.xs...)
 	n.ws = append([]float64(nil), c.ws...)
@@ -199,6 +205,19 @@ func (c *Cloud1D) Clone() *Cloud1D {
 		n.converted = c.converted.Clone()
 	}
 	return n
+}
+
+// Dirty implements Dirtyable. Fills may bypass the cloud entirely via
+// the histogram handle Convert/Histogram return, so the converted
+// histogram's own flag counts too.
+func (c *Cloud1D) Dirty() bool { return c.dirty || (c.converted != nil && c.converted.Dirty()) }
+
+// ClearDirty implements Dirtyable.
+func (c *Cloud1D) ClearDirty() {
+	c.dirty = false
+	if c.converted != nil {
+		c.converted.ClearDirty()
+	}
 }
 
 // MergeFrom implements Mergeable. Merging an unbinned cloud into an
@@ -210,6 +229,7 @@ func (c *Cloud1D) MergeFrom(src Object) error {
 	if !ok {
 		return errIncompatible("merge", c, src)
 	}
+	c.dirty = true
 	if c.converted == nil && o.converted == nil {
 		for i, x := range o.xs {
 			c.FillW(x, o.ws[i])
@@ -253,6 +273,7 @@ type Cloud2D struct {
 	converted *Histogram2D
 	xlo, xhi  float64
 	ylo, yhi  float64
+	dirty     bool // content mutations since the last ClearDirty
 }
 
 // NewCloud2D creates a 2D cloud with the default auto-convert limit.
@@ -260,6 +281,7 @@ func NewCloud2D(name, title string) *Cloud2D {
 	c := &Cloud2D{
 		name: name, ann: NewAnnotation(), limit: DefaultCloudLimit,
 		xlo: math.Inf(1), xhi: math.Inf(-1), ylo: math.Inf(1), yhi: math.Inf(-1),
+		dirty: true, // born dirty — see NewHistogram1D
 	}
 	if title != "" {
 		c.ann.Set(TitleKey, title)
@@ -281,6 +303,7 @@ func (c *Cloud2D) Fill(x, y float64) { c.FillW(x, y, 1) }
 
 // FillW adds (x, y) with weight w.
 func (c *Cloud2D) FillW(x, y, w float64) {
+	c.dirty = true
 	if c.converted != nil {
 		c.converted.FillW(x, y, w)
 		return
@@ -316,6 +339,7 @@ func (c *Cloud2D) Convert(nx, ny int) *Histogram2D {
 	if c.converted != nil {
 		return c.converted
 	}
+	c.dirty = true
 	xlo, xhi, ylo, yhi := c.xlo, c.xhi, c.ylo, c.yhi
 	if len(c.xs) == 0 {
 		xlo, xhi, ylo, yhi = 0, 1, 0, 1
@@ -342,6 +366,7 @@ func (c *Cloud2D) Clone() *Cloud2D {
 	n := &Cloud2D{
 		name: c.name, ann: c.ann.clone(), limit: c.limit,
 		xlo: c.xlo, xhi: c.xhi, ylo: c.ylo, yhi: c.yhi,
+		dirty: c.dirty,
 	}
 	n.xs = append([]float64(nil), c.xs...)
 	n.ys = append([]float64(nil), c.ys...)
@@ -352,12 +377,24 @@ func (c *Cloud2D) Clone() *Cloud2D {
 	return n
 }
 
+// Dirty implements Dirtyable (see Cloud1D.Dirty on the converted flag).
+func (c *Cloud2D) Dirty() bool { return c.dirty || (c.converted != nil && c.converted.Dirty()) }
+
+// ClearDirty implements Dirtyable.
+func (c *Cloud2D) ClearDirty() {
+	c.dirty = false
+	if c.converted != nil {
+		c.converted.ClearDirty()
+	}
+}
+
 // MergeFrom implements Mergeable (same semantics as Cloud1D).
 func (c *Cloud2D) MergeFrom(src Object) error {
 	o, ok := src.(*Cloud2D)
 	if !ok {
 		return errIncompatible("merge", c, src)
 	}
+	c.dirty = true
 	if c.converted == nil && o.converted == nil {
 		for i := range o.xs {
 			c.FillW(o.xs[i], o.ys[i], o.ws[i])

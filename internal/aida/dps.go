@@ -23,6 +23,7 @@ type DataPointSet struct {
 	ann    *Annotation
 	dim    int
 	points []DataPoint
+	dirty  bool // content mutations since the last ClearDirty
 }
 
 // NewDataPointSet creates an empty point set of the given dimension.
@@ -30,7 +31,8 @@ func NewDataPointSet(name, title string, dim int) *DataPointSet {
 	if dim <= 0 {
 		panic(fmt.Sprintf("aida: DataPointSet dimension %d must be positive", dim))
 	}
-	d := &DataPointSet{name: name, ann: NewAnnotation(), dim: dim}
+	d := &DataPointSet{name: name, ann: NewAnnotation(), dim: dim,
+		dirty: true} // born dirty — see NewHistogram1D
 	if title != "" {
 		d.ann.Set(TitleKey, title)
 	}
@@ -73,6 +75,7 @@ func (d *DataPointSet) Append(values ...float64) error {
 		p.Coords[i] = Measurement{Value: v}
 	}
 	d.points = append(d.points, p)
+	d.dirty = true
 	return nil
 }
 
@@ -84,6 +87,7 @@ func (d *DataPointSet) AppendPoint(p DataPoint) error {
 	cp := DataPoint{Coords: make([]Measurement, d.dim)}
 	copy(cp.Coords, p.Coords)
 	d.points = append(d.points, cp)
+	d.dirty = true
 	return nil
 }
 
@@ -108,11 +112,20 @@ func (d *DataPointSet) Column(c int) []float64 {
 }
 
 // Reset removes all points.
-func (d *DataPointSet) Reset() { d.points = nil }
+func (d *DataPointSet) Reset() {
+	d.points = nil
+	d.dirty = true
+}
+
+// Dirty implements Dirtyable.
+func (d *DataPointSet) Dirty() bool { return d.dirty }
+
+// ClearDirty implements Dirtyable.
+func (d *DataPointSet) ClearDirty() { d.dirty = false }
 
 // Clone returns a deep copy.
 func (d *DataPointSet) Clone() *DataPointSet {
-	c := &DataPointSet{name: d.name, ann: d.ann.clone(), dim: d.dim}
+	c := &DataPointSet{name: d.name, ann: d.ann.clone(), dim: d.dim, dirty: d.dirty}
 	c.points = make([]DataPoint, len(d.points))
 	for i, p := range d.points {
 		c.points[i].Coords = append([]Measurement(nil), p.Coords...)

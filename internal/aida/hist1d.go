@@ -31,6 +31,9 @@ type Histogram1D struct {
 	bins []binStat
 	// In-range moment sums for Mean/Rms.
 	sumW, sumWX, sumWX2 float64
+	// dirty marks content mutations since the last ClearDirty (delta
+	// snapshots — see Tree.Delta).
+	dirty bool
 }
 
 // NewHistogram1D creates a histogram with nBins over [lo, hi).
@@ -40,6 +43,9 @@ func NewHistogram1D(name, title string, nBins int, lo, hi float64) *Histogram1D 
 		ann:  NewAnnotation(),
 		axis: NewAxis(nBins, lo, hi),
 		bins: make([]binStat, nBins+2),
+		// Born dirty: a fresh object stored over an already-snapshotted
+		// path must still appear in the next delta.
+		dirty: true,
 	}
 	if title != "" {
 		h.ann.Set(TitleKey, title)
@@ -73,6 +79,7 @@ func (h *Histogram1D) Fill(x float64) { h.FillW(x, 1) }
 // FillW adds x with weight w. NaN coordinates are counted as overflow so
 // they remain visible in entry totals instead of disappearing.
 func (h *Histogram1D) FillW(x, w float64) {
+	h.dirty = true
 	idx := h.axis.CoordToIndex(x)
 	if math.IsNaN(x) {
 		idx = Overflow
@@ -204,6 +211,7 @@ func (h *Histogram1D) MaxBin() int {
 
 // Reset clears all content, keeping binning and annotations.
 func (h *Histogram1D) Reset() {
+	h.dirty = true
 	for i := range h.bins {
 		h.bins[i] = binStat{}
 	}
@@ -212,6 +220,7 @@ func (h *Histogram1D) Reset() {
 
 // Scale multiplies all weights by f (entry counts are unchanged).
 func (h *Histogram1D) Scale(f float64) {
+	h.dirty = true
 	for i := range h.bins {
 		h.bins[i].sumW *= f
 		h.bins[i].sumW2 *= f * f
@@ -232,10 +241,17 @@ func (h *Histogram1D) Clone() *Histogram1D {
 		sumW:   h.sumW,
 		sumWX:  h.sumWX,
 		sumWX2: h.sumWX2,
+		dirty:  h.dirty,
 	}
 	copy(c.bins, h.bins)
 	return c
 }
+
+// Dirty implements Dirtyable.
+func (h *Histogram1D) Dirty() bool { return h.dirty }
+
+// ClearDirty implements Dirtyable.
+func (h *Histogram1D) ClearDirty() { h.dirty = false }
 
 // MergeFrom implements Mergeable: adds src (a *Histogram1D with identical
 // binning) into h. This is the operation the AIDA manager performs when
@@ -245,6 +261,7 @@ func (h *Histogram1D) MergeFrom(src Object) error {
 	if !ok || !h.axis.Equal(o.axis) {
 		return errIncompatible("merge", h, src)
 	}
+	h.dirty = true
 	for i := range h.bins {
 		h.bins[i].add(o.bins[i])
 	}

@@ -38,6 +38,7 @@ type Histogram2D struct {
 	sumWY  float64
 	sumWX2 float64
 	sumWY2 float64
+	dirty  bool // content mutations since the last ClearDirty
 }
 
 // NewHistogram2D creates a 2D histogram.
@@ -48,6 +49,7 @@ func NewHistogram2D(name, title string, nx int, xlo, xhi float64, ny int, ylo, y
 		xAxis: NewAxis(nx, xlo, xhi),
 		yAxis: NewAxis(ny, ylo, yhi),
 		cells: make([]binStat2, (nx+2)*(ny+2)),
+		dirty: true, // born dirty — see NewHistogram1D
 	}
 	if title != "" {
 		h.ann.Set(TitleKey, title)
@@ -114,6 +116,7 @@ func (h *Histogram2D) Fill(x, y float64) { h.FillW(x, y, 1) }
 
 // FillW adds (x, y) with weight w.
 func (h *Histogram2D) FillW(x, y, w float64) {
+	h.dirty = true
 	ix := h.xAxis.CoordToIndex(x)
 	iy := h.yAxis.CoordToIndex(y)
 	if math.IsNaN(x) {
@@ -263,6 +266,7 @@ func (h *Histogram2D) ProjectionY() *Histogram1D {
 
 // Reset clears content.
 func (h *Histogram2D) Reset() {
+	h.dirty = true
 	for i := range h.cells {
 		h.cells[i] = binStat2{}
 	}
@@ -271,6 +275,7 @@ func (h *Histogram2D) Reset() {
 
 // Scale multiplies all weights by f.
 func (h *Histogram2D) Scale(f float64) {
+	h.dirty = true
 	for i := range h.cells {
 		h.cells[i].sumW *= f
 		h.cells[i].sumW2 *= f * f
@@ -293,10 +298,17 @@ func (h *Histogram2D) Clone() *Histogram2D {
 		sumW:  h.sumW,
 		sumWX: h.sumWX, sumWY: h.sumWY,
 		sumWX2: h.sumWX2, sumWY2: h.sumWY2,
+		dirty: h.dirty,
 	}
 	copy(c.cells, h.cells)
 	return c
 }
+
+// Dirty implements Dirtyable.
+func (h *Histogram2D) Dirty() bool { return h.dirty }
+
+// ClearDirty implements Dirtyable.
+func (h *Histogram2D) ClearDirty() { h.dirty = false }
 
 // MergeFrom implements Mergeable.
 func (h *Histogram2D) MergeFrom(src Object) error {
@@ -304,6 +316,7 @@ func (h *Histogram2D) MergeFrom(src Object) error {
 	if !ok || !h.xAxis.Equal(o.xAxis) || !h.yAxis.Equal(o.yAxis) {
 		return errIncompatible("merge", h, src)
 	}
+	h.dirty = true
 	for i := range h.cells {
 		h.cells[i].add(o.cells[i])
 	}

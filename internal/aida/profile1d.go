@@ -23,19 +23,21 @@ func (b *profBin) add(o profBin) {
 // Profile1D records the mean and spread of y as a function of binned x
 // (AIDA IProfile1D) — e.g. mean analysis time per event vs event size.
 type Profile1D struct {
-	name string
-	ann  *Annotation
-	axis Axis
-	bins []profBin // 0 = underflow, n+1 = overflow
+	name  string
+	ann   *Annotation
+	axis  Axis
+	bins  []profBin // 0 = underflow, n+1 = overflow
+	dirty bool      // content mutations since the last ClearDirty
 }
 
 // NewProfile1D creates a profile with nBins over [lo, hi).
 func NewProfile1D(name, title string, nBins int, lo, hi float64) *Profile1D {
 	p := &Profile1D{
-		name: name,
-		ann:  NewAnnotation(),
-		axis: NewAxis(nBins, lo, hi),
-		bins: make([]profBin, nBins+2),
+		name:  name,
+		ann:   NewAnnotation(),
+		axis:  NewAxis(nBins, lo, hi),
+		bins:  make([]profBin, nBins+2),
+		dirty: true, // born dirty — see NewHistogram1D
 	}
 	if title != "" {
 		p.ann.Set(TitleKey, title)
@@ -89,6 +91,7 @@ func (p *Profile1D) Fill(x, y float64) { p.FillW(x, y, 1) }
 
 // FillW adds the sample (x, y) with weight w.
 func (p *Profile1D) FillW(x, y, w float64) {
+	p.dirty = true
 	idx := p.axis.CoordToIndex(x)
 	if math.IsNaN(x) {
 		idx = Overflow
@@ -149,6 +152,7 @@ func (p *Profile1D) EntriesCount() int64 { return p.Entries() }
 
 // Reset clears all content.
 func (p *Profile1D) Reset() {
+	p.dirty = true
 	for i := range p.bins {
 		p.bins[i] = profBin{}
 	}
@@ -156,10 +160,16 @@ func (p *Profile1D) Reset() {
 
 // Clone returns a deep copy.
 func (p *Profile1D) Clone() *Profile1D {
-	c := &Profile1D{name: p.name, ann: p.ann.clone(), axis: p.axis, bins: make([]profBin, len(p.bins))}
+	c := &Profile1D{name: p.name, ann: p.ann.clone(), axis: p.axis, bins: make([]profBin, len(p.bins)), dirty: p.dirty}
 	copy(c.bins, p.bins)
 	return c
 }
+
+// Dirty implements Dirtyable.
+func (p *Profile1D) Dirty() bool { return p.dirty }
+
+// ClearDirty implements Dirtyable.
+func (p *Profile1D) ClearDirty() { p.dirty = false }
 
 // MergeFrom implements Mergeable.
 func (p *Profile1D) MergeFrom(src Object) error {
@@ -167,6 +177,7 @@ func (p *Profile1D) MergeFrom(src Object) error {
 	if !ok || !p.axis.Equal(o.axis) {
 		return errIncompatible("merge", p, src)
 	}
+	p.dirty = true
 	for i := range p.bins {
 		p.bins[i].add(o.bins[i])
 	}

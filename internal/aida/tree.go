@@ -15,6 +15,9 @@ import (
 // service) must synchronise.
 type Tree struct {
 	root *dir
+	// snapped holds the object paths included in the last delta snapshot
+	// (nil until the first Delta/FullDelta call — see delta.go).
+	snapped map[string]struct{}
 }
 
 type dir struct {

@@ -1,16 +1,26 @@
 package aida
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
+	"sync"
 )
 
 // This file defines the exported "state" representation of every AIDA
-// object. States have only exported fields so they travel over gob (the
-// RMI snapshot path from engines to the AIDA manager) and convert cleanly
-// to and from the XML interchange format.
+// object and its wire encoding. States have only exported fields and
+// convert cleanly to and from the XML interchange format.
+//
+// On the RMI snapshot path (engines → AIDA manager → polling clients)
+// states are NOT encoded by gob's reflection walk: ObjectState, TreeState
+// and DeltaState implement GobEncoder/GobDecoder backed by a compact
+// hand-rolled binary codec (below), so a snapshot crosses the wire
+// as one length-prefixed binary blob in the same little-endian style as
+// events.Marshal. That removes per-field reflection and type metadata and
+// cuts both bytes and allocations on the hot publish/poll cycle.
 
 // KV is one annotation entry.
 type KV struct{ Key, Value string }
@@ -386,6 +396,569 @@ func (st *TreeState) Restore() (*Tree, error) {
 		}
 	}
 	return t, nil
+}
+
+// ------------------------------------------------------------------
+// Binary wire codec.
+//
+// Frame layout (all integers are uvarint unless noted; floats are IEEE
+// 754 bits byte-reversed then uvarint-encoded so common values like small
+// integers and halves take 1–3 bytes; strings and byte counts are
+// uvarint-length-prefixed):
+//
+//	TreeState:  ver(1B) count entry*
+//	DeltaState: ver(1B) flags(1B: bit0=Full) count entry* nRemoved path*
+//	entry:      path object
+//	object:     tag(1B) payload          (tags: 1=H1 2=H2 3=P1 4=C1 5=C2 6=DP)
+//
+// Signed int64 fields use zigzag varints. The version byte lets future
+// PRs evolve the layout (e.g. compressed frames) without breaking old
+// peers mid-rollout.
+
+const wireVersion = 1
+
+// Object tags in wire frames.
+const (
+	wireH1 = 1 + iota
+	wireH2
+	wireP1
+	wireC1
+	wireC2
+	wireDP
+)
+
+// encPool recycles encode scratch buffers so repeated snapshot encodes
+// don't pay slice-growth reallocations.
+var encPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendI64(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.AppendUvarint(b, bits.ReverseBytes64(math.Float64bits(f)))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendF64s(b []byte, fs []float64) []byte {
+	b = appendUvarint(b, uint64(len(fs)))
+	for _, f := range fs {
+		b = appendF64(b, f)
+	}
+	return b
+}
+
+func appendKVs(b []byte, kvs []KV) []byte {
+	b = appendUvarint(b, uint64(len(kvs)))
+	for _, kv := range kvs {
+		b = appendString(b, kv.Key)
+		b = appendString(b, kv.Value)
+	}
+	return b
+}
+
+// wireReader is a cursor over an encoded frame; the first malformed read
+// latches err and turns every subsequent read into a cheap no-op.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+var errWireShort = fmt.Errorf("aida: truncated wire frame")
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = errWireShort
+	}
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// count reads a collection length and bounds it against the remaining
+// frame so a corrupt header can't trigger a huge allocation.
+func (r *wireReader) count(minElemSize int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if v > uint64(len(r.b)/minElemSize) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *wireReader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) f64() float64 {
+	return math.Float64frombits(bits.ReverseBytes64(r.uvarint()))
+}
+
+func (r *wireReader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *wireReader) f64s() []float64 {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		// State() builds these with append(nil, ...), so empty is nil.
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *wireReader) kvs() []KV {
+	n := r.count(2)
+	if r.err != nil {
+		return nil
+	}
+	// annState always returns a non-nil slice; mirror that so decoded
+	// states compare deep-equal to freshly extracted ones.
+	out := make([]KV, n)
+	for i := range out {
+		out[i].Key = r.str()
+		out[i].Value = r.str()
+	}
+	return out
+}
+
+func appendH1D(b []byte, s *H1DState) []byte {
+	b = appendString(b, s.Name)
+	b = appendKVs(b, s.Ann)
+	b = appendUvarint(b, uint64(s.Bins))
+	b = appendF64(b, s.Lo)
+	b = appendF64(b, s.Hi)
+	b = appendUvarint(b, uint64(len(s.Data)))
+	for _, d := range s.Data {
+		b = appendI64(b, d.Entries)
+		b = appendF64(b, d.SumW)
+		b = appendF64(b, d.SumW2)
+		b = appendF64(b, d.SumWX)
+	}
+	b = appendF64(b, s.SumW)
+	b = appendF64(b, s.SumWX)
+	return appendF64(b, s.SumWX2)
+}
+
+func (r *wireReader) h1d() *H1DState {
+	s := &H1DState{Name: r.str(), Ann: r.kvs(), Bins: int(r.uvarint()), Lo: r.f64(), Hi: r.f64()}
+	n := r.count(4) // 4 varints, 1B each minimum
+	if r.err != nil {
+		return s
+	}
+	s.Data = make([]BinState, n)
+	for i := range s.Data {
+		s.Data[i] = BinState{r.i64(), r.f64(), r.f64(), r.f64()}
+	}
+	s.SumW, s.SumWX, s.SumWX2 = r.f64(), r.f64(), r.f64()
+	return s
+}
+
+func appendH2D(b []byte, s *H2DState) []byte {
+	b = appendString(b, s.Name)
+	b = appendKVs(b, s.Ann)
+	b = appendUvarint(b, uint64(s.NX))
+	b = appendF64(b, s.XLo)
+	b = appendF64(b, s.XHi)
+	b = appendUvarint(b, uint64(s.NY))
+	b = appendF64(b, s.YLo)
+	b = appendF64(b, s.YHi)
+	b = appendUvarint(b, uint64(len(s.Cells)))
+	for _, c := range s.Cells {
+		b = appendI64(b, c.Entries)
+		b = appendF64(b, c.SumW)
+		b = appendF64(b, c.SumW2)
+		b = appendF64(b, c.SumWX)
+		b = appendF64(b, c.SumWY)
+	}
+	b = appendF64(b, s.SumW)
+	b = appendF64(b, s.SumWX)
+	b = appendF64(b, s.SumWY)
+	b = appendF64(b, s.SumWX2)
+	return appendF64(b, s.SumWY2)
+}
+
+func (r *wireReader) h2d() *H2DState {
+	s := &H2DState{Name: r.str(), Ann: r.kvs()}
+	s.NX, s.XLo, s.XHi = int(r.uvarint()), r.f64(), r.f64()
+	s.NY, s.YLo, s.YHi = int(r.uvarint()), r.f64(), r.f64()
+	n := r.count(5) // 5 varints, 1B each minimum
+	if r.err != nil {
+		return s
+	}
+	s.Cells = make([]Bin2State, n)
+	for i := range s.Cells {
+		s.Cells[i] = Bin2State{r.i64(), r.f64(), r.f64(), r.f64(), r.f64()}
+	}
+	s.SumW, s.SumWX, s.SumWY = r.f64(), r.f64(), r.f64()
+	s.SumWX2, s.SumWY2 = r.f64(), r.f64()
+	return s
+}
+
+func appendP1D(b []byte, s *P1DState) []byte {
+	b = appendString(b, s.Name)
+	b = appendKVs(b, s.Ann)
+	b = appendUvarint(b, uint64(s.Bins))
+	b = appendF64(b, s.Lo)
+	b = appendF64(b, s.Hi)
+	b = appendUvarint(b, uint64(len(s.Data)))
+	for _, d := range s.Data {
+		b = appendI64(b, d.Entries)
+		b = appendF64(b, d.SumW)
+		b = appendF64(b, d.SumWY)
+		b = appendF64(b, d.SumWY2)
+	}
+	return b
+}
+
+func (r *wireReader) p1d() *P1DState {
+	s := &P1DState{Name: r.str(), Ann: r.kvs(), Bins: int(r.uvarint()), Lo: r.f64(), Hi: r.f64()}
+	n := r.count(4)
+	if r.err != nil {
+		return s
+	}
+	s.Data = make([]ProfBinState, n)
+	for i := range s.Data {
+		s.Data[i] = ProfBinState{r.i64(), r.f64(), r.f64(), r.f64()}
+	}
+	return s
+}
+
+func appendC1D(b []byte, s *C1DState) []byte {
+	b = appendString(b, s.Name)
+	b = appendKVs(b, s.Ann)
+	b = appendI64(b, int64(s.Limit))
+	b = appendF64s(b, s.Xs)
+	b = appendF64s(b, s.Ws)
+	b = appendF64(b, s.SumW)
+	b = appendF64(b, s.SumWX)
+	b = appendF64(b, s.SumWX2)
+	b = appendF64(b, s.Lo)
+	b = appendF64(b, s.Hi)
+	if s.Converted == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return appendH1D(b, s.Converted)
+}
+
+func (r *wireReader) c1d() *C1DState {
+	s := &C1DState{Name: r.str(), Ann: r.kvs(), Limit: int(r.i64())}
+	s.Xs, s.Ws = r.f64s(), r.f64s()
+	s.SumW, s.SumWX, s.SumWX2 = r.f64(), r.f64(), r.f64()
+	s.Lo, s.Hi = r.f64(), r.f64()
+	if r.byte() != 0 {
+		s.Converted = r.h1d()
+	}
+	return s
+}
+
+func appendC2D(b []byte, s *C2DState) []byte {
+	b = appendString(b, s.Name)
+	b = appendKVs(b, s.Ann)
+	b = appendI64(b, int64(s.Limit))
+	b = appendF64s(b, s.Xs)
+	b = appendF64s(b, s.Ys)
+	b = appendF64s(b, s.Ws)
+	b = appendF64(b, s.XLo)
+	b = appendF64(b, s.XHi)
+	b = appendF64(b, s.YLo)
+	b = appendF64(b, s.YHi)
+	if s.Converted == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return appendH2D(b, s.Converted)
+}
+
+func (r *wireReader) c2d() *C2DState {
+	s := &C2DState{Name: r.str(), Ann: r.kvs(), Limit: int(r.i64())}
+	s.Xs, s.Ys, s.Ws = r.f64s(), r.f64s(), r.f64s()
+	s.XLo, s.XHi, s.YLo, s.YHi = r.f64(), r.f64(), r.f64(), r.f64()
+	if r.byte() != 0 {
+		s.Converted = r.h2d()
+	}
+	return s
+}
+
+func appendDPS(b []byte, s *DPSState) []byte {
+	b = appendString(b, s.Name)
+	b = appendKVs(b, s.Ann)
+	b = appendUvarint(b, uint64(s.Dim))
+	b = appendUvarint(b, uint64(len(s.Points)))
+	for _, p := range s.Points {
+		b = appendUvarint(b, uint64(len(p.Coords)))
+		for _, c := range p.Coords {
+			b = appendF64(b, c.Value)
+			b = appendF64(b, c.ErrorPlus)
+			b = appendF64(b, c.ErrorMinus)
+		}
+	}
+	return b
+}
+
+func (r *wireReader) dps() *DPSState {
+	s := &DPSState{Name: r.str(), Ann: r.kvs(), Dim: int(r.uvarint())}
+	n := r.count(1)
+	if r.err != nil {
+		return s
+	}
+	s.Points = make([]DataPoint, n)
+	for i := range s.Points {
+		nc := r.count(3)
+		if r.err != nil {
+			return s
+		}
+		s.Points[i].Coords = make([]Measurement, nc)
+		for j := range s.Points[i].Coords {
+			s.Points[i].Coords[j] = Measurement{r.f64(), r.f64(), r.f64()}
+		}
+	}
+	return s
+}
+
+// AppendObjectState appends s's binary encoding to dst.
+func AppendObjectState(dst []byte, s *ObjectState) ([]byte, error) {
+	switch {
+	case s.H1 != nil:
+		return appendH1D(append(dst, wireH1), s.H1), nil
+	case s.H2 != nil:
+		return appendH2D(append(dst, wireH2), s.H2), nil
+	case s.P1 != nil:
+		return appendP1D(append(dst, wireP1), s.P1), nil
+	case s.C1 != nil:
+		return appendC1D(append(dst, wireC1), s.C1), nil
+	case s.C2 != nil:
+		return appendC2D(append(dst, wireC2), s.C2), nil
+	case s.DP != nil:
+		return appendDPS(append(dst, wireDP), s.DP), nil
+	default:
+		return dst, fmt.Errorf("aida: encoding empty object state")
+	}
+}
+
+func (r *wireReader) objectState() ObjectState {
+	switch tag := r.byte(); tag {
+	case wireH1:
+		return ObjectState{H1: r.h1d()}
+	case wireH2:
+		return ObjectState{H2: r.h2d()}
+	case wireP1:
+		return ObjectState{P1: r.p1d()}
+	case wireC1:
+		return ObjectState{C1: r.c1d()}
+	case wireC2:
+		return ObjectState{C2: r.c2d()}
+	case wireDP:
+		return ObjectState{DP: r.dps()}
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("aida: unknown wire object tag %d", tag)
+		}
+		return ObjectState{}
+	}
+}
+
+func appendEntries(dst []byte, entries []TreeEntry) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(len(entries)))
+	var err error
+	for i := range entries {
+		dst = appendString(dst, entries[i].Path)
+		if dst, err = AppendObjectState(dst, &entries[i].Object); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func (r *wireReader) entries() []TreeEntry {
+	n := r.count(2)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]TreeEntry, n)
+	for i := range out {
+		out[i].Path = r.str()
+		out[i].Object = r.objectState()
+		if r.err != nil {
+			return out
+		}
+	}
+	return out
+}
+
+// AppendTreeState appends st's binary frame to dst.
+func AppendTreeState(dst []byte, st *TreeState) ([]byte, error) {
+	return appendEntries(append(dst, wireVersion), st.Entries)
+}
+
+// DecodeTreeState parses a frame produced by AppendTreeState.
+func DecodeTreeState(b []byte) (*TreeState, error) {
+	r := &wireReader{b: b}
+	if v := r.byte(); r.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("aida: unsupported tree wire version %d", v)
+	}
+	st := &TreeState{Entries: r.entries()}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}
+
+// AppendDeltaState appends d's binary frame to dst.
+func AppendDeltaState(dst []byte, d *DeltaState) ([]byte, error) {
+	dst = append(dst, wireVersion)
+	var flags byte
+	if d.Full {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	var err error
+	if dst, err = appendEntries(dst, d.Entries); err != nil {
+		return dst, err
+	}
+	dst = appendUvarint(dst, uint64(len(d.Removed)))
+	for _, p := range d.Removed {
+		dst = appendString(dst, p)
+	}
+	return dst, nil
+}
+
+// DecodeDeltaState parses a frame produced by AppendDeltaState.
+func DecodeDeltaState(b []byte) (*DeltaState, error) {
+	r := &wireReader{b: b}
+	if v := r.byte(); r.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("aida: unsupported delta wire version %d", v)
+	}
+	d := &DeltaState{Full: r.byte()&1 != 0, Entries: r.entries()}
+	if n := r.count(1); r.err == nil && n > 0 {
+		d.Removed = make([]string, n)
+		for i := range d.Removed {
+			d.Removed[i] = r.str()
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return d, nil
+}
+
+// encodePooled runs fn against a pooled scratch buffer and returns an
+// exact-size copy (the copy is handed to gob, which owns its result).
+func encodePooled(fn func([]byte) ([]byte, error)) ([]byte, error) {
+	bp := encPool.Get().(*[]byte)
+	buf, err := fn((*bp)[:0])
+	if err == nil {
+		out := make([]byte, len(buf))
+		copy(out, buf)
+		*bp = buf[:0]
+		encPool.Put(bp)
+		return out, nil
+	}
+	*bp = buf[:0]
+	encPool.Put(bp)
+	return nil, err
+}
+
+// GobEncode implements gob.GobEncoder via the binary codec. Value
+// receiver: the RMI client encodes args boxed in an interface, which gob
+// cannot address, and gob rejects pointer-only GobEncoders there.
+func (st TreeState) GobEncode() ([]byte, error) {
+	return encodePooled(func(b []byte) ([]byte, error) { return AppendTreeState(b, &st) })
+}
+
+// GobDecode implements gob.GobDecoder.
+func (st *TreeState) GobDecode(b []byte) error {
+	dec, err := DecodeTreeState(b)
+	if err != nil {
+		return err
+	}
+	*st = *dec
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder via the binary codec (value
+// receiver for the same addressability reason as TreeState).
+func (d DeltaState) GobEncode() ([]byte, error) {
+	return encodePooled(func(b []byte) ([]byte, error) { return AppendDeltaState(b, &d) })
+}
+
+// GobDecode implements gob.GobDecoder.
+func (d *DeltaState) GobDecode(b []byte) error {
+	dec, err := DecodeDeltaState(b)
+	if err != nil {
+		return err
+	}
+	*d = *dec
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder via the binary codec (used when an
+// ObjectState travels outside a TreeState/DeltaState, e.g. PollReply
+// entries).
+func (s ObjectState) GobEncode() ([]byte, error) {
+	return encodePooled(func(b []byte) ([]byte, error) { return AppendObjectState(b, &s) })
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *ObjectState) GobDecode(b []byte) error {
+	r := &wireReader{b: b}
+	*s = r.objectState()
+	return r.err
 }
 
 // EncodeTree gob-encodes the tree to w.

@@ -46,6 +46,11 @@ type Config struct {
 	// SnapshotInterval also publishes when this much time passed since
 	// the last snapshot (default 1s) — the paper's sub-minute feedback.
 	SnapshotInterval time.Duration
+	// FullSnapshots publishes the whole tree on every snapshot (the
+	// legacy path, kept selectable for the delta-vs-full ablation).
+	// Default false: publish incremental deltas with a full baseline on
+	// first publish, after rewind, and when the manager asks (NeedFull).
+	FullSnapshots bool
 	// Registry resolves native analyses (nil = analysis.Default).
 	Registry *analysis.Registry
 	// GlobalOffset is the absolute index of the part's first record.
@@ -76,6 +81,7 @@ type Engine struct {
 	nextRec  int64
 	stepLeft int64 // records remaining in a Step command (-1 = unlimited)
 	seq      int64
+	needFull bool // next snapshot must be a full baseline (delta mode)
 	lastErr  error
 	lastSnap time.Time
 	events   int64 // processed since init
@@ -398,15 +404,12 @@ func (e *Engine) processBatch() {
 	}
 }
 
-// publish sends the current tree snapshot to the manager.
+// publish sends the current tree snapshot to the manager — a delta of
+// what changed since the last snapshot by default, the whole tree in
+// FullSnapshots mode or when a baseline is needed.
 func (e *Engine) publish(procErr error) {
 	e.mu.Lock()
 	if e.tree == nil || e.cfg.Publisher == nil {
-		e.mu.Unlock()
-		return
-	}
-	st, err := e.tree.State()
-	if err != nil {
 		e.mu.Unlock()
 		return
 	}
@@ -415,9 +418,30 @@ func (e *Engine) publish(procErr error) {
 		SessionID:   e.cfg.SessionID,
 		WorkerID:    e.cfg.WorkerID,
 		Seq:         e.seq,
-		Tree:        *st,
 		EventsDone:  e.events,
 		EventsTotal: e.total,
+	}
+	if e.cfg.FullSnapshots {
+		st, err := e.tree.State()
+		if err != nil {
+			e.mu.Unlock()
+			return
+		}
+		args.Tree = *st
+	} else {
+		var d *aida.DeltaState
+		var err error
+		if e.needFull {
+			d, err = e.tree.FullDelta()
+		} else {
+			d, err = e.tree.Delta()
+		}
+		if err != nil {
+			e.mu.Unlock()
+			return
+		}
+		args.Delta = d
+		e.needFull = false
 	}
 	var logs []string
 	if sa, ok := e.anal.(interface{ Output() string }); ok {
@@ -436,9 +460,18 @@ func (e *Engine) publish(procErr error) {
 	var reply merge.PublishReply
 	if err := pub.Publish(args, &reply); err != nil {
 		e.mu.Lock()
+		// The delta's dirty bits are already consumed; re-baseline so the
+		// lost changes reach the manager with the next snapshot.
+		e.needFull = true
 		if e.lastErr == nil {
 			e.lastErr = fmt.Errorf("engine: publishing snapshot: %w", err)
 		}
+		e.mu.Unlock()
+		return
+	}
+	if reply.NeedFull || !reply.Accepted {
+		e.mu.Lock()
+		e.needFull = true
 		e.mu.Unlock()
 	}
 }

@@ -4,8 +4,20 @@
 // separate plug-in on the JAS client constantly polls the AIDA manager
 // ... to check for any updated histograms."
 //
-// Engines publish whole-tree snapshots tagged with a sequence number; the
-// manager keeps the latest snapshot per worker and merges on demand.
+// Engines publish snapshots tagged with a sequence number. The preferred
+// form is a delta (PublishArgs.Delta): only the objects touched since the
+// worker's previous snapshot plus removed paths. Deltas apply additively —
+// the manager patches the worker's retained tree and re-merges just the
+// touched paths into the persistent merged tree, so publish cost is
+// proportional to what changed, not to total state × workers. Deltas must
+// arrive in sequence; on a gap (lost or reordered publish) the manager
+// answers NeedFull and the engine re-baselines with a full delta, which is
+// also how first publishes and rewinds work.
+//
+// The legacy whole-tree form (PublishArgs.Tree) is retained as the
+// ablation baseline: such snapshots mark the session dirty and the merged
+// tree is rebuilt from every worker tree at the next poll.
+//
 // Clients poll with their last-seen version and receive either nothing
 // (unchanged) or the updated objects — incremental polling is what makes
 // sub-minute feedback affordable (ablation A4). For large worker counts a
@@ -19,7 +31,6 @@ package merge
 
 import (
 	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,9 +42,14 @@ import (
 type PublishArgs struct {
 	SessionID string
 	WorkerID  string
-	// Seq orders snapshots from one worker; stale ones are dropped.
+	// Seq orders snapshots from one worker; stale ones are dropped and
+	// non-consecutive deltas trigger a NeedFull resync.
 	Seq int64
-	// Tree is the worker's full current result state.
+	// Delta is the incremental snapshot (preferred). When non-nil, Tree
+	// is ignored.
+	Delta *aida.DeltaState
+	// Tree is the worker's full current result state (legacy/ablation
+	// baseline path).
 	Tree aida.TreeState
 	// EventsDone / EventsTotal drive the client progress display.
 	EventsDone  int64
@@ -46,6 +62,10 @@ type PublishArgs struct {
 type PublishReply struct {
 	Accepted bool
 	Version  int64 // session version after this publish
+	// NeedFull asks the worker to re-baseline: the manager cannot apply
+	// the delta (unknown worker or a sequence gap) and needs a full
+	// snapshot next.
+	NeedFull bool
 }
 
 // PollArgs is the client's update request.
@@ -92,13 +112,18 @@ type workerState struct {
 }
 
 type sessionState struct {
-	version    int64
-	workers    map[string]*workerState
+	version int64
+	workers map[string]*workerState
+	// workerIDs mirrors the workers keys in sorted order, maintained on
+	// insert so neither publish nor poll re-sorts.
+	workerIDs  []string
 	merged     *aida.Tree
 	objVersion map[string]int64 // path → version of last content change
 	gone       map[string]int64 // path → version at which it vanished
 	logs       []logLine
-	dirty      bool
+	// dirty marks pending legacy full-tree publishes; remerge() clears
+	// it by rebuilding merged from every worker tree.
+	dirty bool
 }
 
 type logLine struct {
@@ -118,6 +143,9 @@ type Manager struct {
 // NewManager creates an empty manager.
 func NewManager() *Manager { return &Manager{sessions: make(map[string]*sessionState)} }
 
+// session returns the state for id, creating it on first use. Only the
+// publish path creates sessions; read-only RPCs use lookup so stray or
+// malicious polls cannot grow memory without bound.
 func (m *Manager) session(id string) *sessionState {
 	s := m.sessions[id]
 	if s == nil {
@@ -132,10 +160,43 @@ func (m *Manager) session(id string) *sessionState {
 	return s
 }
 
-// Publish ingests a worker snapshot (RMI-compatible).
+// lookup returns the state for id, or nil. Caller holds m.mu.
+func (m *Manager) lookup(id string) *sessionState { return m.sessions[id] }
+
+// worker returns the state for workerID, creating (and index-inserting)
+// it on first use. Caller holds m.mu.
+func (s *sessionState) worker(workerID string) *workerState {
+	w := s.workers[workerID]
+	if w == nil {
+		w = &workerState{}
+		s.workers[workerID] = w
+		at := sort.SearchStrings(s.workerIDs, workerID)
+		s.workerIDs = append(s.workerIDs, "")
+		copy(s.workerIDs[at+1:], s.workerIDs[at:])
+		s.workerIDs[at] = workerID
+	}
+	return w
+}
+
+func (s *sessionState) appendLog(text string) {
+	if text == "" {
+		return
+	}
+	s.logs = append(s.logs, logLine{version: s.version, text: text})
+	if len(s.logs) > maxLogLines {
+		s.logs = s.logs[len(s.logs)-maxLogLines:]
+	}
+}
+
+// Publish ingests a worker snapshot (RMI-compatible). Delta snapshots
+// apply immediately; legacy whole-tree snapshots defer the rebuild to the
+// next poll.
 func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	if args.SessionID == "" || args.WorkerID == "" {
 		return fmt.Errorf("merge: session and worker IDs required")
+	}
+	if args.Delta != nil {
+		return m.publishDelta(args, reply)
 	}
 	tree, err := args.Tree.Restore()
 	if err != nil {
@@ -144,11 +205,7 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.session(args.SessionID)
-	w := s.workers[args.WorkerID]
-	if w == nil {
-		w = &workerState{}
-		s.workers[args.WorkerID] = w
-	}
+	w := s.worker(args.WorkerID)
 	if args.Seq <= w.seq && args.Seq != 0 {
 		// Stale or duplicate snapshot (out-of-order RMI retry): ignore.
 		reply.Accepted = false
@@ -161,31 +218,162 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	w.total = args.EventsTotal
 	s.version++
 	s.dirty = true
-	if args.Log != "" {
-		s.logs = append(s.logs, logLine{version: s.version, text: args.Log})
-		if len(s.logs) > maxLogLines {
-			s.logs = s.logs[len(s.logs)-maxLogLines:]
-		}
-	}
+	s.appendLog(args.Log)
 	reply.Accepted = true
 	reply.Version = s.version
 	return nil
 }
 
+// publishDelta applies an incremental snapshot: patch the worker's
+// retained tree, then re-merge only the touched paths.
+func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
+	d := args.Delta
+	// Restore all payload objects before mutating anything so a corrupt
+	// delta is rejected atomically.
+	objs := make([]aida.Object, len(d.Entries))
+	for i, e := range d.Entries {
+		obj, err := e.Object.Restore()
+		if err != nil {
+			return fmt.Errorf("merge: bad delta from %s at %q: %w", args.WorkerID, e.Path, err)
+		}
+		objs[i] = obj
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.session(args.SessionID)
+	w := s.worker(args.WorkerID)
+	reply.Version = s.version
+	if !d.Full {
+		if args.Seq <= w.seq && w.tree != nil {
+			// Duplicate or stale retry: w.seq only advances on applied
+			// snapshots, so this delta's content is already incorporated
+			// (or superseded by a later baseline). Drop it cheaply — no
+			// resync needed.
+			reply.Accepted = false
+			return nil
+		}
+		if w.tree == nil || args.Seq != w.seq+1 {
+			// Unknown baseline or a sequence gap ahead: deltas are
+			// cumulative from the previous snapshot, so the missing one
+			// is unrecoverable. Ask for a re-baseline.
+			reply.Accepted = false
+			reply.NeedFull = true
+			return nil
+		}
+	} else if w.tree != nil && args.Seq <= w.seq && args.Seq != 0 {
+		// Stale baseline (out-of-order retry of an old full snapshot).
+		reply.Accepted = false
+		return nil
+	}
+	// Flush any pending legacy rebuild first so per-path recomputes start
+	// from a consistent merged tree.
+	if err := s.remerge(); err != nil {
+		return err
+	}
+	touched := make([]string, 0, len(d.Entries)+len(d.Removed))
+	if d.Full {
+		old := w.tree
+		next := aida.NewTree()
+		for i, e := range d.Entries {
+			if err := next.PutAt(e.Path, objs[i]); err != nil {
+				return err
+			}
+			touched = append(touched, e.Path)
+		}
+		if old != nil {
+			// Paths the worker used to contribute but no longer does
+			// (rewind with a changed analysis) must re-merge too.
+			old.Walk(func(path string, _ aida.Object) {
+				if next.Get(path) == nil {
+					touched = append(touched, path)
+				}
+			})
+		}
+		w.tree = next
+	} else {
+		for i, e := range d.Entries {
+			if err := w.tree.PutAt(e.Path, objs[i]); err != nil {
+				return err
+			}
+			touched = append(touched, e.Path)
+		}
+		for _, path := range d.Removed {
+			if w.tree.Rm(path) {
+				touched = append(touched, path)
+			}
+		}
+	}
+	w.seq = args.Seq
+	w.done = args.EventsDone
+	w.total = args.EventsTotal
+	s.version++
+	for _, path := range touched {
+		if err := s.recomputePath(path); err != nil {
+			return err
+		}
+	}
+	s.appendLog(args.Log)
+	reply.Accepted = true
+	reply.Version = s.version
+	return nil
+}
+
+// recomputePath rebuilds the merged object at path from every worker's
+// contribution and stamps it with the current version. Workers merge in
+// sorted-ID order so results are deterministic and identical to a full
+// remerge. Caller holds m.mu.
+func (s *sessionState) recomputePath(path string) error {
+	var acc aida.Object
+	for _, id := range s.workerIDs {
+		w := s.workers[id]
+		if w.tree == nil {
+			continue
+		}
+		obj := w.tree.Get(path)
+		if obj == nil {
+			continue
+		}
+		if acc == nil {
+			cp, err := aida.CloneObject(obj)
+			if err != nil {
+				return fmt.Errorf("merge: %q: %w", path, err)
+			}
+			acc = cp
+			continue
+		}
+		mo, ok := acc.(aida.Mergeable)
+		if !ok {
+			return fmt.Errorf("merge: object %q (%s) is not mergeable", path, acc.Kind())
+		}
+		if err := mo.MergeFrom(obj); err != nil {
+			return fmt.Errorf("merge: merging %q: %w", path, err)
+		}
+	}
+	if acc == nil {
+		if s.merged.Rm(path) {
+			s.gone[path] = s.version
+		}
+		delete(s.objVersion, path)
+		return nil
+	}
+	if err := s.merged.PutAt(path, acc); err != nil {
+		return err
+	}
+	s.objVersion[path] = s.version
+	delete(s.gone, path)
+	return nil
+}
+
 // remerge rebuilds the merged tree from worker snapshots and stamps
-// changed objects with the current version. Caller holds m.mu.
+// changed objects with the current version — the legacy full-snapshot
+// path, kept as the ablation baseline. Caller holds m.mu.
 func (s *sessionState) remerge() error {
 	if !s.dirty {
 		return nil
 	}
 	prev := s.merged
 	next := aida.NewTree()
-	ids := make([]string, 0, len(s.workers))
-	for id := range s.workers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	for _, id := range s.workerIDs {
 		if w := s.workers[id]; w.tree != nil {
 			if err := next.MergeFrom(w.tree); err != nil {
 				return err
@@ -219,31 +407,38 @@ func (s *sessionState) remerge() error {
 }
 
 // objectsEqual compares two objects through their serialized wire states
-// (gob bytes — structural equality, not pointer identity).
+// (structural equality, not pointer identity). Only the legacy
+// full-snapshot path pays this cost; delta publishes stamp versions from
+// the delta's path list instead.
 func objectsEqual(a, b aida.Object) bool {
 	sa, errA := aida.StateOf(a)
 	sb, errB := aida.StateOf(b)
 	if errA != nil || errB != nil {
 		return false
 	}
-	var ba, bb bytes.Buffer
-	if gob.NewEncoder(&ba).Encode(&sa) != nil || gob.NewEncoder(&bb).Encode(&sb) != nil {
+	ba, errA := aida.AppendObjectState(nil, &sa)
+	bb, errB := aida.AppendObjectState(nil, &sb)
+	if errA != nil || errB != nil {
 		return false
 	}
-	return bytes.Equal(ba.Bytes(), bb.Bytes())
+	return bytes.Equal(ba, bb)
 }
 
 // Poll returns merged updates since the client's version
-// (RMI-compatible).
+// (RMI-compatible). Unknown sessions yield an empty reply rather than
+// allocating state.
 func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.session(args.SessionID)
+	s := m.lookup(args.SessionID)
+	if s == nil {
+		return nil
+	}
 	if err := s.remerge(); err != nil {
 		return err
 	}
 	reply.Version = s.version
-	for _, id := range sortedWorkerIDs(s.workers) {
+	for _, id := range s.workerIDs {
 		w := s.workers[id]
 		reply.Progress = append(reply.Progress, WorkerProgress{
 			WorkerID: id, EventsDone: w.done, EventsTotal: w.total, Seq: w.seq,
@@ -285,15 +480,6 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 	return nil
 }
 
-func sortedWorkerIDs(m map[string]*workerState) []string {
-	out := make([]string, 0, len(m))
-	for id := range m {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
-
 // ResetArgs clears a session's results (rewind).
 type ResetArgs struct {
 	SessionID string
@@ -309,13 +495,17 @@ type ResetReply struct {
 func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.session(args.SessionID)
+	s := m.lookup(args.SessionID)
+	if s == nil {
+		return nil
+	}
 	s.version++
 	for path := range s.objVersion {
 		s.gone[path] = s.version
 		delete(s.objVersion, path)
 	}
 	s.workers = make(map[string]*workerState)
+	s.workerIDs = nil
 	s.merged = aida.NewTree()
 	s.logs = nil
 	s.dirty = false
@@ -331,11 +521,14 @@ func (m *Manager) Drop(sessionID string) {
 }
 
 // MergedTree returns a deep copy of the current merged tree (manager-side
-// consumers like XML export).
+// consumers like XML export). Unknown sessions yield an empty tree.
 func (m *Manager) MergedTree(sessionID string) (*aida.Tree, int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.session(sessionID)
+	s := m.lookup(sessionID)
+	if s == nil {
+		return aida.NewTree(), 0, nil
+	}
 	if err := s.remerge(); err != nil {
 		return nil, 0, err
 	}
@@ -351,7 +544,8 @@ type Publisher interface {
 
 // SubMerger aggregates the engines of one group and forwards one combined
 // pseudo-worker snapshot upstream (§2.5). It implements Publisher so
-// engines can't tell it from the root manager.
+// engines can't tell it from the root manager. It currently forwards full
+// snapshots; delta forwarding is a known follow-on (see ROADMAP).
 type SubMerger struct {
 	name     string
 	session  string

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
@@ -228,6 +229,147 @@ func StreamAblation(sizeMB float64, streamCounts []int) []StreamAblationRow {
 		out = append(out, row)
 	}
 	return out
+}
+
+// A5 — incremental snapshot publishing. Publish-side cost of a steady
+// interactive session (each worker keeps filling a few of its histograms)
+// under the delta protocol vs the retained full-snapshot baseline.
+
+// PublishAblationRow is one mode's outcome.
+type PublishAblationRow struct {
+	Mode    string // "full" or "delta"
+	Workers int
+	Rounds  int
+	Objects int
+	Touched int
+	// WallMS is the wall time for all rounds (publishes + one
+	// incremental poll per round).
+	WallMS int64
+	// AllocsPerRound is the mean heap allocation count per round.
+	AllocsPerRound float64
+	// WireBytesPerPublish is the gob-encoded size of one steady-state
+	// publish (what the RMI layer would put on the wire).
+	WireBytesPerPublish int64
+}
+
+// PublishAblation runs `rounds` steady-state rounds over `workers`
+// engines each holding `objects` histograms of which `touched` change per
+// round, in both snapshot modes.
+func PublishAblation(workers, rounds, objects, touched int) ([]PublishAblationRow, error) {
+	if touched > objects {
+		touched = objects
+	}
+	var out []PublishAblationRow
+	for _, mode := range []string{"full", "delta"} {
+		m := merge.NewManager()
+		trees := make([]*aida.Tree, workers)
+		hists := make([][]*aida.Histogram1D, workers)
+		for w := range trees {
+			trees[w] = aida.NewTree()
+			hists[w] = make([]*aida.Histogram1D, objects)
+			for o := 0; o < objects; o++ {
+				h, err := trees[w].H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+				if err != nil {
+					return nil, err
+				}
+				for f := 0; f < 1000; f++ {
+					h.Fill(float64((w*31 + f) % 100))
+				}
+				hists[w][o] = h
+			}
+		}
+		seqs := make([]int64, workers)
+		var rep merge.PublishReply
+		publish := func(w int) error {
+			seqs[w]++
+			args := merge.PublishArgs{
+				SessionID: "s", WorkerID: fmt.Sprintf("w%03d", w), Seq: seqs[w],
+			}
+			if mode == "full" {
+				st, err := trees[w].State()
+				if err != nil {
+					return err
+				}
+				args.Tree = *st
+			} else {
+				d, err := trees[w].Delta()
+				if err != nil {
+					return err
+				}
+				args.Delta = d
+			}
+			return m.Publish(args, &rep)
+		}
+		// Baseline round (not measured): every worker announces its tree.
+		for w := 0; w < workers; w++ {
+			if err := publish(w); err != nil {
+				return nil, err
+			}
+		}
+		var poll merge.PollReply
+		if err := m.Poll(merge.PollArgs{SessionID: "s"}, &poll); err != nil {
+			return nil, err
+		}
+		since := poll.Version
+		// One steady-state publish measured for wire size.
+		for o := 0; o < touched; o++ {
+			hists[0][o].Fill(50)
+		}
+		var wireBytes int64
+		{
+			args := merge.PublishArgs{SessionID: "s", WorkerID: "w000", Seq: seqs[0] + 1}
+			if mode == "full" {
+				st, err := trees[0].State()
+				if err != nil {
+					return nil, err
+				}
+				args.Tree = *st
+			} else {
+				d, err := trees[0].Delta()
+				if err != nil {
+					return nil, err
+				}
+				args.Delta = d
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&args); err != nil {
+				return nil, err
+			}
+			wireBytes = int64(buf.Len())
+			seqs[0]++
+			if err := m.Publish(args, &rep); err != nil {
+				return nil, err
+			}
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for w := 0; w < workers; w++ {
+				for o := 0; o < touched; o++ {
+					hists[w][(r+o)%objects].Fill(float64((r + o) % 100))
+				}
+				if err := publish(w); err != nil {
+					return nil, err
+				}
+			}
+			poll = merge.PollReply{}
+			if err := m.Poll(merge.PollArgs{SessionID: "s", SinceVersion: since}, &poll); err != nil {
+				return nil, err
+			}
+			since = poll.Version
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		out = append(out, PublishAblationRow{
+			Mode: mode, Workers: workers, Rounds: rounds, Objects: objects, Touched: touched,
+			WallMS:              wall.Milliseconds(),
+			AllocsPerRound:      float64(after.Mallocs-before.Mallocs) / float64(rounds),
+			WireBytesPerPublish: wireBytes,
+		})
+	}
+	return out, nil
 }
 
 // A4 — incremental result polling (§3.7). Wire bytes per poll cycle when

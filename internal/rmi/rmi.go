@@ -16,6 +16,7 @@
 package rmi
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -24,6 +25,13 @@ import (
 	"reflect"
 	"sync"
 )
+
+// writerPool recycles per-connection write buffers: gob emits several
+// small messages per call (header, body) and buffering coalesces them
+// into one syscall per request/response instead of one per message.
+var writerPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(nil, 8192) },
+}
 
 // TokenValidator authorizes a session token for an object/method pair.
 // A nil validator on the server accepts everything (for tests only).
@@ -162,20 +170,27 @@ func (s *Server) Close() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(conn)
 	defer func() {
 		conn.Close()
+		bw.Reset(nil) // drop the conn reference before pooling
+		writerPool.Put(bw)
 		s.lnMu.Lock()
 		delete(s.conns, conn)
 		s.lnMu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	enc := gob.NewEncoder(bw)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or broken connection
 		}
 		s.handle(&req, dec, enc)
+		if err := bw.Flush(); err != nil {
+			return
+		}
 	}
 }
 
@@ -235,6 +250,7 @@ func (e RemoteError) Error() string { return string(e) }
 type Client struct {
 	mu    sync.Mutex
 	conn  net.Conn
+	bw    *bufio.Writer
 	dec   *gob.Decoder
 	enc   *gob.Encoder
 	seq   uint64
@@ -257,8 +273,9 @@ func (c *Client) connect() error {
 		return fmt.Errorf("rmi: dialing %s: %w", c.addr, err)
 	}
 	c.conn = conn
+	c.bw = bufio.NewWriterSize(conn, 8192)
 	c.dec = gob.NewDecoder(conn)
-	c.enc = gob.NewEncoder(conn)
+	c.enc = gob.NewEncoder(c.bw)
 	return nil
 }
 
@@ -303,6 +320,10 @@ func (c *Client) Call(objectDotMethod string, args any, reply any) error {
 		c.reset()
 		return fmt.Errorf("rmi: sending args: %w", err)
 	}
+	if err := c.bw.Flush(); err != nil {
+		c.reset()
+		return fmt.Errorf("rmi: sending request: %w", err)
+	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
 		c.reset()
@@ -326,6 +347,7 @@ func (c *Client) reset() {
 		c.conn.Close()
 	}
 	c.conn = nil
+	c.bw = nil
 	c.dec, c.enc = nil, nil
 }
 

@@ -1,11 +1,12 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_1.json) so successive PRs can track the perf trajectory.
+// (default BENCH_2.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1.json baseline.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|all] [-out DIR] [-json FILE]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|all] [-out DIR] [-json FILE]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
@@ -23,7 +25,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_1.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_2.json", "metrics baseline file (\"\" disables)")
 	flag.Parse()
 	// A partial run writes a partial metrics map; never let it silently
 	// clobber the committed full baseline unless -json was given
@@ -48,9 +50,9 @@ func run(exp, outDir, jsonPath string) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -196,6 +198,52 @@ func run(exp, outDir, jsonPath string) error {
 			metrics["publish_"+r.Mode+"_wire_bytes"] = float64(r.WireBytesPerPublish)
 		}
 		fmt.Fprintln(w, t.String())
+	}
+	if all || exp == "hierarchy" {
+		rows, err := perf.HierarchyAblation(4, 8, 40, 20, 1)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: "A6 — SubMerger forwarding, 4 groups x 8 workers x 40 rounds, 1 of 20 touched",
+			Columns: []string{"Mode", "Upstream B/flush", "Allocs/round", "Wall ms"}}
+		for _, r := range rows {
+			t.AddRow(r.Mode, fmt.Sprintf("%d", r.UpstreamBytesPerFlush),
+				fmt.Sprintf("%.0f", r.AllocsPerRound), fmt.Sprintf("%d", r.WallMS))
+			key := "hier_" + strings.ReplaceAll(r.Mode, "-", "_")
+			metrics[key+"_bytes_per_flush"] = float64(r.UpstreamBytesPerFlush)
+			metrics[key+"_allocs_per_round"] = r.AllocsPerRound
+			metrics[key+"_wall_ms"] = float64(r.WallMS)
+		}
+		fmt.Fprintln(w, t.String())
+	}
+	if all || exp == "pollcache" {
+		rows, err := perf.PollCacheAblation(64, 20)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: "A7 — poll encode cache, 64 clients x 20 histograms",
+			Columns: []string{"Mode", "Allocs/poll", "us/poll", "Hits", "Misses"}}
+		for _, r := range rows {
+			t.AddRow(r.Mode, fmt.Sprintf("%.0f", r.AllocsPerPoll), fmt.Sprintf("%.0f", r.MicrosPerPoll),
+				fmt.Sprintf("%d", r.Hits), fmt.Sprintf("%d", r.Misses))
+			metrics["pollcache_"+r.Mode+"_allocs_per_poll"] = r.AllocsPerPoll
+			metrics["pollcache_"+r.Mode+"_us_per_poll"] = r.MicrosPerPoll
+			metrics["pollcache_"+r.Mode+"_hits"] = float64(r.Hits)
+		}
+		fmt.Fprintln(w, t.String())
+	}
+	if all || exp == "wire" {
+		r, err := perf.WireCompressionAblation(20)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: "A8 — snapshot frame size, 20 sparse histograms",
+			Columns: []string{"Frame", "Bytes"}}
+		t.AddRow("plain (v1)", fmt.Sprintf("%d", r.PlainBytes))
+		t.AddRow("deflate (v2)", fmt.Sprintf("%d", r.FlateBytes))
+		fmt.Fprintln(w, t.String())
+		metrics["wire_plain_bytes"] = float64(r.PlainBytes)
+		metrics["wire_flate_bytes"] = float64(r.FlateBytes)
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(metrics, "", "  ")

@@ -45,7 +45,15 @@ type DeltaState struct {
 	// Removed lists object paths that existed at the previous snapshot
 	// but are gone now (meaningless when Full: a baseline replaces all).
 	Removed []string
+	// compressWire selects the compressed wire frame for this state's
+	// gob encoding — a per-connection transport choice (see
+	// TreeState.SetWireCompression), never part of the content.
+	compressWire bool
 }
+
+// SetWireCompression selects the compressed (version 2) wire frame for
+// this state's gob encoding.
+func (d *DeltaState) SetWireCompression(on bool) { d.compressWire = on }
 
 // Delta emits the objects touched since the previous Delta/FullDelta call
 // and clears their dirty bits. The first snapshot of a tree is a full

@@ -1,6 +1,8 @@
 package aida
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -357,7 +359,17 @@ func (s ObjectState) Restore() (Object, error) {
 // TreeState is a whole tree on the wire.
 type TreeState struct {
 	Entries []TreeEntry
+	// compressWire selects the compressed (version 2) frame for this
+	// state's gob encoding. It is a per-connection transport choice, not
+	// content: decoders accept either frame version, and the flag does
+	// not itself cross the wire.
+	compressWire bool
 }
+
+// SetWireCompression selects the compressed (version 2) wire frame for
+// this state's gob encoding — chosen per connection by the snapshot
+// transport (WAN workers compress, LAN workers don't).
+func (st *TreeState) SetWireCompression(on bool) { st.compressWire = on }
 
 // TreeEntry is one object with its full path.
 type TreeEntry struct {
@@ -411,11 +423,22 @@ func (st *TreeState) Restore() (*Tree, error) {
 //	entry:      path object
 //	object:     tag(1B) payload          (tags: 1=H1 2=H2 3=P1 4=C1 5=C2 6=DP)
 //
-// Signed int64 fields use zigzag varints. The version byte lets future
-// PRs evolve the layout (e.g. compressed frames) without breaking old
-// peers mid-rollout.
+// Signed int64 fields use zigzag varints.
+//
+// The version byte selects the frame encoding. Version 1 is the plain
+// layout above. Version 2 is the same body DEFLATE-compressed, preceded
+// by the uncompressed body length:
+//
+//	flate frame: ver(1B)=2 rawLen(uvarint) deflate(body)
+//
+// Producers choose the version per connection (WAN workers compress,
+// LAN workers don't); decoders accept both transparently, so the two can
+// coexist mid-rollout.
 
-const wireVersion = 1
+const (
+	wireVersion      = 1 // plain frame
+	wireVersionFlate = 2 // DEFLATE-compressed body (the WAN snapshot option)
+)
 
 // Object tags in wire frames.
 const (
@@ -846,12 +869,21 @@ func AppendTreeState(dst []byte, st *TreeState) ([]byte, error) {
 	return appendEntries(append(dst, wireVersion), st.Entries)
 }
 
-// DecodeTreeState parses a frame produced by AppendTreeState.
+// AppendTreeStateFlate appends st as a compressed (version 2) frame.
+func AppendTreeStateFlate(dst []byte, st *TreeState) ([]byte, error) {
+	return appendFlateFrame(dst, func(b []byte) ([]byte, error) {
+		return appendEntries(b, st.Entries)
+	})
+}
+
+// DecodeTreeState parses a frame produced by AppendTreeState or
+// AppendTreeStateFlate.
 func DecodeTreeState(b []byte) (*TreeState, error) {
-	r := &wireReader{b: b}
-	if v := r.byte(); r.err == nil && v != wireVersion {
-		return nil, fmt.Errorf("aida: unsupported tree wire version %d", v)
+	body, err := openFrame(b, "tree")
+	if err != nil {
+		return nil, err
 	}
+	r := &wireReader{b: body}
 	st := &TreeState{Entries: r.entries()}
 	if r.err != nil {
 		return nil, r.err
@@ -859,9 +891,7 @@ func DecodeTreeState(b []byte) (*TreeState, error) {
 	return st, nil
 }
 
-// AppendDeltaState appends d's binary frame to dst.
-func AppendDeltaState(dst []byte, d *DeltaState) ([]byte, error) {
-	dst = append(dst, wireVersion)
+func appendDeltaBody(dst []byte, d *DeltaState) ([]byte, error) {
 	var flags byte
 	if d.Full {
 		flags |= 1
@@ -878,12 +908,28 @@ func AppendDeltaState(dst []byte, d *DeltaState) ([]byte, error) {
 	return dst, nil
 }
 
-// DecodeDeltaState parses a frame produced by AppendDeltaState.
+// AppendDeltaState appends d's binary frame to dst.
+func AppendDeltaState(dst []byte, d *DeltaState) ([]byte, error) {
+	return appendDeltaBody(append(dst, wireVersion), d)
+}
+
+// AppendDeltaStateFlate appends d as a compressed (version 2) frame —
+// what a WAN-deployed worker's transport puts on the wire when snapshot
+// bytes dominate the link.
+func AppendDeltaStateFlate(dst []byte, d *DeltaState) ([]byte, error) {
+	return appendFlateFrame(dst, func(b []byte) ([]byte, error) {
+		return appendDeltaBody(b, d)
+	})
+}
+
+// DecodeDeltaState parses a frame produced by AppendDeltaState or
+// AppendDeltaStateFlate.
 func DecodeDeltaState(b []byte) (*DeltaState, error) {
-	r := &wireReader{b: b}
-	if v := r.byte(); r.err == nil && v != wireVersion {
-		return nil, fmt.Errorf("aida: unsupported delta wire version %d", v)
+	body, err := openFrame(b, "delta")
+	if err != nil {
+		return nil, err
 	}
+	r := &wireReader{b: body}
 	d := &DeltaState{Full: r.byte()&1 != 0, Entries: r.entries()}
 	if n := r.count(1); r.err == nil && n > 0 {
 		d.Removed = make([]string, n)
@@ -895,6 +941,100 @@ func DecodeDeltaState(b []byte) (*DeltaState, error) {
 		return nil, r.err
 	}
 	return d, nil
+}
+
+// flateWriterPool recycles compressors: flate.NewWriter allocates large
+// internal tables, far more than a snapshot encode itself.
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// flateReaderPool recycles decompressors via flate.Resetter.
+var flateReaderPool = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+// sliceWriter adapts an append-style byte slice to io.Writer for the
+// compressor.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// appendFlateFrame encodes body into pooled scratch, then appends a
+// version-2 frame (raw length + DEFLATE of the body) to dst.
+func appendFlateFrame(dst []byte, body func([]byte) ([]byte, error)) ([]byte, error) {
+	bp := encPool.Get().(*[]byte)
+	raw, err := body((*bp)[:0])
+	if err != nil {
+		*bp = raw[:0]
+		encPool.Put(bp)
+		return dst, err
+	}
+	dst = append(dst, wireVersionFlate)
+	dst = appendUvarint(dst, uint64(len(raw)))
+	sw := &sliceWriter{b: dst}
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(sw)
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	flateWriterPool.Put(fw)
+	*bp = raw[:0]
+	encPool.Put(bp)
+	if werr != nil {
+		return sw.b, werr
+	}
+	return sw.b, cerr
+}
+
+// openFrame validates the leading version byte and returns the frame
+// body, inflating compressed frames. kind names the frame in errors.
+func openFrame(b []byte, kind string) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errWireShort
+	}
+	body := b[1:]
+	switch b[0] {
+	case wireVersion:
+		return body, nil
+	case wireVersionFlate:
+		r := &wireReader{b: body}
+		n := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		// DEFLATE expands at most ~1032x; a declared raw size beyond that
+		// bound marks a corrupt header and must not drive an allocation.
+		if n > uint64(len(r.b))*1040+64 {
+			return nil, fmt.Errorf("aida: %s flate frame declares %d raw bytes from %d compressed", kind, n, len(r.b))
+		}
+		raw := make([]byte, n)
+		fr := flateReaderPool.Get().(io.ReadCloser)
+		err := fr.(flate.Resetter).Reset(bytes.NewReader(r.b), nil)
+		if err == nil {
+			_, err = io.ReadFull(fr, raw)
+		}
+		if err == nil {
+			// The stream must end exactly at the declared length.
+			var one [1]byte
+			if m, _ := fr.Read(one[:]); m != 0 {
+				err = fmt.Errorf("aida: %s flate frame longer than declared", kind)
+			}
+		}
+		fr.Close()
+		flateReaderPool.Put(fr)
+		if err != nil {
+			return nil, fmt.Errorf("aida: inflating %s frame: %w", kind, err)
+		}
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("aida: unsupported %s wire version %d", kind, b[0])
+	}
 }
 
 // encodePooled runs fn against a pooled scratch buffer and returns an
@@ -918,6 +1058,9 @@ func encodePooled(fn func([]byte) ([]byte, error)) ([]byte, error) {
 // receiver: the RMI client encodes args boxed in an interface, which gob
 // cannot address, and gob rejects pointer-only GobEncoders there.
 func (st TreeState) GobEncode() ([]byte, error) {
+	if st.compressWire {
+		return encodePooled(func(b []byte) ([]byte, error) { return AppendTreeStateFlate(b, &st) })
+	}
 	return encodePooled(func(b []byte) ([]byte, error) { return AppendTreeState(b, &st) })
 }
 
@@ -934,6 +1077,9 @@ func (st *TreeState) GobDecode(b []byte) error {
 // GobEncode implements gob.GobEncoder via the binary codec (value
 // receiver for the same addressability reason as TreeState).
 func (d DeltaState) GobEncode() ([]byte, error) {
+	if d.compressWire {
+		return encodePooled(func(b []byte) ([]byte, error) { return AppendDeltaStateFlate(b, &d) })
+	}
 	return encodePooled(func(b []byte) ([]byte, error) { return AppendDeltaState(b, &d) })
 }
 
@@ -956,9 +1102,63 @@ func (s ObjectState) GobEncode() ([]byte, error) {
 
 // GobDecode implements gob.GobDecoder.
 func (s *ObjectState) GobDecode(b []byte) error {
+	dec, err := DecodeObjectFrame(b)
+	if err != nil {
+		return err
+	}
+	*s = dec
+	return nil
+}
+
+// DecodeObjectFrame parses a single object frame (tag + payload) — the
+// form produced by AppendObjectState / ObjectState.GobEncode and cached
+// by the merge manager's poll encoder.
+func DecodeObjectFrame(b []byte) (ObjectState, error) {
 	r := &wireReader{b: b}
-	*s = r.objectState()
-	return r.err
+	s := r.objectState()
+	if r.err != nil {
+		return ObjectState{}, r.err
+	}
+	return s, nil
+}
+
+// ObjectFrame is a single object's pre-encoded wire frame (tag +
+// payload) — the unit the merge manager's poll cache stores so one
+// encode serves every polling client. Its gob representation is the
+// frame itself, so a cached frame crosses RMI without re-encoding. The
+// layout is identical to ObjectState's gob encoding, so frames and
+// states interconvert freely.
+type ObjectFrame []byte
+
+// EncodeObjectFrame encodes s as a standalone object frame.
+func EncodeObjectFrame(s *ObjectState) (ObjectFrame, error) {
+	b, err := encodePooled(func(b []byte) ([]byte, error) { return AppendObjectState(b, s) })
+	if err != nil {
+		return nil, err
+	}
+	return ObjectFrame(b), nil
+}
+
+// Decode parses the frame back into an ObjectState.
+func (f ObjectFrame) Decode() (ObjectState, error) { return DecodeObjectFrame(f) }
+
+// Restore decodes the frame and rebuilds the live object.
+func (f ObjectFrame) Restore() (Object, error) {
+	s, err := f.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return s.Restore()
+}
+
+// GobEncode returns the frame bytes verbatim — the frame is already
+// encoded, which is the whole point of caching it.
+func (f ObjectFrame) GobEncode() ([]byte, error) { return f, nil }
+
+// GobDecode copies the received frame.
+func (f *ObjectFrame) GobDecode(b []byte) error {
+	*f = append(ObjectFrame(nil), b...)
+	return nil
 }
 
 // EncodeTree gob-encodes the tree to w.

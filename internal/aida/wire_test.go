@@ -167,6 +167,182 @@ func TestBinaryCodecTruncatedAndCorrupt(t *testing.T) {
 	}
 }
 
+// TestFlateFrameRoundTrip: version-2 (compressed) frames decode to the
+// same states as version-1, through both the direct codec entry points
+// and transparently via DecodeTreeState/DecodeDeltaState.
+func TestFlateFrameRoundTrip(t *testing.T) {
+	st, err := fullTree(t).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := AppendTreeStateFlate(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != wireVersionFlate {
+		t.Fatalf("frame version = %d", buf[0])
+	}
+	back, err := DecodeTreeState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Entries, back.Entries) {
+		t.Fatal("compressed tree frame round trip mismatch")
+	}
+
+	tr := fullTree(t)
+	if _, err := tr.FullDelta(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Get("/a/h1").(*Histogram1D).Fill(5)
+	tr.Rm("/d/dps")
+	d, err := tr.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbuf, err := AppendDeltaStateFlate(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dback, err := DecodeDeltaState(dbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dback.Full != d.Full || !reflect.DeepEqual(d.Entries, dback.Entries) ||
+		!reflect.DeepEqual(d.Removed, dback.Removed) {
+		t.Fatal("compressed delta frame round trip mismatch")
+	}
+}
+
+// TestFlateFrameShrinksSparseSnapshots: the compression exists for WAN
+// snapshots, which are dominated by runs of near-empty bins; such a
+// frame must come out smaller compressed.
+func TestFlateFrameShrinksSparseSnapshots(t *testing.T) {
+	tr := NewTree()
+	h, _ := tr.H1D("/a", "h", "", 5000, 0, 100)
+	for i := 0; i < 50; i++ {
+		h.Fill(float64(i % 100))
+	}
+	st, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AppendTreeState(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := AppendTreeStateFlate(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) >= len(plain) {
+		t.Fatalf("compressed frame %d B not smaller than plain %d B", len(packed), len(plain))
+	}
+	t.Logf("plain %d B vs flate %d B (%.1fx)", len(plain), len(packed), float64(len(plain))/float64(len(packed)))
+}
+
+// TestGobHonorsWireCompression: states flagged for compression cross
+// the gob (RMI) path as version-2 frames and decode identically.
+func TestGobHonorsWireCompression(t *testing.T) {
+	st, err := fullTree(t).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst := *st
+	cst.SetWireCompression(true)
+	cd := &DeltaState{Full: true, Entries: st.Entries}
+	cd.SetWireCompression(true)
+	type frame struct {
+		Tree  TreeState
+		Delta *DeltaState
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(frame{Tree: cst, Delta: cd}); err != nil {
+		t.Fatal(err)
+	}
+	var out frame
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Entries, out.Tree.Entries) {
+		t.Fatal("compressed tree gob round trip mismatch")
+	}
+	if out.Delta == nil || !out.Delta.Full || !reflect.DeepEqual(st.Entries, out.Delta.Entries) {
+		t.Fatal("compressed delta gob round trip mismatch")
+	}
+}
+
+// TestFlateFrameCorrupt: malformed compressed frames fail cleanly.
+func TestFlateFrameCorrupt(t *testing.T) {
+	st, err := fullTree(t).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := AppendTreeStateFlate(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation must never yield a silently wrong result. (The very
+	// last byte only terminates the DEFLATE stream; losing it can still
+	// decode — to the complete, correct payload — so "must error" would
+	// be too strong a property.)
+	for n := 0; n < len(buf); n++ {
+		back, err := DecodeTreeState(buf[:n])
+		if err == nil && !reflect.DeepEqual(st.Entries, back.Entries) {
+			t.Fatalf("truncation to %d bytes decoded to wrong entries", n)
+		}
+	}
+	// A declared raw size wildly beyond what the compressed bytes could
+	// expand to must be rejected before allocating.
+	huge := []byte{wireVersionFlate, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, err := DecodeTreeState(huge); err == nil {
+		t.Fatal("oversized declared length accepted")
+	}
+	// Garbage where the DEFLATE stream should be.
+	junk := append([]byte{wireVersionFlate}, 200, 1, 2, 3, 4, 5)
+	if _, err := DecodeTreeState(junk); err == nil {
+		t.Fatal("corrupt compressed body accepted")
+	}
+}
+
+// TestObjectFrameRoundTrip: pre-encoded frames (the poll cache unit)
+// decode back to their states directly and via gob.
+func TestObjectFrameRoundTrip(t *testing.T) {
+	st, err := fullTree(t).State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range st.Entries {
+		e := e
+		frame, err := EncodeObjectFrame(&e.Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := frame.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(e.Object, back) {
+			t.Fatalf("%s: object frame round trip mismatch", e.Path)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(frame); err != nil {
+			t.Fatal(err)
+		}
+		// The gob body must embed the frame verbatim (no re-encode).
+		if !bytes.Contains(buf.Bytes(), frame) {
+			t.Fatalf("%s: gob re-encoded the cached frame", e.Path)
+		}
+		var dec ObjectFrame
+		if err := gob.NewDecoder(&buf).Decode(&dec); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, frame) {
+			t.Fatalf("%s: frame gob round trip mismatch", e.Path)
+		}
+	}
+}
+
 func TestEncodedSizeBeatsReflectionGob(t *testing.T) {
 	st, err := fullTree(t).State()
 	if err != nil {

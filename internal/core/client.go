@@ -227,7 +227,7 @@ func (c *Client) Poll() (Update, error) {
 		c.tree.Rm(path)
 	}
 	for _, ent := range reply.Entries {
-		obj, err := ent.Object.Restore()
+		obj, err := ent.Restore()
 		if err != nil {
 			return up, fmt.Errorf("core: bad object %s in poll: %w", ent.Path, err)
 		}

@@ -51,6 +51,9 @@ type Config struct {
 	// Default false: publish incremental deltas with a full baseline on
 	// first publish, after rewind, and when the manager asks (NeedFull).
 	FullSnapshots bool
+	// CompressSnapshots ships compressed wire frames — the choice for
+	// WAN-deployed workers where snapshot bytes dominate the link.
+	CompressSnapshots bool
 	// Registry resolves native analyses (nil = analysis.Default).
 	Registry *analysis.Registry
 	// GlobalOffset is the absolute index of the part's first record.
@@ -80,11 +83,13 @@ type Engine struct {
 	ctx      *analysis.Context
 	nextRec  int64
 	stepLeft int64 // records remaining in a Step command (-1 = unlimited)
-	seq      int64
-	needFull bool // next snapshot must be a full baseline (delta mode)
 	lastErr  error
 	lastSnap time.Time
 	events   int64 // processed since init
+
+	// transport owns the snapshot uplink protocol: generation stamps,
+	// re-baselining after failures, and per-connection compression.
+	transport *merge.Transport
 
 	loopOnce sync.Once
 	done     chan struct{}
@@ -101,6 +106,10 @@ func New(cfg Config) *Engine {
 	}
 	e := &Engine{cfg: cfg, state: StateIdle, done: make(chan struct{})}
 	e.cond = sync.NewCond(&e.mu)
+	if cfg.Publisher != nil {
+		e.transport = merge.NewTransport(cfg.SessionID, cfg.WorkerID, cfg.Publisher)
+		e.transport.SetCompression(cfg.CompressSnapshots)
+	}
 	return e
 }
 
@@ -394,6 +403,11 @@ func (e *Engine) processBatch() {
 	case stepDone:
 		e.state = StatePaused
 	}
+	if procErr != nil || finished || stepDone {
+		// Wake WaitState callers; without this every wait burns its full
+		// timeout even though the state already changed.
+		e.cond.Broadcast()
+	}
 	needSnap := finished || stepDone || procErr != nil ||
 		e.events%int64(e.cfg.SnapshotEvery) < processed ||
 		time.Since(e.lastSnap) >= e.cfg.SnapshotInterval
@@ -404,44 +418,17 @@ func (e *Engine) processBatch() {
 	}
 }
 
-// publish sends the current tree snapshot to the manager — a delta of
-// what changed since the last snapshot by default, the whole tree in
-// FullSnapshots mode or when a baseline is needed.
+// publish sends the current tree snapshot through the transport — a
+// delta of what changed since the last snapshot by default, the whole
+// tree in FullSnapshots mode or when a baseline is needed. Failures
+// (snapshot construction or the upstream call) surface through lastErr
+// so State() reports them; the transport re-baselines after a failed
+// send, because the delta's dirty bits are already consumed.
 func (e *Engine) publish(procErr error) {
 	e.mu.Lock()
-	if e.tree == nil || e.cfg.Publisher == nil {
+	if e.tree == nil || e.transport == nil {
 		e.mu.Unlock()
 		return
-	}
-	e.seq++
-	args := merge.PublishArgs{
-		SessionID:   e.cfg.SessionID,
-		WorkerID:    e.cfg.WorkerID,
-		Seq:         e.seq,
-		EventsDone:  e.events,
-		EventsTotal: e.total,
-	}
-	if e.cfg.FullSnapshots {
-		st, err := e.tree.State()
-		if err != nil {
-			e.mu.Unlock()
-			return
-		}
-		args.Tree = *st
-	} else {
-		var d *aida.DeltaState
-		var err error
-		if e.needFull {
-			d, err = e.tree.FullDelta()
-		} else {
-			d, err = e.tree.Delta()
-		}
-		if err != nil {
-			e.mu.Unlock()
-			return
-		}
-		args.Delta = d
-		e.needFull = false
 	}
 	var logs []string
 	if sa, ok := e.anal.(interface{ Output() string }); ok {
@@ -452,26 +439,44 @@ func (e *Engine) publish(procErr error) {
 	if procErr != nil {
 		logs = append(logs, fmt.Sprintf("[%s] ERROR: %v", e.cfg.WorkerID, procErr))
 	}
-	args.Log = strings.Join(logs, "\n")
-	pub := e.cfg.Publisher
+	log := strings.Join(logs, "\n")
+	tr := e.transport
 	e.lastSnap = time.Now()
 	e.mu.Unlock()
 
-	var reply merge.PublishReply
-	if err := pub.Publish(args, &reply); err != nil {
+	_, err := tr.Send(func(full bool) (merge.Snapshot, error) {
 		e.mu.Lock()
-		// The delta's dirty bits are already consumed; re-baseline so the
-		// lost changes reach the manager with the next snapshot.
-		e.needFull = true
-		if e.lastErr == nil {
-			e.lastErr = fmt.Errorf("engine: publishing snapshot: %w", err)
+		defer e.mu.Unlock()
+		if e.tree == nil {
+			return merge.Snapshot{}, fmt.Errorf("engine: tree gone before snapshot")
 		}
-		e.mu.Unlock()
-		return
-	}
-	if reply.NeedFull || !reply.Accepted {
+		snap := merge.Snapshot{Done: e.events, Total: e.total, Log: log}
+		if e.cfg.FullSnapshots {
+			st, err := e.tree.State()
+			if err != nil {
+				return merge.Snapshot{}, err
+			}
+			snap.Tree = st
+			return snap, nil
+		}
+		var d *aida.DeltaState
+		var err error
+		if full {
+			d, err = e.tree.FullDelta()
+		} else {
+			d, err = e.tree.Delta()
+		}
+		if err != nil {
+			return merge.Snapshot{}, err
+		}
+		snap.Delta = d
+		return snap, nil
+	})
+	if err != nil {
 		e.mu.Lock()
-		e.needFull = true
+		if e.lastErr == nil {
+			e.lastErr = fmt.Errorf("engine: snapshot: %w", err)
+		}
 		e.mu.Unlock()
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/analysis"
 	"github.com/ipa-grid/ipa/internal/codeloader"
 	"github.com/ipa-grid/ipa/internal/dataset"
 	"github.com/ipa-grid/ipa/internal/events"
@@ -81,7 +82,7 @@ func TestRunToFinish(t *testing.T) {
 	var hist *aida.Histogram1D
 	for _, ent := range poll.Entries {
 		if ent.Path == "/t/mult" {
-			obj, _ := ent.Object.Restore()
+			obj, _ := ent.Restore()
 			hist = obj.(*aida.Histogram1D)
 		}
 	}
@@ -263,7 +264,7 @@ func TestNativeAnalysisBundle(t *testing.T) {
 	found := false
 	for _, ent := range poll.Entries {
 		if ent.Path == "/higgs/dijet-mass" {
-			obj, _ := ent.Object.Restore()
+			obj, _ := ent.Restore()
 			if obj.(*aida.Histogram1D).Entries() > 0 {
 				found = true
 			}
@@ -271,6 +272,58 @@ func TestNativeAnalysisBundle(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("native Higgs analysis produced no mass histogram")
+	}
+}
+
+// unserializable is an AIDA object StateOf cannot encode, so snapshot
+// construction fails deterministically.
+type unserializable struct{ ann *aida.Annotation }
+
+func (u *unserializable) Name() string                  { return "u" }
+func (u *unserializable) Kind() string                  { return "Mystery" }
+func (u *unserializable) Annotations() *aida.Annotation { return u.ann }
+func (u *unserializable) EntriesCount() int64           { return 0 }
+
+type badObjectAnalysis struct{}
+
+func (badObjectAnalysis) Init(ctx *analysis.Context) error {
+	return ctx.Tree.PutAt("/bad/u", &unserializable{ann: aida.NewAnnotation()})
+}
+func (badObjectAnalysis) Process(record []byte, ctx *analysis.Context) error { return nil }
+func (badObjectAnalysis) End(ctx *analysis.Context) error                    { return nil }
+
+// TestSnapshotBuildErrorSurfaced: a snapshot that cannot be constructed
+// (unserializable object in the tree) must not vanish silently — it has
+// to surface through State()'s error.
+func TestSnapshotBuildErrorSurfaced(t *testing.T) {
+	reg := analysis.NewRegistry()
+	reg.Register("bad-object", func(map[string]string) (analysis.Analysis, error) {
+		return badObjectAnalysis{}, nil
+	})
+	mgr := merge.NewManager()
+	part := makePart(t, 50, 8)
+	e := New(Config{
+		SessionID: "s1", WorkerID: "w0", Publisher: mgr, Registry: reg,
+		SnapshotEvery: 10, SnapshotInterval: time.Hour,
+	})
+	go e.Serve()
+	t.Cleanup(e.Shutdown)
+	if err := e.SetPart(part, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := &codeloader.Bundle{Name: "bad", Language: codeloader.LangNative, Analysis: "bad-object"}
+	if err := e.LoadCode(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitState(10*time.Second, StateFinished); err != nil {
+		t.Fatal(err)
+	}
+	_, lastErr := e.State()
+	if lastErr == nil || !strings.Contains(lastErr.Error(), "snapshot") {
+		t.Fatalf("snapshot-build failure not surfaced: lastErr = %v", lastErr)
 	}
 }
 

@@ -62,7 +62,11 @@ func pollEntries(t *testing.T, m *Manager) map[string]aida.ObjectState {
 	}
 	out := make(map[string]aida.ObjectState, len(reply.Entries))
 	for _, e := range reply.Entries {
-		out[e.Path] = e.Object
+		st, err := e.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Path] = st
 	}
 	return out
 }
@@ -271,7 +275,7 @@ func TestDeltaSequenceGapForcesResync(t *testing.T) {
 	}
 	var poll PollReply
 	m.Poll(PollArgs{SessionID: "s"}, &poll)
-	obj, _ := poll.Entries[0].Object.Restore()
+	obj, _ := poll.Entries[0].Restore()
 	if got := obj.(*aida.Histogram1D).Entries(); got != 3 {
 		t.Fatalf("entries after resync = %d, want 3", got)
 	}
@@ -301,7 +305,7 @@ func TestDuplicateDeltaRetryDropsCheaply(t *testing.T) {
 	}
 	var poll PollReply
 	m.Poll(PollArgs{SessionID: "s"}, &poll)
-	obj, _ := poll.Entries[0].Object.Restore()
+	obj, _ := poll.Entries[0].Restore()
 	if got := obj.(*aida.Histogram1D).Entries(); got != 2 {
 		t.Fatalf("entries after duplicate = %d, want 2 (no double apply)", got)
 	}

@@ -20,10 +20,14 @@
 //
 // Clients poll with their last-seen version and receive either nothing
 // (unchanged) or the updated objects — incremental polling is what makes
-// sub-minute feedback affordable (ablation A4). For large worker counts a
-// SubMerger aggregates a group of workers and republishes upward as one
-// pseudo-worker, the §2.5 "sub-level of components" scalability design
-// (ablation A2).
+// sub-minute feedback affordable (ablation A4). Changed objects are
+// served as pre-encoded wire frames from a per-session cache keyed by
+// (path, version), so N polling clients share one encode per change
+// (ablation A7). For large worker counts a SubMerger aggregates a group
+// of workers and republishes upward as one pseudo-worker, the §2.5
+// "sub-level of components" scalability design (ablation A2); it
+// forwards touched-only deltas through the snapshot Transport (ablation
+// A6), so the hierarchy composes with the incremental pipeline.
 //
 // The exported method signatures are RMI-compatible (args/reply structs),
 // so a Manager registers directly on an rmi.Server.
@@ -33,6 +37,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/ipa-grid/ipa/internal/aida"
@@ -94,8 +99,12 @@ type PollReply struct {
 	// Changed reports whether Entries carries anything new.
 	Changed bool
 	// Entries are the merged objects that changed since SinceVersion
-	// (or all of them for a full poll).
-	Entries []aida.TreeEntry
+	// (or all of them for a full poll), as pre-encoded wire frames
+	// served from the manager's encode cache — N polling clients share
+	// one encode per changed object. Unlike the frame version byte,
+	// this reply schema is not cross-version compatible: clients and
+	// managers ship together.
+	Entries []PollEntry
 	// Removed lists paths that disappeared (e.g. after rewind).
 	Removed []string
 	// Progress per worker, sorted by worker ID.
@@ -103,6 +112,18 @@ type PollReply struct {
 	// Logs are new log lines since the last poll.
 	Logs []string
 }
+
+// PollEntry is one changed merged object in a poll reply.
+type PollEntry struct {
+	Path  string
+	Frame aida.ObjectFrame
+}
+
+// State decodes the entry's wire frame.
+func (e PollEntry) State() (aida.ObjectState, error) { return e.Frame.Decode() }
+
+// Restore decodes the frame and rebuilds the live object.
+func (e PollEntry) Restore() (aida.Object, error) { return e.Frame.Restore() }
 
 type workerState struct {
 	seq   int64
@@ -121,9 +142,20 @@ type sessionState struct {
 	objVersion map[string]int64 // path → version of last content change
 	gone       map[string]int64 // path → version at which it vanished
 	logs       []logLine
+	// frames caches each merged path's encoded wire frame at the
+	// version it was stamped; Poll serves hits without re-encoding.
+	// Invalidation is by version mismatch (delta applies bump
+	// objVersion) plus explicit deletes on removal.
+	frames                 map[string]cachedFrame
+	cacheHits, cacheMisses int64
 	// dirty marks pending legacy full-tree publishes; remerge() clears
 	// it by rebuilding merged from every worker tree.
 	dirty bool
+}
+
+type cachedFrame struct {
+	version int64
+	frame   aida.ObjectFrame
 }
 
 type logLine struct {
@@ -136,6 +168,10 @@ const maxLogLines = 1000
 
 // Manager is the root AIDA manager. Safe for concurrent use.
 type Manager struct {
+	// DisableEncodeCache makes every poll re-encode every included
+	// object — retained as the A7 ablation baseline.
+	DisableEncodeCache bool
+
 	mu       sync.Mutex
 	sessions map[string]*sessionState
 }
@@ -154,6 +190,7 @@ func (m *Manager) session(id string) *sessionState {
 			merged:     aida.NewTree(),
 			objVersion: make(map[string]int64),
 			gone:       make(map[string]int64),
+			frames:     make(map[string]cachedFrame),
 		}
 		m.sessions[id] = s
 	}
@@ -354,6 +391,7 @@ func (s *sessionState) recomputePath(path string) error {
 			s.gone[path] = s.version
 		}
 		delete(s.objVersion, path)
+		delete(s.frames, path)
 		return nil
 	}
 	if err := s.merged.PutAt(path, acc); err != nil {
@@ -399,6 +437,7 @@ func (s *sessionState) remerge() error {
 		if !seen[path] {
 			s.gone[path] = s.version
 			delete(s.objVersion, path)
+			delete(s.frames, path)
 		}
 	})
 	s.merged = next
@@ -460,12 +499,27 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 		if firstErr != nil || !include(path) {
 			return
 		}
+		ver := s.objVersion[path]
+		if cf, ok := s.frames[path]; ok && cf.version == ver && !m.DisableEncodeCache {
+			s.cacheHits++
+			reply.Entries = append(reply.Entries, PollEntry{Path: path, Frame: cf.frame})
+			return
+		}
 		st, err := aida.StateOf(obj)
 		if err != nil {
 			firstErr = err
 			return
 		}
-		reply.Entries = append(reply.Entries, aida.TreeEntry{Path: path, Object: st})
+		frame, err := aida.EncodeObjectFrame(&st)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		s.cacheMisses++
+		if !m.DisableEncodeCache {
+			s.frames[path] = cachedFrame{version: ver, frame: frame}
+		}
+		reply.Entries = append(reply.Entries, PollEntry{Path: path, Frame: frame})
 	})
 	if firstErr != nil {
 		return firstErr
@@ -507,10 +561,34 @@ func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
 	s.workers = make(map[string]*workerState)
 	s.workerIDs = nil
 	s.merged = aida.NewTree()
+	s.frames = make(map[string]cachedFrame)
 	s.logs = nil
 	s.dirty = false
 	reply.Version = s.version
 	return nil
+}
+
+// Version returns a session's current merged-result version (0 for
+// unknown sessions) — the generation stamp clients poll against.
+func (m *Manager) Version(sessionID string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.lookup(sessionID); s != nil {
+		return s.version
+	}
+	return 0
+}
+
+// CacheStats reports the poll encode cache's effectiveness for a
+// session: hits are entries served without re-encoding, misses are
+// fresh encodes (including every first-touch encode after a change).
+func (m *Manager) CacheStats(sessionID string) (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.lookup(sessionID); s != nil {
+		return s.cacheHits, s.cacheMisses
+	}
+	return 0, 0
 }
 
 // Drop removes a session entirely (teardown).
@@ -536,29 +614,96 @@ func (m *Manager) MergedTree(sessionID string) (*aida.Tree, int64, error) {
 	return cp, s.version, err
 }
 
-// Publisher abstracts where an engine sends snapshots: the root manager
-// directly, a SubMerger, or an RMI client in a remote-worker deployment.
-type Publisher interface {
-	Publish(args PublishArgs, reply *PublishReply) error
+// FlushState is the upstream-snapshot material a SubMerger pulls from
+// its local manager in one locked read: the merged objects stamped
+// after since (all of them, as a Full baseline, when since is 0), the
+// paths removed after since, aggregate progress, and the log lines
+// accumulated after logSince.
+type FlushState struct {
+	Delta       *aida.DeltaState
+	Version     int64
+	Done, Total int64
+	Logs        []string
 }
 
-// SubMerger aggregates the engines of one group and forwards one combined
-// pseudo-worker snapshot upstream (§2.5). It implements Publisher so
-// engines can't tell it from the root manager. It currently forwards full
-// snapshots; delta forwarding is a known follow-on (see ROADMAP).
-type SubMerger struct {
-	name     string
-	session  string
-	upstream Publisher
+// FlushState assembles a forwardable delta of everything that changed
+// in the merged tree after since. Unknown sessions yield an empty
+// snapshot.
+func (m *Manager) FlushState(sessionID string, since, logSince int64) (FlushState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs := FlushState{Delta: &aida.DeltaState{Full: since == 0}}
+	s := m.lookup(sessionID)
+	if s == nil {
+		return fs, nil
+	}
+	if err := s.remerge(); err != nil {
+		return fs, err
+	}
+	fs.Version = s.version
+	for _, id := range s.workerIDs {
+		w := s.workers[id]
+		fs.Done += w.done
+		fs.Total += w.total
+	}
+	for _, l := range s.logs {
+		if l.version > logSince {
+			fs.Logs = append(fs.Logs, l.text)
+		}
+	}
+	var firstErr error
+	s.merged.Walk(func(path string, obj aida.Object) {
+		if firstErr != nil {
+			return
+		}
+		if since != 0 && s.objVersion[path] <= since {
+			return
+		}
+		st, err := aida.StateOf(obj)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		fs.Delta.Entries = append(fs.Delta.Entries, aida.TreeEntry{Path: path, Object: st})
+	})
+	if firstErr != nil {
+		return fs, firstErr
+	}
+	if since != 0 {
+		for path, ver := range s.gone {
+			if ver > since {
+				fs.Delta.Removed = append(fs.Delta.Removed, path)
+			}
+		}
+		sort.Strings(fs.Delta.Removed)
+	}
+	return fs, nil
+}
 
-	mu      sync.Mutex
-	local   *Manager
-	upSeq   int64
-	flushed int64
+// SubMerger aggregates the engines of one group and forwards one
+// combined pseudo-worker snapshot upstream (§2.5). It implements
+// Publisher so engines can't tell it from the root manager. Flushes
+// forward touched-only deltas through the shared snapshot Transport —
+// cost proportional to what the group changed since the last flush —
+// so multi-level hierarchies compose with the incremental pipeline
+// instead of re-shipping the group's whole state every hop.
+type SubMerger struct {
+	name    string
+	session string
+
+	mu        sync.Mutex
+	local     *Manager
+	transport *Transport
+	// lastFlushed is the local merged version covered by the last
+	// accepted upstream flush; the next delta starts there.
+	lastFlushed int64
 	// FlushEvery forwards upstream after this many local publishes
 	// (1 = every time; larger batches trade freshness for fan-in).
 	FlushEvery int
 	pending    int
+	// ForwardFull republishes the whole merged tree on every flush —
+	// the legacy behavior, retained as the A6 ablation baseline.
+	ForwardFull bool
 }
 
 // NewSubMerger creates a group merger forwarding to upstream.
@@ -567,10 +712,15 @@ func NewSubMerger(name, sessionID string, upstream Publisher, flushEvery int) *S
 		flushEvery = 1
 	}
 	return &SubMerger{
-		name: name, session: sessionID, upstream: upstream,
-		local: NewManager(), FlushEvery: flushEvery,
+		name: name, session: sessionID,
+		local: NewManager(), transport: NewTransport(sessionID, name, upstream),
+		FlushEvery: flushEvery,
 	}
 }
+
+// SetCompression selects compressed wire frames for upstream flushes
+// (a WAN-deployed group).
+func (s *SubMerger) SetCompression(on bool) { s.transport.SetCompression(on) }
 
 // Publish implements Publisher: merge locally, forward the group total.
 func (s *SubMerger) Publish(args PublishArgs, reply *PublishReply) error {
@@ -595,30 +745,51 @@ func (s *SubMerger) Flush() error {
 }
 
 func (s *SubMerger) flushLocked() error {
-	tree, _, err := s.local.MergedTree(s.session)
+	var covered int64
+	reply, err := s.transport.Send(func(full bool) (Snapshot, error) {
+		if s.ForwardFull {
+			return s.fullSnapshotLocked(&covered)
+		}
+		since := s.lastFlushed
+		if full {
+			since = 0
+		}
+		fs, err := s.local.FlushState(s.session, since, s.lastFlushed)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		covered = fs.Version
+		return Snapshot{
+			Delta: fs.Delta, Done: fs.Done, Total: fs.Total,
+			Log: strings.Join(fs.Logs, "\n"),
+		}, nil
+	})
 	if err != nil {
 		return err
+	}
+	if reply.Accepted {
+		s.lastFlushed = covered
+	}
+	return nil
+}
+
+// fullSnapshotLocked builds the legacy whole-tree flush payload.
+func (s *SubMerger) fullSnapshotLocked(covered *int64) (Snapshot, error) {
+	tree, ver, err := s.local.MergedTree(s.session)
+	if err != nil {
+		return Snapshot{}, err
 	}
 	st, err := tree.State()
 	if err != nil {
-		return err
+		return Snapshot{}, err
 	}
-	var done, total int64
-	var poll PollReply
-	if err := s.local.Poll(PollArgs{SessionID: s.session}, &poll); err != nil {
-		return err
+	fs, err := s.local.FlushState(s.session, ver, s.lastFlushed)
+	if err != nil {
+		return Snapshot{}, err
 	}
-	for _, p := range poll.Progress {
-		done += p.EventsDone
-		total += p.EventsTotal
-	}
-	s.upSeq++
-	var upReply PublishReply
-	return s.upstream.Publish(PublishArgs{
-		SessionID: s.session, WorkerID: s.name, Seq: s.upSeq,
-		Tree: *st, EventsDone: done, EventsTotal: total,
-	}, &upReply)
+	*covered = ver
+	return Snapshot{
+		Tree: st, Done: fs.Done, Total: fs.Total,
+		Log: strings.Join(fs.Logs, "\n"),
+	}, nil
 }
-
-var _ Publisher = (*Manager)(nil)
-var _ Publisher = (*SubMerger)(nil)

@@ -60,7 +60,7 @@ func TestPublishAndPollMerges(t *testing.T) {
 	if !poll.Changed || len(poll.Entries) != 1 {
 		t.Fatalf("poll = %+v", poll)
 	}
-	obj, err := poll.Entries[0].Object.Restore()
+	obj, err := poll.Entries[0].Restore()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestStaleSnapshotDropped(t *testing.T) {
 	}
 	var poll PollReply
 	m.Poll(PollArgs{SessionID: "s"}, &poll)
-	obj, _ := poll.Entries[0].Object.Restore()
+	obj, _ := poll.Entries[0].Restore()
 	if obj.(*aida.Histogram1D).Entries() != 3 {
 		t.Fatal("stale snapshot overwrote newer one")
 	}
@@ -185,7 +185,7 @@ func TestSubMergerAggregates(t *testing.T) {
 	if poll.Progress[0].EventsDone != 3 {
 		t.Fatalf("aggregated progress = %+v", poll.Progress[0])
 	}
-	obj, _ := poll.Entries[0].Object.Restore()
+	obj, _ := poll.Entries[0].Restore()
 	if obj.(*aida.Histogram1D).Entries() != 3 {
 		t.Fatalf("aggregated entries = %d", obj.(*aida.Histogram1D).Entries())
 	}

@@ -372,6 +372,244 @@ func PublishAblation(workers, rounds, objects, touched int) ([]PublishAblationRo
 	return out, nil
 }
 
+// A6 — hierarchical delta forwarding (§2.5 composed with the
+// incremental pipeline). Upstream cost of SubMerger flushes when each
+// group forwards touched-only deltas vs republishing its whole merged
+// tree (the legacy full-flush baseline).
+
+// HierarchyAblationRow is one forwarding mode's outcome.
+type HierarchyAblationRow struct {
+	Mode    string // "full-flush" or "delta-flush"
+	Groups  int
+	Workers int // per group
+	Rounds  int
+	Objects int
+	Touched int
+	// UpstreamBytesPerFlush is the mean gob-encoded size of one upstream
+	// publish in steady state (what the RMI layer would put on the wire).
+	UpstreamBytesPerFlush int64
+	// AllocsPerRound is the mean heap allocation count per round
+	// (publishes + flushes + the upstream wire encode).
+	AllocsPerRound float64
+	WallMS         int64
+}
+
+// wirePublisher gob-encodes every publish — the work the RMI layer
+// would do — before delegating, and accumulates the wire bytes.
+type wirePublisher struct {
+	inner merge.Publisher
+	bytes int64
+	calls int64
+}
+
+func (p *wirePublisher) Publish(args merge.PublishArgs, reply *merge.PublishReply) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&args); err != nil {
+		return err
+	}
+	p.bytes += int64(buf.Len())
+	p.calls++
+	return p.inner.Publish(args, reply)
+}
+
+// HierarchyAblation runs `rounds` steady-state rounds over groups×
+// workers engines (each holding `objects` histograms of which `touched`
+// change per round) behind per-group SubMergers, in both forwarding
+// modes.
+func HierarchyAblation(groups, workersPerGroup, rounds, objects, touched int) ([]HierarchyAblationRow, error) {
+	if touched > objects {
+		touched = objects
+	}
+	var out []HierarchyAblationRow
+	for _, mode := range []string{"full-flush", "delta-flush"} {
+		root := merge.NewManager()
+		wire := &wirePublisher{inner: root}
+		subs := make([]*merge.SubMerger, groups)
+		for g := range subs {
+			subs[g] = merge.NewSubMerger(fmt.Sprintf("group-%02d", g), "s", wire, workersPerGroup)
+			subs[g].ForwardFull = mode == "full-flush"
+		}
+		nw := groups * workersPerGroup
+		trees := make([]*aida.Tree, nw)
+		hists := make([][]*aida.Histogram1D, nw)
+		for w := range trees {
+			trees[w] = aida.NewTree()
+			hists[w] = make([]*aida.Histogram1D, objects)
+			for o := 0; o < objects; o++ {
+				h, err := trees[w].H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+				if err != nil {
+					return nil, err
+				}
+				for f := 0; f < 1000; f++ {
+					h.Fill(float64((w*31 + f) % 100))
+				}
+				hists[w][o] = h
+			}
+		}
+		seqs := make([]int64, nw)
+		var rep merge.PublishReply
+		publish := func(w int) error {
+			d, err := trees[w].Delta()
+			if err != nil {
+				return err
+			}
+			seqs[w]++
+			return subs[w/workersPerGroup].Publish(merge.PublishArgs{
+				SessionID: "s", WorkerID: fmt.Sprintf("w%03d", w), Seq: seqs[w], Delta: d,
+			}, &rep)
+		}
+		// Baseline round (not measured): every worker announces its tree.
+		for w := 0; w < nw; w++ {
+			if err := publish(w); err != nil {
+				return nil, err
+			}
+		}
+		baseBytes, baseCalls := wire.bytes, wire.calls
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for w := 0; w < nw; w++ {
+				for o := 0; o < touched; o++ {
+					hists[w][(r+o)%objects].Fill(float64((r + o) % 100))
+				}
+				if err := publish(w); err != nil {
+					return nil, err
+				}
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		flushes := wire.calls - baseCalls
+		if flushes == 0 {
+			return nil, fmt.Errorf("perf: hierarchy ablation made no upstream flushes")
+		}
+		out = append(out, HierarchyAblationRow{
+			Mode: mode, Groups: groups, Workers: workersPerGroup,
+			Rounds: rounds, Objects: objects, Touched: touched,
+			UpstreamBytesPerFlush: (wire.bytes - baseBytes) / flushes,
+			AllocsPerRound:        float64(after.Mallocs-before.Mallocs) / float64(rounds),
+			WallMS:                wall.Milliseconds(),
+		})
+	}
+	return out, nil
+}
+
+// A7 — the encoded-frame poll cache. Per-poll cost when N clients poll
+// the same merged state, with the cache on (one encode serves everyone)
+// vs off (every poll re-encodes every object).
+
+// PollCacheAblationRow is one configuration's outcome.
+type PollCacheAblationRow struct {
+	Mode    string // "uncached" or "cached"
+	Clients int
+	Objects int
+	// AllocsPerPoll is the mean heap allocation count per full poll.
+	AllocsPerPoll float64
+	// MicrosPerPoll is the mean wall time per full poll.
+	MicrosPerPoll float64
+	// Hits / Misses are the manager's cache counters after the run.
+	Hits, Misses int64
+}
+
+// PollCacheAblation publishes `objects` histograms once, then serves
+// `clients` identical full polls in both cache modes.
+func PollCacheAblation(clients, objects int) ([]PollCacheAblationRow, error) {
+	var out []PollCacheAblationRow
+	for _, mode := range []string{"uncached", "cached"} {
+		m := merge.NewManager()
+		m.DisableEncodeCache = mode == "uncached"
+		tree := aida.NewTree()
+		for o := 0; o < objects; o++ {
+			h, err := tree.H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+			if err != nil {
+				return nil, err
+			}
+			for f := 0; f < 1000; f++ {
+				h.Fill(float64(f % 100))
+			}
+		}
+		d, err := tree.Delta()
+		if err != nil {
+			return nil, err
+		}
+		var rep merge.PublishReply
+		if err := m.Publish(merge.PublishArgs{SessionID: "s", WorkerID: "w", Seq: 1, Delta: d}, &rep); err != nil {
+			return nil, err
+		}
+		// Prime: the first poll pays the encodes in either mode.
+		var warm merge.PollReply
+		if err := m.Poll(merge.PollArgs{SessionID: "s", Full: true}, &warm); err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			var poll merge.PollReply
+			if err := m.Poll(merge.PollArgs{SessionID: "s", Full: true}, &poll); err != nil {
+				return nil, err
+			}
+			if len(poll.Entries) != objects {
+				return nil, fmt.Errorf("perf: poll returned %d of %d objects", len(poll.Entries), objects)
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		hits, misses := m.CacheStats("s")
+		out = append(out, PollCacheAblationRow{
+			Mode: mode, Clients: clients, Objects: objects,
+			AllocsPerPoll: float64(after.Mallocs-before.Mallocs) / float64(clients),
+			MicrosPerPoll: float64(wall.Microseconds()) / float64(clients),
+			Hits:          hits, Misses: misses,
+		})
+	}
+	return out, nil
+}
+
+// A8 — compressed wire frames. Size of one steady-state snapshot in
+// plain (version 1) vs DEFLATE (version 2) frames — the per-connection
+// choice for WAN-deployed workers.
+
+// WireCompressionRow is the two frame sizes for one snapshot shape.
+type WireCompressionRow struct {
+	Objects    int
+	PlainBytes int
+	FlateBytes int
+}
+
+// WireCompressionAblation encodes a baseline snapshot of `objects`
+// partially filled histograms both ways.
+func WireCompressionAblation(objects int) (WireCompressionRow, error) {
+	tree := aida.NewTree()
+	for o := 0; o < objects; o++ {
+		h, err := tree.H1D("/a", fmt.Sprintf("h%02d", o), "", 200, 0, 100)
+		if err != nil {
+			return WireCompressionRow{}, err
+		}
+		// Sparse fills: most bins empty, the WAN-snapshot shape where
+		// compression pays.
+		for f := 0; f < 50; f++ {
+			h.Fill(float64((o*13 + f*7) % 100))
+		}
+	}
+	d, err := tree.FullDelta()
+	if err != nil {
+		return WireCompressionRow{}, err
+	}
+	plain, err := aida.AppendDeltaState(nil, d)
+	if err != nil {
+		return WireCompressionRow{}, err
+	}
+	packed, err := aida.AppendDeltaStateFlate(nil, d)
+	if err != nil {
+		return WireCompressionRow{}, err
+	}
+	return WireCompressionRow{Objects: objects, PlainBytes: len(plain), FlateBytes: len(packed)}, nil
+}
+
 // A4 — incremental result polling (§3.7). Wire bytes per poll cycle when
 // only one of H histograms changed, full vs incremental.
 

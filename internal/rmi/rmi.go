@@ -248,19 +248,38 @@ func (e RemoteError) Error() string { return string(e) }
 // Client is a synchronous RMI client. It is safe for concurrent use; calls
 // are serialized over one connection (sufficient for the polling pattern).
 type Client struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	bw    *bufio.Writer
-	dec   *gob.Decoder
-	enc   *gob.Encoder
-	seq   uint64
-	token string
-	addr  string
+	mu         sync.Mutex
+	conn       net.Conn
+	bw         *bufio.Writer
+	dec        *gob.Decoder
+	enc        *gob.Encoder
+	seq        uint64
+	token      string
+	addr       string
+	compressed bool
 }
 
+// Option configures a client connection at Dial time.
+type Option func(*Client)
+
+// WithCompressedFrames marks the connection as preferring compressed
+// snapshot frames — the choice for WAN-deployed workers where snapshot
+// bytes dominate the link. The RMI layer itself stays payload-agnostic:
+// snapshot publishers consult Compressed() and select the compressed
+// wire version on the states they send (decoders accept either).
+func WithCompressedFrames() Option {
+	return func(c *Client) { c.compressed = true }
+}
+
+// Compressed reports whether this connection prefers compressed frames.
+func (c *Client) Compressed() bool { return c.compressed }
+
 // Dial connects to an RMI server. token rides along on every call.
-func Dial(addr, token string) (*Client, error) {
+func Dial(addr, token string, opts ...Option) (*Client, error) {
 	c := &Client{addr: addr, token: token}
+	for _, opt := range opts {
+		opt(c)
+	}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}

@@ -484,6 +484,14 @@ type Status struct {
 	Dataset string
 	Bundle  string
 	Engines []EngineStatus
+	// ResultVersion is the AIDA manager's current merged-result
+	// version for this session (what clients poll against).
+	ResultVersion int64
+	// PollCacheHits / PollCacheMisses report the manager's encoded-
+	// frame poll cache: hits are objects served to polling clients
+	// without re-encoding.
+	PollCacheHits   int64
+	PollCacheMisses int64
 }
 
 // Status reports the session and per-engine state — the client's "hosts
@@ -519,6 +527,8 @@ func (s *Service) Status(sessionID string) (Status, error) {
 		sess.state = StateStaged
 		st.State = StateStaged
 	}
+	st.ResultVersion = s.cfg.Merge.Version(sess.ID)
+	st.PollCacheHits, st.PollCacheMisses = s.cfg.Merge.CacheStats(sess.ID)
 	return st, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/perf"
 	"github.com/ipa-grid/ipa/internal/script"
+	"github.com/ipa-grid/ipa/internal/shard"
 	"github.com/ipa-grid/ipa/internal/splitter"
 )
 
@@ -355,4 +356,59 @@ func BenchmarkStreamAblation(b *testing.B) {
 		rows = perf.StreamAblation(100, []int{1, 2, 4, 8})
 	}
 	b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-8-streams")
+}
+
+// BenchmarkShardRouterPublishPoll measures one publish+incremental-poll
+// cycle through the consistent-hash router over 4 manager shards — the
+// per-call routing overhead on top of BenchmarkPollIncremental's flat
+// manager.
+func BenchmarkShardRouterPublishPoll(b *testing.B) {
+	router := shard.NewRouter(0)
+	for i := 0; i < 4; i++ {
+		if err := router.AddShard(fmt.Sprintf("shard%d", i), merge.NewManager()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tree := aida.NewTree()
+	hs := make([]*aida.Histogram1D, 20)
+	for o := range hs {
+		h, err := tree.H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			h.Fill(float64(i % 100))
+		}
+		hs[o] = h
+	}
+	var rep merge.PublishReply
+	publish := func(seq int64) {
+		d, err := tree.Delta()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := router.Publish(merge.PublishArgs{SessionID: "s", WorkerID: "w", Seq: seq, Delta: d}, &rep); err != nil || !rep.Accepted {
+			b.Fatalf("publish seq %d: %v %+v", seq, err, rep)
+		}
+	}
+	publish(1)
+	var poll merge.PollReply
+	if err := router.Poll(merge.PollArgs{SessionID: "s"}, &poll); err != nil {
+		b.Fatal(err)
+	}
+	since := poll.Version
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs[i%len(hs)].Fill(50)
+		publish(int64(i + 2))
+		var reply merge.PollReply
+		if err := router.Poll(merge.PollArgs{SessionID: "s", SinceVersion: since}, &reply); err != nil {
+			b.Fatal(err)
+		}
+		if len(reply.Entries) != 1 {
+			b.Fatalf("incremental poll carried %d entries", len(reply.Entries))
+		}
+		since = reply.Version
+	}
 }

@@ -1,12 +1,12 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_2.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1.json baseline.
+// (default BENCH_3.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1/BENCH_2 baselines.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|all] [-out DIR] [-json FILE]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|all] [-out DIR] [-json FILE] [-tiny]
 package main
 
 import (
@@ -25,7 +25,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_2.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_3.json", "metrics baseline file (\"\" disables)")
+	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
 	flag.Parse()
 	// A partial run writes a partial metrics map; never let it silently
 	// clobber the committed full baseline unless -json was given
@@ -39,20 +40,20 @@ func main() {
 	if *exp != "all" && !jsonSet {
 		*jsonPath = ""
 	}
-	if err := run(*exp, *out, *jsonPath); err != nil {
+	if err := run(*exp, *out, *jsonPath, *tiny); err != nil {
 		fmt.Fprintln(os.Stderr, "ipa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, outDir, jsonPath string) error {
+func run(exp, outDir, jsonPath string, tiny bool) error {
 	p := perf.PaperParams()
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -244,6 +245,29 @@ func run(exp, outDir, jsonPath string) error {
 		fmt.Fprintln(w, t.String())
 		metrics["wire_plain_bytes"] = float64(r.PlainBytes)
 		metrics["wire_flate_bytes"] = float64(r.FlateBytes)
+	}
+	if all || exp == "shard" {
+		// 1 vs 4 vs 8 manager shards under concurrent sessions; -tiny
+		// keeps the CI smoke (run under -race) fast.
+		counts, sessions, workers, rounds, objects := []int{1, 4, 8}, 8, 4, 150, 20
+		if tiny {
+			counts, sessions, workers, rounds, objects = []int{1, 2}, 2, 2, 10, 4
+		}
+		rows, err := perf.ShardAblation(counts, sessions, workers, rounds, objects)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A9 — sharded merge fabric, %d concurrent sessions x %d workers x %d rounds",
+			sessions, workers, rounds),
+			Columns: []string{"Shards", "Publishes/s", "Polls/s", "Wall ms"}}
+		for _, r := range rows {
+			t.AddRow(fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%.0f", r.PublishesPerSec),
+				fmt.Sprintf("%.0f", r.PollsPerSec), fmt.Sprintf("%d", r.WallMS))
+			metrics[fmt.Sprintf("shard_%d_publish_per_s", r.Shards)] = r.PublishesPerSec
+			metrics[fmt.Sprintf("shard_%d_poll_per_s", r.Shards)] = r.PollsPerSec
+			metrics[fmt.Sprintf("shard_%d_wall_ms", r.Shards)] = float64(r.WallMS)
+		}
+		fmt.Fprintln(w, t.String())
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(metrics, "", "  ")

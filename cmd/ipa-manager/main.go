@@ -33,9 +33,10 @@ func main() {
 	events := flag.Int("events", 20000, "events in the demo dataset (0 = none)")
 	insecure := flag.Bool("insecure", false, "serve plain HTTP (no GSI)")
 	credDir := flag.String("creddir", "ipa-creds", "where to write CA + user credentials")
+	shards := flag.Int("shards", 1, "merge-fabric shard count (>1 = consistent-hash session sharding)")
 	flag.Parse()
 
-	grid, err := ipa.NewLocalGrid(ipa.GridOptions{Nodes: *nodes, Insecure: *insecure})
+	grid, err := ipa.NewLocalGrid(ipa.GridOptions{Nodes: *nodes, Insecure: *insecure, Shards: *shards})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +62,9 @@ func main() {
 	fmt.Printf("WSRF endpoint: %s (secure=%v)\n", grid.Manager.Addr(), !*insecure)
 	fmt.Printf("RMI endpoint:  %s\n", grid.Manager.RMIAddr())
 	fmt.Printf("nodes: %d, interactive queue ready\n", *nodes)
+	if *shards > 1 {
+		fmt.Printf("merge fabric: %d shards (consistent-hash session routing)\n", *shards)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -49,11 +49,18 @@ type DeltaState struct {
 	// gob encoding — a per-connection transport choice (see
 	// TreeState.SetWireCompression), never part of the content.
 	compressWire bool
+	// policy makes the choice adaptively per frame when compressWire is
+	// not forcing (see TreeState.SetCompressionPolicy).
+	policy *CompressionPolicy
 }
 
 // SetWireCompression selects the compressed (version 2) wire frame for
-// this state's gob encoding.
+// this state's gob encoding — the forced override.
 func (d *DeltaState) SetWireCompression(on bool) { d.compressWire = on }
+
+// SetCompressionPolicy hands the frame-version choice to an adaptive
+// per-connection policy (no-op while SetWireCompression forces).
+func (d *DeltaState) SetCompressionPolicy(p *CompressionPolicy) { d.policy = p }
 
 // Delta emits the objects touched since the previous Delta/FullDelta call
 // and clears their dirty bits. The first snapshot of a tree is a full

@@ -364,12 +364,21 @@ type TreeState struct {
 	// content: decoders accept either frame version, and the flag does
 	// not itself cross the wire.
 	compressWire bool
+	// policy, when set (and compressWire is not forcing), makes the
+	// frame-version choice adaptively per frame from payload size and
+	// the connection's observed compression ratio.
+	policy *CompressionPolicy
 }
 
 // SetWireCompression selects the compressed (version 2) wire frame for
-// this state's gob encoding — chosen per connection by the snapshot
-// transport (WAN workers compress, LAN workers don't).
+// this state's gob encoding — the forced per-connection override (WAN
+// workers dialed with compression on). SetCompressionPolicy is the
+// adaptive alternative.
 func (st *TreeState) SetWireCompression(on bool) { st.compressWire = on }
+
+// SetCompressionPolicy hands the frame-version choice to an adaptive
+// per-connection policy (no-op while SetWireCompression forces).
+func (st *TreeState) SetCompressionPolicy(p *CompressionPolicy) { st.policy = p }
 
 // TreeEntry is one object with its full path.
 type TreeEntry struct {
@@ -966,16 +975,9 @@ func (w *sliceWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// appendFlateFrame encodes body into pooled scratch, then appends a
-// version-2 frame (raw length + DEFLATE of the body) to dst.
-func appendFlateFrame(dst []byte, body func([]byte) ([]byte, error)) ([]byte, error) {
-	bp := encPool.Get().(*[]byte)
-	raw, err := body((*bp)[:0])
-	if err != nil {
-		*bp = raw[:0]
-		encPool.Put(bp)
-		return dst, err
-	}
+// appendFlateRaw appends a version-2 frame (raw length + DEFLATE of the
+// body) carrying raw to dst.
+func appendFlateRaw(dst, raw []byte) ([]byte, error) {
 	dst = append(dst, wireVersionFlate)
 	dst = appendUvarint(dst, uint64(len(raw)))
 	sw := &sliceWriter{b: dst}
@@ -984,12 +986,55 @@ func appendFlateFrame(dst []byte, body func([]byte) ([]byte, error)) ([]byte, er
 	_, werr := fw.Write(raw)
 	cerr := fw.Close()
 	flateWriterPool.Put(fw)
-	*bp = raw[:0]
-	encPool.Put(bp)
 	if werr != nil {
 		return sw.b, werr
 	}
 	return sw.b, cerr
+}
+
+// appendFlateFrame encodes body into pooled scratch, then appends a
+// version-2 frame of it to dst.
+func appendFlateFrame(dst []byte, body func([]byte) ([]byte, error)) ([]byte, error) {
+	bp := encPool.Get().(*[]byte)
+	raw, err := body((*bp)[:0])
+	if err != nil {
+		*bp = raw[:0]
+		encPool.Put(bp)
+		return dst, err
+	}
+	dst, err = appendFlateRaw(dst, raw)
+	*bp = raw[:0]
+	encPool.Put(bp)
+	return dst, err
+}
+
+// appendPolicyFrame appends either a plain version-1 frame or a
+// compressed version-2 frame of body to dst, per the policy's per-frame
+// choice; achieved ratios feed back into the policy so later frames
+// learn from this stream. The body is encoded straight into dst — the
+// usual (plain) outcome costs no extra copy; only the compressed branch
+// stages the raw bytes through scratch to re-emit them deflated.
+func appendPolicyFrame(dst []byte, p *CompressionPolicy, body func([]byte) ([]byte, error)) ([]byte, error) {
+	mark := len(dst)
+	dst = append(dst, wireVersion)
+	dst, err := body(dst)
+	if err != nil {
+		return dst[:mark], err
+	}
+	raw := dst[mark+1:]
+	if !p.shouldCompress(len(raw)) {
+		return dst, nil
+	}
+	bp := encPool.Get().(*[]byte)
+	scratch := append((*bp)[:0], raw...)
+	dst, err = appendFlateRaw(dst[:mark], scratch)
+	*bp = scratch[:0]
+	encPool.Put(bp)
+	if err != nil {
+		return dst, err
+	}
+	p.observe(len(raw), len(dst)-mark)
+	return dst, nil
 }
 
 // openFrame validates the leading version byte and returns the frame
@@ -1061,6 +1106,13 @@ func (st TreeState) GobEncode() ([]byte, error) {
 	if st.compressWire {
 		return encodePooled(func(b []byte) ([]byte, error) { return AppendTreeStateFlate(b, &st) })
 	}
+	if st.policy != nil {
+		return encodePooled(func(b []byte) ([]byte, error) {
+			return appendPolicyFrame(b, st.policy, func(b []byte) ([]byte, error) {
+				return appendEntries(b, st.Entries)
+			})
+		})
+	}
 	return encodePooled(func(b []byte) ([]byte, error) { return AppendTreeState(b, &st) })
 }
 
@@ -1079,6 +1131,13 @@ func (st *TreeState) GobDecode(b []byte) error {
 func (d DeltaState) GobEncode() ([]byte, error) {
 	if d.compressWire {
 		return encodePooled(func(b []byte) ([]byte, error) { return AppendDeltaStateFlate(b, &d) })
+	}
+	if d.policy != nil {
+		return encodePooled(func(b []byte) ([]byte, error) {
+			return appendPolicyFrame(b, d.policy, func(b []byte) ([]byte, error) {
+				return appendDeltaBody(b, &d)
+			})
+		})
 	}
 	return encodePooled(func(b []byte) ([]byte, error) { return AppendDeltaState(b, &d) })
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/registry"
 	"github.com/ipa-grid/ipa/internal/scheduler"
 	"github.com/ipa-grid/ipa/internal/session"
+	"github.com/ipa-grid/ipa/internal/shard"
 	"github.com/ipa-grid/ipa/internal/storage"
 )
 
@@ -35,6 +36,10 @@ type GridOptions struct {
 	Insecure bool
 	// SnapshotEvery tunes engine snapshot frequency (default 500).
 	SnapshotEvery int
+	// Shards selects the merge fabric width: 1 (default) serves results
+	// from a single manager, >1 spreads sessions across that many
+	// manager shards behind a consistent-hash router.
+	Shards int
 }
 
 // LocalGrid is a complete single-process Grid site on loopback TCP:
@@ -49,12 +54,18 @@ type LocalGrid struct {
 	Gram    *gram.JobManager
 	Catalog *catalog.Catalog
 	Locator *locator.Service
-	Merge   *merge.Manager
-	Reg     *registry.Registry
-	Loader  *codeloader.Loader
-	Shared  *storage.Element
-	Manager *Manager
-	Session *session.Service
+	// Merge is the result fabric engines publish into: a bare manager,
+	// or (Shards > 1) the Router over ShardMgrs.
+	Merge merge.Service
+	// Router is non-nil on a sharded grid (== Merge).
+	Router *shard.Router
+	// ShardMgrs are the fabric's member managers by shard name.
+	ShardMgrs map[string]*merge.Manager
+	Reg       *registry.Registry
+	Loader    *codeloader.Loader
+	Shared    *storage.Element
+	Manager   *Manager
+	Session   *session.Service
 
 	baseDir string
 	opts    GridOptions
@@ -131,7 +142,23 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 	// Services.
 	g.Catalog = catalog.New()
 	g.Locator = locator.New("local")
-	g.Merge = merge.NewManager()
+	if opts.Shards > 1 {
+		// Sharded merge fabric: sessions spread across managers by
+		// consistent hashing; everything publishes/polls via the router.
+		g.Router = shard.NewRouter(0)
+		g.ShardMgrs = make(map[string]*merge.Manager, opts.Shards)
+		for i := 0; i < opts.Shards; i++ {
+			name := fmt.Sprintf("shard%02d", i)
+			mgr := merge.NewManager()
+			g.ShardMgrs[name] = mgr
+			if err := g.Router.AddShard(name, mgr); err != nil {
+				return nil, err
+			}
+		}
+		g.Merge = g.Router
+	} else {
+		g.Merge = merge.NewManager()
+	}
 	g.Reg = registry.New()
 	g.Loader = codeloader.New()
 
@@ -184,7 +211,8 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 
 	mgrCfg := ManagerConfig{
 		Sessions: sessions, Catalog: g.Catalog, Merge: g.Merge,
-		EngineCount: opts.EnginesPerSession,
+		ShardManagers: g.ShardMgrs,
+		EngineCount:   opts.EnginesPerSession,
 	}
 	if !opts.Insecure {
 		host, err := ca.IssueHost("ipa-manager", []string{"localhost", "127.0.0.1"}, 24*time.Hour)

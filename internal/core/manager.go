@@ -10,6 +10,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/rmi"
 	"github.com/ipa-grid/ipa/internal/session"
+	"github.com/ipa-grid/ipa/internal/shard"
 	"github.com/ipa-grid/ipa/internal/wsrf"
 )
 
@@ -19,8 +20,13 @@ type ManagerConfig struct {
 	Sessions *session.Service
 	// Catalog backs the Dataset Catalog Service.
 	Catalog *catalog.Catalog
-	// Merge is the AIDA manager exposed over RMI.
-	Merge *merge.Manager
+	// Merge is the AIDA result fabric exposed over RMI as the front
+	// door ("AIDAManager"): a single merge.Manager or a shard.Router.
+	Merge merge.Service
+	// ShardManagers are the fabric's member shards, each additionally
+	// registered under shard.ObjectName(name) so routers on other nodes
+	// can dial them directly. Empty for an unsharded deployment.
+	ShardManagers map[string]*merge.Manager
 	// VO authorizes operations (nil = allow all authenticated users;
 	// plain-HTTP containers then allow everyone — test mode only).
 	VO *gsi.VO
@@ -92,6 +98,12 @@ func NewManager(cfg ManagerConfig, wsrfAddr, rmiAddr string) (*Manager, error) {
 	if err := m.RMI.Register("AIDAManager", cfg.Merge); err != nil {
 		m.Container.Close()
 		return nil, err
+	}
+	for name, mgr := range cfg.ShardManagers {
+		if err := m.RMI.Register(shard.ObjectName(name), mgr); err != nil {
+			m.Container.Close()
+			return nil, err
+		}
 	}
 	addr, err := m.RMI.ListenAndServe(rmiAddr)
 	if err != nil {
@@ -222,7 +234,7 @@ func (m *Manager) register() {
 		if err != nil {
 			return nil, wsrf.Faultf(wsrf.FaultNoSuchRes, "%v", err)
 		}
-		resp := &StatusResponse{State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle}
+		resp := &StatusResponse{State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle, Shard: st.Shard}
 		for _, e := range st.Engines {
 			resp.Engines = append(resp.Engines, EngineStatusXML{
 				Node: e.Node, State: string(e.State), Err: e.Err, Done: e.Done, Total: e.Total,

@@ -121,10 +121,13 @@ type EngineStatusXML struct {
 
 // StatusResponse summarizes the session.
 type StatusResponse struct {
-	XMLName xml.Name          `xml:"sessionStatus"`
-	State   string            `xml:"state"`
-	Dataset string            `xml:"dataset,omitempty"`
-	Bundle  string            `xml:"bundle,omitempty"`
+	XMLName xml.Name `xml:"sessionStatus"`
+	State   string   `xml:"state"`
+	Dataset string   `xml:"dataset,omitempty"`
+	Bundle  string   `xml:"bundle,omitempty"`
+	// Shard names the merge-fabric shard serving this session's results
+	// (empty on an unsharded deployment).
+	Shard   string            `xml:"shard,omitempty"`
 	Engines []EngineStatusXML `xml:"engine"`
 }
 

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/events"
+	"github.com/ipa-grid/ipa/internal/gsi"
+)
+
+// TestShardedGridEndToEnd runs the full client workflow against a
+// 3-shard merge fabric — publishes and polls cross the router over real
+// RMI — then forces a live handoff of the session's shard mid-session
+// and re-runs the analysis on its new owner.
+func TestShardedGridEndToEnd(t *testing.T) {
+	g, err := NewLocalGrid(GridOptions{
+		Nodes: 4, BaseDir: t.TempDir(), SnapshotEvery: 100,
+		Shards: 3, Insecure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	if g.Router == nil || len(g.Router.Shards()) != 3 {
+		t.Fatalf("sharded grid has router %v shards %v", g.Router, g.Router.Shards())
+	}
+	if _, err := g.AddUser("alice", gsi.RoleAnalyst); err != nil {
+		t.Fatal(err)
+	}
+	err = g.PublishDataset("ds-zh", "/lc/zh", "zh-events", 2000,
+		events.GenConfig{Seed: 42, SignalFraction: 0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.ClientFor("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSession(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseSession()
+	if _, err := c.AttachDataset("ds-zh"); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+	h = tree.h1d("/ana", "mult", "Multiplicity", 50, 0, 200);
+	function process(ev) { h.fill(ev.n); }
+	`
+	if _, err := c.LoadScript("mult", src, events.EventDecoderName, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, c, 30*time.Second)
+	up, err := c.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Changed {
+		t.Fatal("no updates after run on sharded fabric")
+	}
+	if h := c.Histogram1D("/ana/mult"); h == nil || h.AllEntries() != 2000 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard == "" {
+		t.Fatal("status does not report the owning shard")
+	}
+
+	// Live handoff: retire the session's current shard; its state must
+	// migrate and polls keep answering from the new owner.
+	if err := g.Router.RemoveShard(st.Shard); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Shard == st.Shard || st2.Shard == "" {
+		t.Fatalf("shard after handoff = %q (was %q)", st2.Shard, st.Shard)
+	}
+	if _, err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Histogram1D("/ana/mult"); h == nil || h.AllEntries() != 2000 {
+		t.Fatalf("merged histogram after handoff = %+v", h)
+	}
+
+	// Rewind and re-run: resets and fresh publishes all land on the new
+	// owner through the router.
+	if err := c.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, c, 30*time.Second)
+	if _, err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Histogram1D("/ana/mult"); h == nil || h.AllEntries() != 2000 {
+		t.Fatalf("merged histogram after rewind on new shard = %+v", h)
+	}
+}

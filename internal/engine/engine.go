@@ -39,7 +39,9 @@ const (
 type Config struct {
 	SessionID string
 	WorkerID  string
-	// Publisher receives snapshots (the AIDA manager or a sub-merger).
+	// Publisher receives snapshots: the AIDA manager, a sub-merger, or
+	// a shard router fronting several manager shards — the engine's
+	// uplink protocol is identical against all three.
 	Publisher merge.Publisher
 	// SnapshotEvery publishes after this many events (default 500).
 	SnapshotEvery int
@@ -125,6 +127,18 @@ func (e *Engine) Progress() (done, total int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.events, e.total
+}
+
+// Rebaselines reports how many snapshot publishes after the first were
+// forced to carry a full baseline (upstream NeedFull or a transport
+// failure). A shard handoff that races a publish shows up here as a
+// re-baseline or two (one per refused send while the session was
+// sealed); a steadily climbing count means the uplink is flapping.
+func (e *Engine) Rebaselines() int64 {
+	if e.transport == nil {
+		return 0
+	}
+	return e.transport.Rebaselines()
 }
 
 // SetPart points the engine at its staged dataset part (a container file

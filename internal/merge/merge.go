@@ -35,13 +35,33 @@ package merge
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
 )
+
+// Service is the result-fabric surface the session service and the node
+// wiring program against: the RMI triple every client and engine speaks
+// (Publish/Poll/Reset) plus the manager-side bookkeeping calls. Both the
+// single Manager and the sharded shard.Router implement it, so one
+// configuration field selects a bare manager or a multi-shard fabric.
+type Service interface {
+	Publisher
+	Poll(args PollArgs, reply *PollReply) error
+	Reset(args ResetArgs, reply *ResetReply) error
+	// Version returns a session's current merged-result version (0 for
+	// unknown sessions).
+	Version(sessionID string) int64
+	// CacheStats reports the poll encode cache's hits and misses.
+	CacheStats(sessionID string) (hits, misses int64)
+	// Drop removes a session entirely (teardown).
+	Drop(sessionID string)
+}
 
 // PublishArgs is an engine's snapshot upload.
 type PublishArgs struct {
@@ -151,7 +171,29 @@ type sessionState struct {
 	// dirty marks pending legacy full-tree publishes; remerge() clears
 	// it by rebuilding merged from every worker tree.
 	dirty bool
+	// sealed freezes the session for a shard handoff: publishes are
+	// refused with NeedFull (the producer re-baselines on the session's
+	// new owner shard) while polls keep serving the frozen state until
+	// routing flips. Import clears it.
+	sealed bool
+	// changeLog is the per-version change index: for every version since
+	// indexedSince, the merged paths stamped at it. Incremental polls
+	// whose SinceVersion is covered walk only these paths instead of the
+	// whole merged tree; older ones fall back to a full walk.
+	changeLog             []versionChanges
+	indexLen              int   // total path entries across changeLog
+	indexedSince          int64 // changeLog covers every change after this version
+	indexPolls, walkPolls int64
 }
+
+type versionChanges struct {
+	version int64
+	paths   []string
+}
+
+// maxChangeIndex bounds the change index; past it the oldest versions
+// are dropped and polls from before the new floor do a full walk.
+const maxChangeIndex = 4096
 
 type cachedFrame struct {
 	version int64
@@ -171,6 +213,10 @@ type Manager struct {
 	// DisableEncodeCache makes every poll re-encode every included
 	// object — retained as the A7 ablation baseline.
 	DisableEncodeCache bool
+	// DisableChangeIndex makes every incremental poll walk the whole
+	// merged tree — the pre-index behavior, retained as an ablation
+	// baseline.
+	DisableChangeIndex bool
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -215,6 +261,67 @@ func (s *sessionState) worker(workerID string) *workerState {
 	return w
 }
 
+// recordChange appends path to the per-version change index. Caller
+// holds m.mu and has already stamped objVersion[path] = s.version.
+func (s *sessionState) recordChange(path string) {
+	n := len(s.changeLog)
+	if n == 0 || s.changeLog[n-1].version != s.version {
+		s.changeLog = append(s.changeLog, versionChanges{version: s.version})
+		n++
+	}
+	vc := &s.changeLog[n-1]
+	vc.paths = append(vc.paths, path)
+	s.indexLen++
+	if s.indexLen <= maxChangeIndex {
+		return
+	}
+	// Shed the oldest versions down to half capacity; the floor moves up
+	// so polls from before it take the full-walk fallback.
+	drop := 0
+	for drop < len(s.changeLog)-1 && s.indexLen > maxChangeIndex/2 {
+		s.indexLen -= len(s.changeLog[drop].paths)
+		drop++
+	}
+	if drop == 0 || s.indexLen > maxChangeIndex {
+		// A single version touched more paths than the whole cap (a
+		// huge baseline publish): any poll it could serve would return
+		// nearly everything, so the index degenerates to the full walk.
+		s.invalidateChangeIndex()
+		return
+	}
+	s.indexedSince = s.changeLog[drop-1].version
+	s.changeLog = append([]versionChanges(nil), s.changeLog[drop:]...)
+}
+
+// invalidateChangeIndex empties the index after a bulk restamp (legacy
+// remerge, reset, session import); it refills from the next delta.
+func (s *sessionState) invalidateChangeIndex() {
+	s.changeLog = nil
+	s.indexLen = 0
+	s.indexedSince = s.version
+}
+
+// changedSince returns the deduplicated sorted paths stamped after
+// since. Caller holds m.mu and has checked since >= indexedSince.
+func (s *sessionState) changedSince(since int64) []string {
+	i := sort.Search(len(s.changeLog), func(i int) bool { return s.changeLog[i].version > since })
+	if i == len(s.changeLog) {
+		return nil
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for ; i < len(s.changeLog); i++ {
+		for _, p := range s.changeLog[i].paths {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (s *sessionState) appendLog(text string) {
 	if text == "" {
 		return
@@ -242,6 +349,14 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.session(args.SessionID)
+	if s.sealed {
+		// Mid-handoff: the session is frozen for export. Refusing with
+		// NeedFull makes the producer re-baseline — by the time it does,
+		// routing has flipped and the baseline lands on the new owner.
+		reply.Accepted, reply.NeedFull = false, true
+		reply.Version = s.version
+		return nil
+	}
 	w := s.worker(args.WorkerID)
 	if args.Seq <= w.seq && args.Seq != 0 {
 		// Stale or duplicate snapshot (out-of-order RMI retry): ignore.
@@ -278,8 +393,13 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.session(args.SessionID)
-	w := s.worker(args.WorkerID)
 	reply.Version = s.version
+	if s.sealed {
+		// See Publish: frozen for handoff, ask for a re-baseline.
+		reply.Accepted, reply.NeedFull = false, true
+		return nil
+	}
+	w := s.worker(args.WorkerID)
 	if !d.Full {
 		if args.Seq <= w.seq && w.tree != nil {
 			// Duplicate or stale retry: w.seq only advances on applied
@@ -398,6 +518,7 @@ func (s *sessionState) recomputePath(path string) error {
 		return err
 	}
 	s.objVersion[path] = s.version
+	s.recordChange(path)
 	delete(s.gone, path)
 	return nil
 }
@@ -442,6 +563,10 @@ func (s *sessionState) remerge() error {
 	})
 	s.merged = next
 	s.dirty = false
+	// The walk above restamped objVersion directly; the index no longer
+	// covers those changes, so polls fall back to full walks until new
+	// deltas refill it.
+	s.invalidateChangeIndex()
 	return firstErr
 }
 
@@ -488,15 +613,9 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 			reply.Logs = append(reply.Logs, l.text)
 		}
 	}
-	include := func(path string) bool {
-		if args.Full || args.SinceVersion == 0 {
-			return true
-		}
-		return s.objVersion[path] > args.SinceVersion
-	}
 	var firstErr error
-	s.merged.Walk(func(path string, obj aida.Object) {
-		if firstErr != nil || !include(path) {
+	emit := func(path string, obj aida.Object) {
+		if firstErr != nil {
 			return
 		}
 		ver := s.objVersion[path]
@@ -520,7 +639,30 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 			s.frames[path] = cachedFrame{version: ver, frame: frame}
 		}
 		reply.Entries = append(reply.Entries, PollEntry{Path: path, Frame: frame})
-	})
+	}
+	if !args.Full && args.SinceVersion > 0 && args.SinceVersion >= s.indexedSince && !m.DisableChangeIndex {
+		// Change-index fast path: touch only the paths stamped after the
+		// client's version instead of walking the whole merged tree.
+		s.indexPolls++
+		for _, path := range s.changedSince(args.SinceVersion) {
+			if obj := s.merged.Get(path); obj != nil {
+				emit(path, obj)
+			}
+		}
+	} else {
+		s.walkPolls++
+		include := func(path string) bool {
+			if args.Full || args.SinceVersion == 0 {
+				return true
+			}
+			return s.objVersion[path] > args.SinceVersion
+		}
+		s.merged.Walk(func(path string, obj aida.Object) {
+			if include(path) {
+				emit(path, obj)
+			}
+		})
+	}
 	if firstErr != nil {
 		return firstErr
 	}
@@ -544,6 +686,10 @@ type ResetReply struct {
 	Version int64
 }
 
+// ErrSealed rejects writes against a session frozen for a shard
+// handoff; the caller should retry once routing has flipped.
+var ErrSealed = errors.New("merge: session sealed for shard handoff; retry")
+
 // Reset drops all worker snapshots for a session — issued on rewind so the
 // next run starts from empty histograms (RMI-compatible).
 func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
@@ -552,6 +698,9 @@ func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
 	s := m.lookup(args.SessionID)
 	if s == nil {
 		return nil
+	}
+	if s.sealed {
+		return ErrSealed
 	}
 	s.version++
 	for path := range s.objVersion {
@@ -564,6 +713,7 @@ func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
 	s.frames = make(map[string]cachedFrame)
 	s.logs = nil
 	s.dirty = false
+	s.invalidateChangeIndex()
 	reply.Version = s.version
 	return nil
 }
@@ -680,6 +830,345 @@ func (m *Manager) FlushState(sessionID string, since, logSince int64) (FlushStat
 	return fs, nil
 }
 
+// ------------------------------------------------------------------
+// Shard handoff surface. A shard router migrates a session between
+// Manager shards by Export(Seal)ing it on the old owner, Import()ing the
+// dump into the new one, flipping routing, and dropping the old copy.
+// All methods are RMI-compatible, so remote shards need no extra
+// plumbing beyond their registration name.
+
+// ExportArgs requests a full session dump for a shard handoff.
+type ExportArgs struct {
+	SessionID string
+	// Seal freezes the session on this manager: subsequent publishes are
+	// refused with NeedFull (so producers re-baseline on the session's
+	// new owner) while polls keep serving the frozen state until routing
+	// flips. Import on this manager lifts the seal.
+	Seal bool
+}
+
+// WorkerSnapshot is one worker's complete retained state in an export.
+type WorkerSnapshot struct {
+	WorkerID    string
+	Seq         int64
+	Done, Total int64
+	// HasTree distinguishes a worker with an empty tree from one that
+	// never baselined (nil tree: its next delta draws NeedFull).
+	HasTree bool
+	Tree    aida.TreeState
+}
+
+// RemovedPath is one vanished merged path with the version it vanished
+// at — carried across handoffs so incremental pollers still learn of
+// removals that predate the move.
+type RemovedPath struct {
+	Path    string
+	Version int64
+}
+
+// LogLine is one retained log line with the version it was stamped at.
+type LogLine struct {
+	Version int64
+	Text    string
+}
+
+// ExportReply is the complete migratable state of one session.
+type ExportReply struct {
+	Found   bool
+	Version int64
+	Workers []WorkerSnapshot
+	Removed []RemovedPath
+	Logs    []LogLine
+}
+
+// Export dumps a session's full state for migration (RMI-compatible).
+// Unknown sessions report Found=false. With args.Seal the session is
+// atomically frozen in the same locked section, so no publish can slip
+// between the dump and the freeze.
+func (m *Manager) Export(args ExportArgs, reply *ExportReply) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.lookup(args.SessionID)
+	if s == nil {
+		return nil
+	}
+	if err := s.remerge(); err != nil {
+		return err
+	}
+	reply.Found = true
+	reply.Version = s.version
+	for _, id := range s.workerIDs {
+		w := s.workers[id]
+		ws := WorkerSnapshot{WorkerID: id, Seq: w.seq, Done: w.done, Total: w.total}
+		if w.tree != nil {
+			st, err := w.tree.State()
+			if err != nil {
+				return fmt.Errorf("merge: exporting %s/%s: %w", args.SessionID, id, err)
+			}
+			ws.HasTree, ws.Tree = true, *st
+		}
+		reply.Workers = append(reply.Workers, ws)
+	}
+	for path, ver := range s.gone {
+		reply.Removed = append(reply.Removed, RemovedPath{Path: path, Version: ver})
+	}
+	sort.Slice(reply.Removed, func(i, j int) bool { return reply.Removed[i].Path < reply.Removed[j].Path })
+	for _, l := range s.logs {
+		reply.Logs = append(reply.Logs, LogLine{Version: l.version, Text: l.text})
+	}
+	if args.Seal {
+		s.sealed = true
+	}
+	return nil
+}
+
+// ImportArgs installs an exported session dump on its new owner shard.
+type ImportArgs struct {
+	SessionID string
+	Version   int64
+	Workers   []WorkerSnapshot
+	Removed   []RemovedPath
+	Logs      []LogLine
+}
+
+// ImportReply acknowledges an import.
+type ImportReply struct {
+	Version int64
+}
+
+// Import installs an exported session, replacing any prior state for
+// that ID (RMI-compatible). The session version continues from the
+// imported one and every merged path is stamped at it, so clients
+// polling with any older version refresh fully; workers continue
+// publishing deltas from their exported sequence numbers without a
+// resync. Import also lifts a seal, which doubles as the rollback path
+// when a handoff fails after sealing the source.
+func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
+	if args.SessionID == "" {
+		return errors.New("merge: import needs a session ID")
+	}
+	// Restore all worker trees before mutating anything so a corrupt
+	// import is rejected atomically.
+	trees := make([]*aida.Tree, len(args.Workers))
+	for i, ws := range args.Workers {
+		if !ws.HasTree {
+			continue
+		}
+		tree, err := ws.Tree.Restore()
+		if err != nil {
+			return fmt.Errorf("merge: importing %s/%s: %w", args.SessionID, ws.WorkerID, err)
+		}
+		trees[i] = tree
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.session(args.SessionID)
+	if args.Version > s.version {
+		s.version = args.Version
+	}
+	s.sealed = false
+	s.workers = make(map[string]*workerState)
+	s.workerIDs = nil
+	s.merged = aida.NewTree()
+	s.objVersion = make(map[string]int64)
+	s.gone = make(map[string]int64)
+	s.frames = make(map[string]cachedFrame)
+	s.logs = nil
+	for i, ws := range args.Workers {
+		w := s.worker(ws.WorkerID)
+		w.seq, w.done, w.total = ws.Seq, ws.Done, ws.Total
+		w.tree = trees[i]
+	}
+	// Rebuild merged from the imported workers; remerge stamps every
+	// path at the (imported) current version and resets the change
+	// index.
+	s.dirty = true
+	if err := s.remerge(); err != nil {
+		return err
+	}
+	for _, rp := range args.Removed {
+		if s.merged.Get(rp.Path) != nil {
+			continue
+		}
+		ver := rp.Version
+		if ver > s.version {
+			ver = s.version
+		}
+		s.gone[rp.Path] = ver
+	}
+	for _, l := range args.Logs {
+		s.logs = append(s.logs, logLine{version: l.Version, text: l.Text})
+	}
+	if len(s.logs) > maxLogLines {
+		s.logs = s.logs[len(s.logs)-maxLogLines:]
+	}
+	reply.Version = s.version
+	return nil
+}
+
+// StatsArgs requests a session's bookkeeping counters.
+type StatsArgs struct {
+	SessionID string
+}
+
+// StatsReply carries them: the RMI-shaped form of Version/CacheStats,
+// which is what lets a router answer those for remote shards.
+type StatsReply struct {
+	Found                  bool
+	Version                int64
+	CacheHits, CacheMisses int64
+	Workers                int
+	Sealed                 bool
+}
+
+// Stats reports a session's version and cache counters (RMI-compatible).
+func (m *Manager) Stats(args StatsArgs, reply *StatsReply) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.lookup(args.SessionID)
+	if s == nil {
+		return nil
+	}
+	reply.Found = true
+	reply.Version = s.version
+	reply.CacheHits, reply.CacheMisses = s.cacheHits, s.cacheMisses
+	reply.Workers = len(s.workers)
+	reply.Sealed = s.sealed
+	return nil
+}
+
+// SealArgs / SealReply toggle a session's handoff freeze directly —
+// the cheap rollback when a migration fails after sealing the source
+// (the source still holds all its state; only the seal needs lifting).
+type SealArgs struct {
+	SessionID string
+	On        bool
+}
+
+// SealReply acknowledges a seal toggle.
+type SealReply struct {
+	Found bool
+}
+
+// Seal freezes or thaws a session without touching its state
+// (RMI-compatible).
+func (m *Manager) Seal(args SealArgs, reply *SealReply) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.lookup(args.SessionID)
+	if s == nil {
+		return nil
+	}
+	s.sealed = args.On
+	reply.Found = true
+	return nil
+}
+
+// DropArgs / DropReply are the RMI-shaped form of Drop.
+type DropArgs struct {
+	SessionID string
+	// Tombstone frees the session's state but leaves an empty sealed
+	// shell behind. A completed handoff drops the old owner's copy this
+	// way: a publish that raced the migration must keep drawing
+	// NeedFull here rather than re-creating an unsealed session whose
+	// accepted snapshots nobody would ever poll. Teardown (plain drop)
+	// reaps tombstones.
+	Tombstone bool
+}
+
+// DropReply acknowledges a drop.
+type DropReply struct{}
+
+// DropSession removes a session entirely, or reduces it to a sealed
+// tombstone (RMI-compatible Drop).
+func (m *Manager) DropSession(args DropArgs, reply *DropReply) error {
+	if !args.Tombstone {
+		m.Drop(args.SessionID)
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.lookup(args.SessionID)
+	if s == nil {
+		return nil
+	}
+	// The shell keeps version 0, not s.version: a poll that resolved
+	// this shard just before the routing flip would otherwise read an
+	// empty tree stamped at the live version and fast-forward its
+	// SinceVersion past everything the new owner imported. Version 0
+	// makes such a straggler poll reset to a full refresh instead —
+	// exactly what it would see if the session were already deleted.
+	shell := &sessionState{
+		sealed:     true,
+		workers:    make(map[string]*workerState),
+		merged:     aida.NewTree(),
+		objVersion: make(map[string]int64),
+		gone:       make(map[string]int64),
+		frames:     make(map[string]cachedFrame),
+	}
+	m.sessions[args.SessionID] = shell
+	return nil
+}
+
+// SessionsArgs requests the session enumeration.
+type SessionsArgs struct{}
+
+// SessionsReply lists the sessions a manager currently holds.
+type SessionsReply struct {
+	SessionIDs []string
+}
+
+// SessionList enumerates this manager's sessions, sorted
+// (RMI-compatible) — an operator/diagnostic surface; the shard router
+// tracks placement itself and does not depend on it.
+func (m *Manager) SessionList(args SessionsArgs, reply *SessionsReply) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.sessions {
+		reply.SessionIDs = append(reply.SessionIDs, id)
+	}
+	sort.Strings(reply.SessionIDs)
+	return nil
+}
+
+// FlushArgs / FlushReply are the RMI-shaped form of FlushState, so
+// upstream forwarding composes across shards on other nodes.
+type FlushArgs struct {
+	SessionID       string
+	Since, LogSince int64
+}
+
+// FlushReply mirrors FlushState.
+type FlushReply struct {
+	Delta       *aida.DeltaState
+	Version     int64
+	Done, Total int64
+	Logs        []string
+}
+
+// Flush assembles a forwardable delta of everything that changed after
+// args.Since (RMI-compatible FlushState).
+func (m *Manager) Flush(args FlushArgs, reply *FlushReply) error {
+	fs, err := m.FlushState(args.SessionID, args.Since, args.LogSince)
+	if err != nil {
+		return err
+	}
+	reply.Delta, reply.Version = fs.Delta, fs.Version
+	reply.Done, reply.Total, reply.Logs = fs.Done, fs.Total, fs.Logs
+	return nil
+}
+
+// PollIndexStats reports how many polls were served off the change
+// index vs by a full merged-tree walk.
+func (m *Manager) PollIndexStats(sessionID string) (indexed, walked int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.lookup(sessionID); s != nil {
+		return s.indexPolls, s.walkPolls
+	}
+	return 0, 0
+}
+
 // SubMerger aggregates the engines of one group and forwards one
 // combined pseudo-worker snapshot upstream (§2.5). It implements
 // Publisher so engines can't tell it from the root manager. Flushes
@@ -701,6 +1190,18 @@ type SubMerger struct {
 	// (1 = every time; larger batches trade freshness for fan-in).
 	FlushEvery int
 	pending    int
+	// FlushInterval also forwards when this much time has passed since
+	// the last flush attempt, even if fewer than FlushEvery publishes
+	// accumulated — the freshness floor for deep hierarchies with large
+	// batches. Each deadline carries ±20% jitter (deterministically
+	// seeded from the group name) so co-scheduled groups don't flush in
+	// lockstep and storm the upstream tier. 0 disables the timer; the
+	// check rides incoming publishes, so an entirely idle group sends
+	// nothing (there is nothing new to send).
+	FlushInterval time.Duration
+	nextFlush     time.Time
+	jrand         uint64           // xorshift state for deadline jitter
+	clock         func() time.Time // test hook; nil = time.Now
 	// ForwardFull republishes the whole merged tree on every flush —
 	// the legacy behavior, retained as the A6 ablation baseline.
 	ForwardFull bool
@@ -730,11 +1231,50 @@ func (s *SubMerger) Publish(args PublishArgs, reply *PublishReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pending++
-	if s.pending < s.FlushEvery {
+	if s.pending < s.FlushEvery && !s.intervalDueLocked() {
 		return nil
 	}
 	s.pending = 0
 	return s.flushLocked()
+}
+
+// intervalDueLocked reports whether the jittered flush deadline passed.
+// Caller holds s.mu.
+func (s *SubMerger) intervalDueLocked() bool {
+	if s.FlushInterval <= 0 {
+		return false
+	}
+	now := s.nowLocked()
+	if s.nextFlush.IsZero() {
+		s.nextFlush = now.Add(s.jitteredIntervalLocked())
+		return false
+	}
+	return !now.Before(s.nextFlush)
+}
+
+func (s *SubMerger) nowLocked() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
+}
+
+// jitteredIntervalLocked draws FlushInterval ±20% from a per-group
+// xorshift stream seeded by the group name, so deadlines are stable
+// across runs but decorrelated across groups. Caller holds s.mu.
+func (s *SubMerger) jitteredIntervalLocked() time.Duration {
+	if s.jrand == 0 {
+		h := uint64(14695981039346656037) // FNV-1a offset basis
+		for i := 0; i < len(s.name); i++ {
+			h = (h ^ uint64(s.name[i])) * 1099511628211
+		}
+		s.jrand = h | 1
+	}
+	s.jrand ^= s.jrand << 13
+	s.jrand ^= s.jrand >> 7
+	s.jrand ^= s.jrand << 17
+	frac := float64(s.jrand%1024)/1024*0.4 - 0.2
+	return time.Duration((1 + frac) * float64(s.FlushInterval))
 }
 
 // Flush forces the group snapshot upstream (end of run).
@@ -745,6 +1285,11 @@ func (s *SubMerger) Flush() error {
 }
 
 func (s *SubMerger) flushLocked() error {
+	if s.FlushInterval > 0 {
+		// Re-arm on every attempt (success or not) so a failing upstream
+		// doesn't turn each publish into a retry storm.
+		s.nextFlush = s.nowLocked().Add(s.jitteredIntervalLocked())
+	}
 	var covered int64
 	reply, err := s.transport.Send(func(full bool) (Snapshot, error) {
 		if s.ForwardFull {

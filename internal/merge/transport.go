@@ -51,23 +51,36 @@ type Transport struct {
 	session  string
 	worker   string
 	upstream Publisher
-	compress bool
-	gen      int64
-	needFull bool
+	// policy makes the per-frame wire-compression choice: adaptive by
+	// default (small or incompressible frames ship plain), forced to
+	// always-compress by SetCompression — the retained WAN override.
+	policy      *aida.CompressionPolicy
+	gen         int64
+	needFull    bool
+	rebaselines int64
 }
 
 // NewTransport creates a transport publishing to upstream as workerID
 // within sessionID.
 func NewTransport(sessionID, workerID string, upstream Publisher) *Transport {
-	return &Transport{session: sessionID, worker: workerID, upstream: upstream}
+	return &Transport{
+		session: sessionID, worker: workerID, upstream: upstream,
+		policy: aida.NewCompressionPolicy(),
+	}
 }
 
-// SetCompression selects compressed wire frames for every subsequent
-// send — the WAN-worker option, where snapshot bytes dominate the link.
+// SetCompression forces compressed wire frames on every subsequent send
+// — the WAN-worker override. Off (the default) leaves the choice to the
+// adaptive per-frame policy: payloads under ~1 KiB and streams whose
+// observed ratio stopped paying ship plain.
 func (t *Transport) SetCompression(on bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.compress = on
+	t.policy.SetForce(on)
+}
+
+// CompressionStats reports how many frames the transport's adaptive
+// policy compressed and skipped.
+func (t *Transport) CompressionStats() (compressed, skipped int64) {
+	return t.policy.Stats()
 }
 
 // Generation returns the stamp of the last send (0 before the first).
@@ -75,6 +88,15 @@ func (t *Transport) Generation() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.gen
+}
+
+// Rebaselines counts the sends after the first that were forced to
+// carry a full baseline (receiver NeedFull or a transport failure) — a
+// shard handoff surfaces here as exactly one re-baseline per producer.
+func (t *Transport) Rebaselines() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rebaselines
 }
 
 var errEmptySnapshot = errors.New("merge: transport snapshot carries neither delta nor tree")
@@ -93,6 +115,9 @@ func (t *Transport) Send(build func(full bool) (Snapshot, error)) (PublishReply,
 	if err != nil {
 		return PublishReply{}, err
 	}
+	if t.needFull && t.gen > 0 {
+		t.rebaselines++
+	}
 	t.gen++
 	args := PublishArgs{
 		SessionID: t.session, WorkerID: t.worker, Seq: t.gen,
@@ -100,10 +125,10 @@ func (t *Transport) Send(build func(full bool) (Snapshot, error)) (PublishReply,
 	}
 	switch {
 	case snap.Delta != nil:
-		snap.Delta.SetWireCompression(t.compress)
+		snap.Delta.SetCompressionPolicy(t.policy)
 		args.Delta = snap.Delta
 	case snap.Tree != nil:
-		snap.Tree.SetWireCompression(t.compress)
+		snap.Tree.SetCompressionPolicy(t.policy)
 		args.Tree = *snap.Tree
 	default:
 		return PublishReply{}, errEmptySnapshot
@@ -159,4 +184,5 @@ var (
 	_ Publisher = (*Manager)(nil)
 	_ Publisher = (*SubMerger)(nil)
 	_ Publisher = (*RemotePublisher)(nil)
+	_ Service   = (*Manager)(nil)
 )

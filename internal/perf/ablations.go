@@ -14,6 +14,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/netsim"
 	"github.com/ipa-grid/ipa/internal/scheduler"
+	"github.com/ipa-grid/ipa/internal/shard"
 )
 
 // A1 — the dedicated timely queue (§2.3, §6). Engine-start latency on a
@@ -673,4 +674,109 @@ func PollAblation(objects int) (PollAblationResult, error) {
 		return PollAblationResult{}, err
 	}
 	return PollAblationResult{Objects: objects, FullBytes: full, IncrementalBytes: inc}, nil
+}
+
+// A9 — the sharded merge fabric. Publish+poll throughput of N
+// concurrent sessions against routers of increasing shard count: one
+// manager serializes every session behind one lock, while consistent-
+// hash sharding lets unrelated sessions merge and poll in parallel.
+
+// ShardAblationRow is one shard count's outcome.
+type ShardAblationRow struct {
+	Shards   int
+	Sessions int
+	Workers  int // per session
+	Rounds   int
+	Objects  int
+	// PublishesPerSec / PollsPerSec are aggregate fabric throughput
+	// across all concurrent sessions.
+	PublishesPerSec float64
+	PollsPerSec     float64
+	WallMS          int64
+}
+
+// ShardAblation runs `sessions` concurrent sessions — each driving
+// `workers` delta-publishing engines (1 of `objects` histograms touched
+// per round) and one incremental polling client — against a router over
+// each shard count in turn.
+func ShardAblation(shardCounts []int, sessions, workers, rounds, objects int) ([]ShardAblationRow, error) {
+	var out []ShardAblationRow
+	for _, n := range shardCounts {
+		router := shard.NewRouter(0)
+		for i := 0; i < n; i++ {
+			if err := router.AddShard(fmt.Sprintf("shard%02d", i), merge.NewManager()); err != nil {
+				return nil, err
+			}
+		}
+		errs := make(chan error, sessions)
+		start := time.Now()
+		for s := 0; s < sessions; s++ {
+			sid := fmt.Sprintf("sess-%02d", s)
+			go func() {
+				trees := make([]*aida.Tree, workers)
+				hists := make([][]*aida.Histogram1D, workers)
+				transports := make([]*merge.Transport, workers)
+				for w := range trees {
+					trees[w] = aida.NewTree()
+					hists[w] = make([]*aida.Histogram1D, objects)
+					for o := 0; o < objects; o++ {
+						h, err := trees[w].H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+						if err != nil {
+							errs <- err
+							return
+						}
+						for f := 0; f < 200; f++ {
+							h.Fill(float64((w*31 + f) % 100))
+						}
+						hists[w][o] = h
+					}
+					transports[w] = merge.NewTransport(sid, fmt.Sprintf("w%02d", w), router)
+				}
+				var sinceVersion int64
+				for r := 0; r < rounds; r++ {
+					for w := 0; w < workers; w++ {
+						hists[w][r%objects].Fill(float64(r % 100))
+						_, err := transports[w].Send(func(full bool) (merge.Snapshot, error) {
+							var d *aida.DeltaState
+							var err error
+							if full {
+								d, err = trees[w].FullDelta()
+							} else {
+								d, err = trees[w].Delta()
+							}
+							return merge.Snapshot{Delta: d}, err
+						})
+						if err != nil {
+							errs <- err
+							return
+						}
+					}
+					var poll merge.PollReply
+					if err := router.Poll(merge.PollArgs{SessionID: sid, SinceVersion: sinceVersion}, &poll); err != nil {
+						errs <- err
+						return
+					}
+					sinceVersion = poll.Version
+				}
+				errs <- nil
+			}()
+		}
+		for s := 0; s < sessions; s++ {
+			if err := <-errs; err != nil {
+				return nil, err
+			}
+		}
+		wall := time.Since(start)
+		secs := wall.Seconds()
+		if secs <= 0 {
+			secs = 1e-9
+		}
+		out = append(out, ShardAblationRow{
+			Shards: n, Sessions: sessions, Workers: workers, Rounds: rounds, Objects: objects,
+			PublishesPerSec: float64(sessions*rounds*workers) / secs,
+			PollsPerSec:     float64(sessions*rounds) / secs,
+			WallMS:          wall.Milliseconds(),
+		})
+	}
+	return out, nil
 }

@@ -124,6 +124,15 @@ func (s *Server) Register(name string, obj any) error {
 	return nil
 }
 
+// Unregister withdraws an object; in-flight calls complete, later calls
+// fail with "no object". Used when a merge shard is drained out of a
+// live fabric.
+func (s *Server) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, name)
+}
+
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(ln net.Listener) {
 	s.lnMu.Lock()

@@ -52,8 +52,11 @@ type Config struct {
 	Registry *registry.Registry
 	Locator  *locator.Service
 	Catalog  *catalog.Catalog
-	Merge    *merge.Manager
-	Loader   *codeloader.Loader
+	// Merge is the result fabric sessions publish into and clients poll
+	// from: a single merge.Manager, or a shard.Router fronting several
+	// manager shards — the service cannot tell the difference.
+	Merge  merge.Service
+	Loader *codeloader.Loader
 	// SharedDisk is the compute element's shared disk (Figure 2), where
 	// whole datasets land and are split.
 	SharedDisk *storage.Element
@@ -492,6 +495,9 @@ type Status struct {
 	// without re-encoding.
 	PollCacheHits   int64
 	PollCacheMisses int64
+	// Shard names the merge-fabric shard owning this session's results
+	// ("" when results are served by a single unsharded manager).
+	Shard string
 }
 
 // Status reports the session and per-engine state — the client's "hosts
@@ -529,6 +535,9 @@ func (s *Service) Status(sessionID string) (Status, error) {
 	}
 	st.ResultVersion = s.cfg.Merge.Version(sess.ID)
 	st.PollCacheHits, st.PollCacheMisses = s.cfg.Merge.CacheStats(sess.ID)
+	if p, ok := s.cfg.Merge.(interface{ Placement(string) string }); ok {
+		st.Shard = p.Placement(sess.ID)
+	}
 	return st, nil
 }
 

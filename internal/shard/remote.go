@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/rmi"
+)
+
+// ObjectName is the RMI registration name of one shard's manager on its
+// node — "AIDAShard:" + the shard's fabric name. The router dials these
+// directly; ordinary engines and clients keep talking to the fabric's
+// front door (merge.RMIObjectName), never to individual shards.
+func ObjectName(shard string) string { return "AIDAShard:" + shard }
+
+// Remote adapts an RMI connection into a Backend for shards hosted on
+// other nodes. All Backend calls are RMI-shaped Manager methods, so the
+// remote side needs nothing beyond a per-shard registration. Snapshot
+// publishes honor the connection's compression preference exactly like
+// a remote engine uplink (forced by rmi.WithCompressedFrames; adaptive
+// per-frame otherwise via the transports that built the snapshot).
+type Remote struct {
+	client *rmi.Client
+	object string
+	pub    *merge.RemotePublisher
+}
+
+// NewRemote wraps an RMI connection to a shard's manager. object is the
+// remote registration name ("" = merge.RMIObjectName).
+func NewRemote(client *rmi.Client, object string) *Remote {
+	if object == "" {
+		object = merge.RMIObjectName
+	}
+	return &Remote{client: client, object: object, pub: merge.NewRemotePublisher(client, object)}
+}
+
+// Publish implements Backend over the wire.
+func (r *Remote) Publish(args merge.PublishArgs, reply *merge.PublishReply) error {
+	return r.pub.Publish(args, reply)
+}
+
+// Poll implements Backend over the wire.
+func (r *Remote) Poll(args merge.PollArgs, reply *merge.PollReply) error {
+	return r.client.Call(r.object+".Poll", args, reply)
+}
+
+// Reset implements Backend over the wire.
+func (r *Remote) Reset(args merge.ResetArgs, reply *merge.ResetReply) error {
+	return r.client.Call(r.object+".Reset", args, reply)
+}
+
+// Flush implements Backend over the wire.
+func (r *Remote) Flush(args merge.FlushArgs, reply *merge.FlushReply) error {
+	return r.client.Call(r.object+".Flush", args, reply)
+}
+
+// Export implements Backend over the wire.
+func (r *Remote) Export(args merge.ExportArgs, reply *merge.ExportReply) error {
+	return r.client.Call(r.object+".Export", args, reply)
+}
+
+// Import implements Backend over the wire. Worker baselines are bulky,
+// so they ride compressed frames when the connection prefers them.
+func (r *Remote) Import(args merge.ImportArgs, reply *merge.ImportReply) error {
+	if r.client.Compressed() {
+		for i := range args.Workers {
+			args.Workers[i].Tree.SetWireCompression(true)
+		}
+	}
+	return r.client.Call(r.object+".Import", args, reply)
+}
+
+// Stats implements Backend over the wire.
+func (r *Remote) Stats(args merge.StatsArgs, reply *merge.StatsReply) error {
+	return r.client.Call(r.object+".Stats", args, reply)
+}
+
+// Seal implements Backend over the wire.
+func (r *Remote) Seal(args merge.SealArgs, reply *merge.SealReply) error {
+	return r.client.Call(r.object+".Seal", args, reply)
+}
+
+// DropSession implements Backend over the wire.
+func (r *Remote) DropSession(args merge.DropArgs, reply *merge.DropReply) error {
+	return r.client.Call(r.object+".DropSession", args, reply)
+}
+
+// SessionList implements Backend over the wire.
+func (r *Remote) SessionList(args merge.SessionsArgs, reply *merge.SessionsReply) error {
+	return r.client.Call(r.object+".SessionList", args, reply)
+}
+
+var _ Backend = (*Remote)(nil)

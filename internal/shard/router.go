@@ -1,0 +1,373 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/merge"
+)
+
+// Backend is one merge shard as the router sees it: the engine/client
+// RPC triple plus the handoff and bookkeeping calls. *merge.Manager
+// implements it directly (an in-process shard); Remote implements it
+// over an rmi.Client for shards on other nodes.
+type Backend interface {
+	Publish(args merge.PublishArgs, reply *merge.PublishReply) error
+	Poll(args merge.PollArgs, reply *merge.PollReply) error
+	Reset(args merge.ResetArgs, reply *merge.ResetReply) error
+	Flush(args merge.FlushArgs, reply *merge.FlushReply) error
+	Export(args merge.ExportArgs, reply *merge.ExportReply) error
+	Import(args merge.ImportArgs, reply *merge.ImportReply) error
+	Stats(args merge.StatsArgs, reply *merge.StatsReply) error
+	Seal(args merge.SealArgs, reply *merge.SealReply) error
+	DropSession(args merge.DropArgs, reply *merge.DropReply) error
+	SessionList(args merge.SessionsArgs, reply *merge.SessionsReply) error
+}
+
+// ErrNoShards rejects routing on an empty fabric.
+var ErrNoShards = errors.New("shard: router has no shards")
+
+type route struct {
+	shard string
+}
+
+// Router fronts a set of Manager shards behind the single-manager
+// surface (merge.Service plus the handoff RPCs). Every call is routed
+// to the session's home shard, assigned by the consistent-hash ring on
+// first touch and moved only by explicit handoff, so a ring edit never
+// silently strands a live session's state on its old owner.
+//
+// The RPC methods (Publish/Poll/Reset) have RMI-compatible signatures:
+// registering the Router on an rmi.Server under the AIDA manager's name
+// gives remote engines and clients a sharded fabric transparently.
+//
+// Safe for concurrent use. Routing holds the lock only to resolve the
+// owner; the shard call itself runs unlocked, so a slow shard does not
+// stall the fabric. Handoffs (AddShard/RemoveShard) run concurrently
+// with traffic: a publish that races the migration lands on the sealed
+// old owner, is answered NeedFull, and its producer re-baselines on the
+// new owner — nothing is lost and nothing is double-merged.
+type Router struct {
+	mu       sync.Mutex
+	ring     *Ring
+	backends map[string]Backend
+	place    map[string]*route // sessionID → current owner
+	handoffs int64
+
+	// topoMu serializes ring edits (and their handoffs) against each
+	// other without blocking routing.
+	topoMu sync.Mutex
+}
+
+// NewRouter creates an empty router (vnodes <= 0 selects the default
+// virtual-node count).
+func NewRouter(vnodes int) *Router {
+	return &Router{
+		ring:     NewRing(vnodes),
+		backends: make(map[string]Backend),
+		place:    make(map[string]*route),
+	}
+}
+
+// owner resolves the home shard of a session. Only the publish path
+// records the placement (mirroring the Manager's rule that read-only
+// RPCs never allocate state): an unplaced session's reads route by ring
+// position, which is exactly where a later publish would place it.
+func (r *Router) owner(sessionID string, place bool) (string, Backend, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt := r.place[sessionID]
+	if rt == nil {
+		home := r.ring.Owner(sessionID)
+		if home == "" {
+			return "", nil, ErrNoShards
+		}
+		rt = &route{shard: home}
+		if place {
+			r.place[sessionID] = rt
+		}
+	}
+	b := r.backends[rt.shard]
+	if b == nil {
+		return "", nil, fmt.Errorf("shard: session %s routed to unknown shard %q", sessionID, rt.shard)
+	}
+	return rt.shard, b, nil
+}
+
+// Publish routes an engine/SubMerger snapshot to the session's shard
+// (RMI-compatible).
+func (r *Router) Publish(args merge.PublishArgs, reply *merge.PublishReply) error {
+	_, b, err := r.owner(args.SessionID, true)
+	if err != nil {
+		return err
+	}
+	return b.Publish(args, reply)
+}
+
+// Poll routes a client update request (RMI-compatible).
+func (r *Router) Poll(args merge.PollArgs, reply *merge.PollReply) error {
+	_, b, err := r.owner(args.SessionID, false)
+	if err != nil {
+		return err
+	}
+	return b.Poll(args, reply)
+}
+
+// Reset routes a rewind (RMI-compatible). A rewind that races a live
+// handoff hits the sealed old owner and gets ErrSealed — a transient
+// the fabric expects callers to absorb, so the router absorbs it:
+// re-resolve (the flip lands mid-retry) and try again briefly before
+// surfacing the error.
+func (r *Router) Reset(args merge.ResetArgs, reply *merge.ResetReply) error {
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		var b Backend
+		if _, b, err = r.owner(args.SessionID, false); err != nil {
+			return err
+		}
+		if err = b.Reset(args, reply); !isSealedErr(err) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return err
+}
+
+// isSealedErr matches ErrSealed locally and across RMI (where it
+// arrives as a flattened RemoteError string).
+func isSealedErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, merge.ErrSealed) || strings.Contains(err.Error(), merge.ErrSealed.Error())
+}
+
+// FlushState assembles a forwardable delta from the session's shard —
+// the Manager surface SubMergers pull, so a merge tier can sit above a
+// sharded fabric too.
+func (r *Router) FlushState(sessionID string, since, logSince int64) (merge.FlushState, error) {
+	_, b, err := r.owner(sessionID, false)
+	if err != nil {
+		return merge.FlushState{}, err
+	}
+	var reply merge.FlushReply
+	if err := b.Flush(merge.FlushArgs{SessionID: sessionID, Since: since, LogSince: logSince}, &reply); err != nil {
+		return merge.FlushState{}, err
+	}
+	return merge.FlushState{
+		Delta: reply.Delta, Version: reply.Version,
+		Done: reply.Done, Total: reply.Total, Logs: reply.Logs,
+	}, nil
+}
+
+// Version implements merge.Service against the owning shard (0 when the
+// fabric is empty or the shard unreachable).
+func (r *Router) Version(sessionID string) int64 {
+	var reply merge.StatsReply
+	if _, b, err := r.owner(sessionID, false); err == nil {
+		b.Stats(merge.StatsArgs{SessionID: sessionID}, &reply)
+	}
+	return reply.Version
+}
+
+// CacheStats implements merge.Service against the owning shard.
+func (r *Router) CacheStats(sessionID string) (hits, misses int64) {
+	var reply merge.StatsReply
+	if _, b, err := r.owner(sessionID, false); err == nil {
+		b.Stats(merge.StatsArgs{SessionID: sessionID}, &reply)
+	}
+	return reply.CacheHits, reply.CacheMisses
+}
+
+// Drop removes the session and forgets its placement. The drop is
+// broadcast to every shard, not just the owner: a publish that raced a
+// past handoff can have left a stray (resynced-away) session copy on a
+// previous owner, and teardown is the moment to reap it.
+func (r *Router) Drop(sessionID string) {
+	r.mu.Lock()
+	backends := make([]Backend, 0, len(r.backends))
+	for _, b := range r.backends {
+		backends = append(backends, b)
+	}
+	delete(r.place, sessionID)
+	r.mu.Unlock()
+	for _, b := range backends {
+		var dr merge.DropReply
+		b.DropSession(merge.DropArgs{SessionID: sessionID}, &dr)
+	}
+}
+
+// Placement names the shard currently owning a session (by placement if
+// the session is live, by ring position otherwise; "" on an empty
+// fabric) — surfaced through session.Status.
+func (r *Router) Placement(sessionID string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rt := r.place[sessionID]; rt != nil {
+		return rt.shard
+	}
+	return r.ring.Owner(sessionID)
+}
+
+// Shards lists the fabric members, sorted.
+func (r *Router) Shards() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Shards()
+}
+
+// Handoffs reports how many live-session migrations the router has
+// completed across all ring edits.
+func (r *Router) Handoffs() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.handoffs
+}
+
+// Sessions enumerates every session the router has placed, sorted.
+func (r *Router) Sessions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.place))
+	for id := range r.place {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddShard joins a shard to the fabric and migrates to it every live
+// session the new ring assigns it. The first error aborts the remaining
+// migrations (already-moved sessions stay moved).
+func (r *Router) AddShard(name string, b Backend) error {
+	if name == "" || b == nil {
+		return errors.New("shard: AddShard needs a name and a backend")
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	if _, dup := r.backends[name]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: shard %q already present", name)
+	}
+	r.backends[name] = b
+	r.ring.Add(name)
+	moves := r.pendingMovesLocked()
+	r.mu.Unlock()
+	return r.migrate(moves)
+}
+
+// RemoveShard retires a shard, first migrating every session it owns to
+// the shard's successors on the ring. The last shard cannot be removed.
+func (r *Router) RemoveShard(name string) error {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	r.mu.Lock()
+	if _, ok := r.backends[name]; !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: no shard %q", name)
+	}
+	if r.ring.Size() == 1 {
+		r.mu.Unlock()
+		return errors.New("shard: cannot remove the last shard")
+	}
+	r.ring.Remove(name)
+	moves := r.pendingMovesLocked()
+	r.mu.Unlock()
+	if err := r.migrate(moves); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	delete(r.backends, name)
+	r.mu.Unlock()
+	return nil
+}
+
+type move struct {
+	session  string
+	from, to string
+	fromB    Backend
+	toB      Backend
+}
+
+// pendingMovesLocked lists the placed sessions whose ring owner differs
+// from their current placement. Caller holds r.mu.
+func (r *Router) pendingMovesLocked() []move {
+	var moves []move
+	for sid, rt := range r.place {
+		want := r.ring.Owner(sid)
+		if want == "" || want == rt.shard {
+			continue
+		}
+		moves = append(moves, move{
+			session: sid, from: rt.shard, to: want,
+			fromB: r.backends[rt.shard], toB: r.backends[want],
+		})
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].session < moves[j].session })
+	return moves
+}
+
+func (r *Router) migrate(moves []move) error {
+	for _, mv := range moves {
+		if err := r.handoff(mv); err != nil {
+			return fmt.Errorf("shard: moving session %s %s→%s: %w", mv.session, mv.from, mv.to, err)
+		}
+	}
+	return nil
+}
+
+// handoff migrates one session: seal + export on the old owner, import
+// into the new one at the same version, flip routing, drop the old
+// copy. Publishes racing any stage either land before the seal (and are
+// exported), or land sealed and draw NeedFull — the producer's next
+// snapshot is a full baseline against the new owner, so its updates
+// survive in the re-baseline rather than the lost delta.
+func (r *Router) handoff(mv move) error {
+	var exp merge.ExportReply
+	if err := mv.fromB.Export(merge.ExportArgs{SessionID: mv.session, Seal: true}, &exp); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if exp.Found {
+		imp := merge.ImportArgs{
+			SessionID: mv.session, Version: exp.Version,
+			Workers: exp.Workers, Removed: exp.Removed, Logs: exp.Logs,
+		}
+		var ir merge.ImportReply
+		if err := mv.toB.Import(imp, &ir); err != nil {
+			// Roll back: the source still holds every byte of the
+			// session (export copies, it doesn't drain), so lifting the
+			// seal is all recovery takes and the session keeps serving
+			// from its old owner.
+			var sr merge.SealReply
+			if rerr := mv.fromB.Seal(merge.SealArgs{SessionID: mv.session, On: false}, &sr); rerr != nil {
+				return fmt.Errorf("import: %v (unseal rollback also failed, session frozen until the shard answers: %w)", err, rerr)
+			}
+			return fmt.Errorf("import: %w", err)
+		}
+	}
+	r.mu.Lock()
+	if rt := r.place[mv.session]; rt != nil {
+		rt.shard = mv.to
+	}
+	r.handoffs++
+	r.mu.Unlock()
+	// Tombstone, not delete: a racing publish that already resolved the
+	// old backend must keep drawing NeedFull there, never re-create an
+	// unsealed session whose accepted snapshots nobody polls. The shell
+	// is reaped by the teardown Drop broadcast. Failure is benign — the
+	// full sealed copy lingers until then instead.
+	var dr merge.DropReply
+	mv.fromB.DropSession(merge.DropArgs{SessionID: mv.session, Tombstone: true}, &dr)
+	return nil
+}
+
+var (
+	_ Backend         = (*merge.Manager)(nil)
+	_ merge.Service   = (*Router)(nil)
+	_ merge.Publisher = (*Router)(nil)
+)

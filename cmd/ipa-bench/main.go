@@ -1,12 +1,12 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_3.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1/BENCH_2 baselines.
+// (default BENCH_4.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1/BENCH_2/BENCH_3 baselines.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|all] [-out DIR] [-json FILE] [-tiny]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|all] [-out DIR] [-json FILE] [-tiny]
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_3.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_4.json", "metrics baseline file (\"\" disables)")
 	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
 	flag.Parse()
 	// A partial run writes a partial metrics map; never let it silently
@@ -51,9 +51,9 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -268,6 +268,50 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 			metrics[fmt.Sprintf("shard_%d_wall_ms", r.Shards)] = float64(r.WallMS)
 		}
 		fmt.Fprintln(w, t.String())
+	}
+	if all || exp == "lock" {
+		// A10a: coarse vs fine-grained fabric locking under concurrent
+		// sessions with dedicated pollers; -tiny keeps the CI smoke
+		// (run under -race) fast. Note: on a 1-CPU host the fine rows
+		// can only show contention-overhead savings, not parallel
+		// scaling.
+		shards, sessions, workers, pollers, rounds, objects := []int{1, 4, 8}, []int{8, 32}, 4, 4, 40, 20
+		if tiny {
+			shards, sessions, workers, pollers, rounds, objects = []int{1, 2}, []int{2}, 2, 2, 8, 4
+		}
+		rows, err := perf.LockAblation(shards, sessions, workers, pollers, rounds, objects)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A10a — fabric locking, %d workers + %d pollers per session", workers, pollers),
+			Columns: []string{"Mode", "Shards", "Sessions", "Publishes/s", "Polls/s", "Fast-poll %", "Wall ms"}}
+		for _, r := range rows {
+			t.AddRow(r.Mode, fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Sessions),
+				fmt.Sprintf("%.0f", r.PublishesPerSec), fmt.Sprintf("%.0f", r.PollsPerSec),
+				fmt.Sprintf("%.0f", 100*r.FastPollFrac), fmt.Sprintf("%d", r.WallMS))
+			key := fmt.Sprintf("lock_%s_s%d_n%d", r.Mode, r.Shards, r.Sessions)
+			metrics[key+"_publish_per_s"] = r.PublishesPerSec
+			metrics[key+"_poll_per_s"] = r.PollsPerSec
+			metrics[key+"_fastpoll_frac"] = r.FastPollFrac
+		}
+		fmt.Fprintln(w, t.String())
+
+		// A10b: pipelined vs serialized RMI calls on one connection.
+		callers, calls := 8, 300
+		if tiny {
+			callers, calls = 4, 40
+		}
+		rrows, err := perf.RMIPipelineAblation(callers, calls)
+		if err != nil {
+			return err
+		}
+		t2 := &aida.Table{Title: fmt.Sprintf("A10b — RMI calls on one connection, %d concurrent callers x %d calls", callers, calls),
+			Columns: []string{"Mode", "Calls/s", "Wall ms"}}
+		for _, r := range rrows {
+			t2.AddRow(r.Mode, fmt.Sprintf("%.0f", r.CallsPerSec), fmt.Sprintf("%d", r.WallMS))
+			metrics["rmi_"+r.Mode+"_calls_per_s"] = r.CallsPerSec
+		}
+		fmt.Fprintln(w, t2.String())
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(metrics, "", "  ")

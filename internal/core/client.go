@@ -12,6 +12,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/rmi"
 	"github.com/ipa-grid/ipa/internal/session"
+	"github.com/ipa-grid/ipa/internal/shard"
 	"github.com/ipa-grid/ipa/internal/wsrf"
 )
 
@@ -31,6 +32,13 @@ type Client struct {
 	mu      sync.Mutex
 	tree    *aida.Tree // client-side mirror of the merged results
 	version int64
+
+	// Direct shard polling (SetDirectPoll): a second RMI connection to
+	// the session's owning shard, bypassing the router hop.
+	direct       bool
+	directRMI    *rmi.Client
+	directShard  string
+	directTarget string
 }
 
 // Connect authenticates to a manager. proxy may be nil only for
@@ -201,6 +209,124 @@ type Update struct {
 	EventsDone, EventsTotal int64
 }
 
+// SetDirectPoll toggles shard-aware polling. When on, Poll learns the
+// session's owning shard and its RMI endpoint from Session.Status and
+// calls the shard's manager object directly — heavy pollers skip the
+// router hop on every poll. The direct path falls back to the fabric's
+// front door (and re-resolves placement on the next poll) whenever it
+// errors or the shard no longer owns the session: after a live handoff
+// the old owner's tombstone answers with a regressed version, which is
+// the signal to re-resolve. On an unsharded or unadvertised deployment
+// the toggle quietly turns itself back off after the first resolution
+// attempt.
+func (c *Client) SetDirectPoll(on bool) {
+	c.mu.Lock()
+	c.direct = on
+	rc := c.directRMI
+	c.directRMI, c.directShard, c.directTarget = nil, "", ""
+	c.mu.Unlock()
+	if rc != nil {
+		rc.Close()
+	}
+}
+
+// DirectShard names the shard the client is currently polling directly
+// ("" while polling via the router).
+func (c *Client) DirectShard() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.directShard
+}
+
+// ensureDirect returns a live direct-shard connection and Poll target,
+// resolving placement and dialing on first use. ("", nil) means poll
+// via the router.
+func (c *Client) ensureDirect() (*rmi.Client, string) {
+	c.mu.Lock()
+	if !c.direct {
+		c.mu.Unlock()
+		return nil, ""
+	}
+	if c.directRMI != nil {
+		rc, target := c.directRMI, c.directTarget
+		c.mu.Unlock()
+		return rc, target
+	}
+	c.mu.Unlock()
+	st, err := c.Status()
+	if err != nil {
+		return nil, ""
+	}
+	if st.Shard == "" {
+		// Unsharded fabric: there is no hop to skip, ever — stop
+		// re-resolving on every poll.
+		c.mu.Lock()
+		c.direct = false
+		c.mu.Unlock()
+		return nil, ""
+	}
+	if st.ShardAddr == "" {
+		// A real shard whose endpoint just isn't advertised (yet): keep
+		// direct mode armed and retry resolution on a later poll — the
+		// operator may SetShardAddr at any time, or a handoff may move
+		// the session to an advertised shard.
+		return nil, ""
+	}
+	rc, err := rmi.Dial(st.ShardAddr, c.token)
+	if err != nil {
+		return nil, ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.direct || c.directRMI != nil {
+		// Lost a race with SetDirectPoll or a concurrent resolver.
+		go rc.Close()
+		return c.directRMI, c.directTarget
+	}
+	c.directRMI = rc
+	c.directShard = st.Shard
+	c.directTarget = shard.ObjectName(st.Shard) + ".Poll"
+	return rc, c.directTarget
+}
+
+// dropDirect discards the direct connection; the next poll re-resolves
+// placement.
+func (c *Client) dropDirect() {
+	c.mu.Lock()
+	rc := c.directRMI
+	c.directRMI, c.directShard, c.directTarget = nil, "", ""
+	c.mu.Unlock()
+	if rc != nil {
+		rc.Close()
+	}
+}
+
+// pollReply fetches one PollReply, preferring the direct shard path.
+func (c *Client) pollReply(args merge.PollArgs) (merge.PollReply, error) {
+	var reply merge.PollReply
+	if rc, target := c.ensureDirect(); rc != nil {
+		err := rc.Call(target, args, &reply)
+		if err == nil && reply.Version >= args.SinceVersion && reply.Version > 0 {
+			return reply, nil
+		}
+		if err != nil || reply.Version < args.SinceVersion {
+			// Broken endpoint, or the shard no longer owns the session
+			// (a tombstone's version regresses): re-resolve placement on
+			// the next poll.
+			c.dropDirect()
+		}
+		// Otherwise the direct reply reported version 0 with the mirror
+		// also at 0 — indistinguishable between "right shard, no data
+		// yet" and "tombstone of a moved session". Serve this poll via
+		// the router (authoritative either way) but keep the direct
+		// connection: once data flows the client's version rises and a
+		// tombstone's regressed version becomes detectable.
+		reply = merge.PollReply{}
+	}
+	err := c.rmi.Call("AIDAManager.Poll", args, &reply)
+	return reply, err
+}
+
 // Poll fetches merged-histogram updates from the AIDA manager via RMI —
 // the "Start Polling for Data" plug-in of Figure 2. The client keeps a
 // local mirror tree; each poll applies only changed objects.
@@ -208,10 +334,12 @@ func (c *Client) Poll() (Update, error) {
 	if c.rmi == nil {
 		return Update{}, fmt.Errorf("core: no session (CreateSession first)")
 	}
-	var reply merge.PollReply
-	err := c.rmi.Call("AIDAManager.Poll", merge.PollArgs{
-		SessionID: c.sessionID, SinceVersion: c.version,
-	}, &reply)
+	c.mu.Lock()
+	since := c.version
+	c.mu.Unlock()
+	reply, err := c.pollReply(merge.PollArgs{
+		SessionID: c.sessionID, SinceVersion: since,
+	})
 	if err != nil {
 		return Update{}, err
 	}
@@ -266,6 +394,7 @@ func (c *Client) CloseSession() error {
 		c.rmi.Close()
 		c.rmi = nil
 	}
+	c.dropDirect()
 	c.sessionID = ""
 	return err
 }

@@ -111,6 +111,15 @@ func NewManager(cfg ManagerConfig, wsrfAddr, rmiAddr string) (*Manager, error) {
 		return nil, fmt.Errorf("core: rmi listener: %w", err)
 	}
 	m.rmiAddr = addr.String()
+	// Advertise the locally-hosted shards' endpoint so clients can learn
+	// it from Placement and poll the owning shard directly. Shards
+	// served by other nodes are advertised by the operator through
+	// Router.SetShardAddr.
+	if router, ok := cfg.Merge.(*shard.Router); ok {
+		for name := range cfg.ShardManagers {
+			router.SetShardAddr(name, m.rmiAddr)
+		}
+	}
 	return m, nil
 }
 
@@ -234,7 +243,10 @@ func (m *Manager) register() {
 		if err != nil {
 			return nil, wsrf.Faultf(wsrf.FaultNoSuchRes, "%v", err)
 		}
-		resp := &StatusResponse{State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle, Shard: st.Shard}
+		resp := &StatusResponse{
+			State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle,
+			Shard: st.Shard, ShardAddr: st.ShardAddr,
+		}
 		for _, e := range st.Engines {
 			resp.Engines = append(resp.Engines, EngineStatusXML{
 				Node: e.Node, State: string(e.State), Err: e.Err, Done: e.Done, Total: e.Total,

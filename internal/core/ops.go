@@ -127,8 +127,12 @@ type StatusResponse struct {
 	Bundle  string   `xml:"bundle,omitempty"`
 	// Shard names the merge-fabric shard serving this session's results
 	// (empty on an unsharded deployment).
-	Shard   string            `xml:"shard,omitempty"`
-	Engines []EngineStatusXML `xml:"engine"`
+	Shard string `xml:"shard,omitempty"`
+	// ShardAddr is the RMI endpoint serving that shard directly (empty
+	// when unadvertised); polling clients may dial it to skip the
+	// router hop.
+	ShardAddr string            `xml:"shardAddr,omitempty"`
+	Engines   []EngineStatusXML `xml:"engine"`
 }
 
 // CloseRequest tears the session down (Session.Close).

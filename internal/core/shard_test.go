@@ -107,3 +107,121 @@ func TestShardedGridEndToEnd(t *testing.T) {
 		t.Fatalf("merged histogram after rewind on new shard = %+v", h)
 	}
 }
+
+// TestDirectShardPolling: a shard-aware client learns the owning
+// shard's RMI endpoint from Status and polls the shard object directly;
+// after a live handoff retires that shard, the direct path detects the
+// move (tombstone version regression or endpoint error), falls back to
+// the router, and re-resolves onto the new owner.
+func TestDirectShardPolling(t *testing.T) {
+	g, err := NewLocalGrid(GridOptions{
+		Nodes: 2, BaseDir: t.TempDir(), SnapshotEvery: 100,
+		Shards: 3, Insecure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	if _, err := g.AddUser("bob", gsi.RoleAnalyst); err != nil {
+		t.Fatal(err)
+	}
+	err = g.PublishDataset("ds-direct", "/lc/direct", "direct-events", 800,
+		events.GenConfig{Seed: 7, SignalFraction: 0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.ClientFor("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSession(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseSession()
+	c.SetDirectPoll(true)
+	if _, err := c.AttachDataset("ds-direct"); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+	h = tree.h1d("/ana", "mult", "Multiplicity", 50, 0, 200);
+	function process(ev) { h.fill(ev.n); }
+	`
+	if _, err := c.LoadScript("mult", src, events.EventDecoderName, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, c, 30*time.Second)
+	if _, err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Histogram1D("/ana/mult"); h == nil || h.AllEntries() != 800 {
+		t.Fatalf("merged histogram via direct poll = %+v", h)
+	}
+	direct := c.DirectShard()
+	if direct == "" {
+		t.Fatal("client never established a direct shard connection")
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != direct || st.ShardAddr == "" {
+		t.Fatalf("status shard/addr = %q/%q, direct = %q", st.Shard, st.ShardAddr, direct)
+	}
+
+	// Retire the owning shard: the tombstone left behind answers the
+	// next direct poll with a regressed version, which must trigger
+	// fallback and re-resolution onto the new owner.
+	if err := g.Router.RemoveShard(direct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Histogram1D("/ana/mult"); h == nil || h.AllEntries() != 800 {
+		t.Fatalf("merged histogram after handoff = %+v", h)
+	}
+	// The next poll re-resolves the direct path onto the new owner.
+	if _, err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DirectShard(); got == "" || got == direct {
+		t.Fatalf("direct shard after handoff = %q (was %q)", got, direct)
+	}
+}
+
+// TestDirectPollUnshardedDisables: on an unsharded grid the toggle
+// finds no shard endpoint to dial and quietly turns itself off.
+func TestDirectPollUnshardedDisables(t *testing.T) {
+	g, err := NewLocalGrid(GridOptions{Nodes: 1, BaseDir: t.TempDir(), Insecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	if _, err := g.AddUser("carol", gsi.RoleAnalyst); err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.ClientFor("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSession(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseSession()
+	c.SetDirectPoll(true)
+	if _, err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DirectShard(); got != "" {
+		t.Fatalf("unsharded grid produced a direct shard %q", got)
+	}
+	c.mu.Lock()
+	stillOn := c.direct
+	c.mu.Unlock()
+	if stillOn {
+		t.Fatal("direct mode still on after resolving an unsharded fabric")
+	}
+}

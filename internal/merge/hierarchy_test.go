@@ -366,7 +366,7 @@ func TestPollEncodeCache(t *testing.T) {
 	if err := m.Publish(PublishArgs{SessionID: "s", WorkerID: "w", Seq: 3, Delta: d}, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := m.sessions["s"].frames["/a/h2"]; ok {
+	if _, ok := m.lookup("s").frames.Load("/a/h2"); ok {
 		t.Fatal("removed path still cached")
 	}
 

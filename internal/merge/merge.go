@@ -29,6 +29,16 @@
 // forwards touched-only deltas through the snapshot Transport (ablation
 // A6), so the hierarchy composes with the incremental pipeline.
 //
+// Concurrency (ablation A10): sessions live in a lock-free table and
+// each carries its own RWMutex, so publishes and polls of unrelated
+// sessions never contend. Within a session, N polling clients read the
+// merged tree and the encoded-frame cache under RLock while only
+// publishes take the write lock; and a quiescent poll — the client's
+// SinceVersion equals the current version, the overwhelmingly common
+// case for interactive clients — is answered from one atomic snapshot
+// without taking any lock at all. CoarseLocking restores the old
+// one-mutex-per-manager behavior as the ablation baseline.
+//
 // The exported method signatures are RMI-compatible (args/reply structs),
 // so a Manager registers directly on an rmi.Server.
 package merge
@@ -40,6 +50,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
@@ -127,7 +138,8 @@ type PollReply struct {
 	Entries []PollEntry
 	// Removed lists paths that disappeared (e.g. after rewind).
 	Removed []string
-	// Progress per worker, sorted by worker ID.
+	// Progress per worker, sorted by worker ID. The slice is the
+	// manager's shared per-version snapshot — treat it as read-only.
 	Progress []WorkerProgress
 	// Logs are new log lines since the last poll.
 	Logs []string
@@ -152,7 +164,36 @@ type workerState struct {
 	total int64
 }
 
+// polledState is the atomically-published read snapshot behind the
+// lock-free poll fast path: the session version and the per-worker
+// progress at that version, swapped in as one pointer at the end of
+// every write section. A reader that loads it sees a version whose
+// state is fully visible — never a version ahead of the merged tree.
+type polledState struct {
+	version  int64
+	progress []WorkerProgress // sorted by worker ID; immutable
+}
+
 type sessionState struct {
+	// mu orders writers (publish/reset/import/export/flush) against
+	// readers (poll); polls of an unchanged session skip it entirely via
+	// pub. All plain fields below are guarded by it.
+	mu sync.RWMutex
+
+	// pub is the atomic read snapshot (see polledState). Stored only at
+	// the end of a write section, before mu is released.
+	pub atomic.Pointer[polledState]
+	// sealed freezes the session for a shard handoff: publishes are
+	// refused with NeedFull (the producer re-baselines on the session's
+	// new owner shard) while polls keep serving the frozen state until
+	// routing flips. Import clears it. Atomic so Stats never waits on a
+	// write section.
+	sealed atomic.Bool
+	// Poll bookkeeping, atomic so read paths never take the write lock.
+	cacheHits, cacheMisses atomic.Int64
+	indexPolls, walkPolls  atomic.Int64
+	fastPolls              atomic.Int64
+
 	version int64
 	workers map[string]*workerState
 	// workerIDs mirrors the workers keys in sorted order, maintained on
@@ -165,25 +206,19 @@ type sessionState struct {
 	// frames caches each merged path's encoded wire frame at the
 	// version it was stamped; Poll serves hits without re-encoding.
 	// Invalidation is by version mismatch (delta applies bump
-	// objVersion) plus explicit deletes on removal.
-	frames                 map[string]cachedFrame
-	cacheHits, cacheMisses int64
+	// objVersion) plus explicit deletes on removal. A sync.Map because
+	// concurrent RLock-holding polls insert misses into it.
+	frames sync.Map // path → cachedFrame
 	// dirty marks pending legacy full-tree publishes; remerge() clears
 	// it by rebuilding merged from every worker tree.
 	dirty bool
-	// sealed freezes the session for a shard handoff: publishes are
-	// refused with NeedFull (the producer re-baselines on the session's
-	// new owner shard) while polls keep serving the frozen state until
-	// routing flips. Import clears it.
-	sealed bool
 	// changeLog is the per-version change index: for every version since
 	// indexedSince, the merged paths stamped at it. Incremental polls
 	// whose SinceVersion is covered walk only these paths instead of the
 	// whole merged tree; older ones fall back to a full walk.
-	changeLog             []versionChanges
-	indexLen              int   // total path entries across changeLog
-	indexedSince          int64 // changeLog covers every change after this version
-	indexPolls, walkPolls int64
+	changeLog    []versionChanges
+	indexLen     int   // total path entries across changeLog
+	indexedSince int64 // changeLog covers every change after this version
 }
 
 type versionChanges struct {
@@ -208,7 +243,8 @@ type logLine struct {
 // maxLogLines bounds per-session log retention.
 const maxLogLines = 1000
 
-// Manager is the root AIDA manager. Safe for concurrent use.
+// Manager is the root AIDA manager. Safe for concurrent use; see the
+// package comment for the locking model.
 type Manager struct {
 	// DisableEncodeCache makes every poll re-encode every included
 	// object — retained as the A7 ablation baseline.
@@ -217,37 +253,93 @@ type Manager struct {
 	// merged tree — the pre-index behavior, retained as an ablation
 	// baseline.
 	DisableChangeIndex bool
+	// CoarseLocking serializes every call — all sessions, publishes and
+	// polls alike — on one manager-wide mutex and disables the lock-free
+	// poll fast path: the pre-A10 behavior, retained as the ablation
+	// baseline. Set before first use.
+	CoarseLocking bool
 
-	mu       sync.Mutex
-	sessions map[string]*sessionState
+	coarseMu sync.Mutex
+	sessions sync.Map // sessionID → *sessionState
 }
 
 // NewManager creates an empty manager.
-func NewManager() *Manager { return &Manager{sessions: make(map[string]*sessionState)} }
+func NewManager() *Manager { return &Manager{} }
+
+// lockCoarse takes the manager-wide mutex in the CoarseLocking ablation
+// mode and returns the matching unlock; a no-op otherwise. Usage:
+// defer m.lockCoarse()().
+func (m *Manager) lockCoarse() func() {
+	if !m.CoarseLocking {
+		return func() {}
+	}
+	m.coarseMu.Lock()
+	return m.coarseMu.Unlock
+}
+
+func newSessionState() *sessionState {
+	s := &sessionState{
+		workers:    make(map[string]*workerState),
+		merged:     aida.NewTree(),
+		objVersion: make(map[string]int64),
+		gone:       make(map[string]int64),
+	}
+	s.pub.Store(&polledState{})
+	return s
+}
 
 // session returns the state for id, creating it on first use. Only the
 // publish path creates sessions; read-only RPCs use lookup so stray or
 // malicious polls cannot grow memory without bound.
 func (m *Manager) session(id string) *sessionState {
-	s := m.sessions[id]
-	if s == nil {
-		s = &sessionState{
-			workers:    make(map[string]*workerState),
-			merged:     aida.NewTree(),
-			objVersion: make(map[string]int64),
-			gone:       make(map[string]int64),
-			frames:     make(map[string]cachedFrame),
-		}
-		m.sessions[id] = s
+	if v, ok := m.sessions.Load(id); ok {
+		return v.(*sessionState)
+	}
+	s := newSessionState()
+	if v, raced := m.sessions.LoadOrStore(id, s); raced {
+		return v.(*sessionState)
 	}
 	return s
 }
 
-// lookup returns the state for id, or nil. Caller holds m.mu.
-func (m *Manager) lookup(id string) *sessionState { return m.sessions[id] }
+// lookup returns the state for id, or nil.
+func (m *Manager) lookup(id string) *sessionState {
+	if v, ok := m.sessions.Load(id); ok {
+		return v.(*sessionState)
+	}
+	return nil
+}
+
+// commitLocked publishes the atomic read snapshot for the current write
+// section: version plus per-worker progress. Call at the end of every
+// write section that changed session state, while still holding mu —
+// the store is what makes the new version visible to lock-free polls,
+// so everything the version covers must already be in place.
+func (s *sessionState) commitLocked() {
+	ps := &polledState{version: s.version}
+	if len(s.workerIDs) > 0 {
+		ps.progress = make([]WorkerProgress, 0, len(s.workerIDs))
+		for _, id := range s.workerIDs {
+			w := s.workers[id]
+			ps.progress = append(ps.progress, WorkerProgress{
+				WorkerID: id, EventsDone: w.done, EventsTotal: w.total, Seq: w.seq,
+			})
+		}
+	}
+	s.pub.Store(ps)
+}
+
+// clearFrames empties the encode cache (reset, import, tombstone).
+// Caller holds mu, so no poll is concurrently reading.
+func (s *sessionState) clearFrames() {
+	s.frames.Range(func(k, _ any) bool {
+		s.frames.Delete(k)
+		return true
+	})
+}
 
 // worker returns the state for workerID, creating (and index-inserting)
-// it on first use. Caller holds m.mu.
+// it on first use. Caller holds s.mu.
 func (s *sessionState) worker(workerID string) *workerState {
 	w := s.workers[workerID]
 	if w == nil {
@@ -262,7 +354,7 @@ func (s *sessionState) worker(workerID string) *workerState {
 }
 
 // recordChange appends path to the per-version change index. Caller
-// holds m.mu and has already stamped objVersion[path] = s.version.
+// holds s.mu and has already stamped objVersion[path] = s.version.
 func (s *sessionState) recordChange(path string) {
 	n := len(s.changeLog)
 	if n == 0 || s.changeLog[n-1].version != s.version {
@@ -302,7 +394,8 @@ func (s *sessionState) invalidateChangeIndex() {
 }
 
 // changedSince returns the deduplicated sorted paths stamped after
-// since. Caller holds m.mu and has checked since >= indexedSince.
+// since. Caller holds s.mu (read or write) and has checked
+// since >= indexedSince.
 func (s *sessionState) changedSince(since int64) []string {
 	i := sort.Search(len(s.changeLog), func(i int) bool { return s.changeLog[i].version > since })
 	if i == len(s.changeLog) {
@@ -339,6 +432,7 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	if args.SessionID == "" || args.WorkerID == "" {
 		return fmt.Errorf("merge: session and worker IDs required")
 	}
+	defer m.lockCoarse()()
 	if args.Delta != nil {
 		return m.publishDelta(args, reply)
 	}
@@ -346,10 +440,10 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	if err != nil {
 		return fmt.Errorf("merge: bad snapshot from %s: %w", args.WorkerID, err)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := m.session(args.SessionID)
-	if s.sealed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed.Load() {
 		// Mid-handoff: the session is frozen for export. Refusing with
 		// NeedFull makes the producer re-baseline — by the time it does,
 		// routing has flipped and the baseline lands on the new owner.
@@ -371,6 +465,7 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	s.version++
 	s.dirty = true
 	s.appendLog(args.Log)
+	s.commitLocked()
 	reply.Accepted = true
 	reply.Version = s.version
 	return nil
@@ -380,8 +475,9 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 // retained tree, then re-merge only the touched paths.
 func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 	d := args.Delta
-	// Restore all payload objects before mutating anything so a corrupt
-	// delta is rejected atomically.
+	// Restore all payload objects before locking anything so a corrupt
+	// delta is rejected atomically and decode cost stays outside the
+	// critical section.
 	objs := make([]aida.Object, len(d.Entries))
 	for i, e := range d.Entries {
 		obj, err := e.Object.Restore()
@@ -390,11 +486,11 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 		}
 		objs[i] = obj
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := m.session(args.SessionID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	reply.Version = s.version
-	if s.sealed {
+	if s.sealed.Load() {
 		// See Publish: frozen for handoff, ask for a re-baseline.
 		reply.Accepted, reply.NeedFull = false, true
 		return nil
@@ -470,6 +566,7 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 		}
 	}
 	s.appendLog(args.Log)
+	s.commitLocked()
 	reply.Accepted = true
 	reply.Version = s.version
 	return nil
@@ -478,7 +575,9 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 // recomputePath rebuilds the merged object at path from every worker's
 // contribution and stamps it with the current version. Workers merge in
 // sorted-ID order so results are deterministic and identical to a full
-// remerge. Caller holds m.mu.
+// remerge. The merged tree only ever receives freshly-built objects
+// here — existing entries are replaced, never mutated — which is what
+// lets polls read them under RLock. Caller holds s.mu.
 func (s *sessionState) recomputePath(path string) error {
 	var acc aida.Object
 	for _, id := range s.workerIDs {
@@ -511,7 +610,7 @@ func (s *sessionState) recomputePath(path string) error {
 			s.gone[path] = s.version
 		}
 		delete(s.objVersion, path)
-		delete(s.frames, path)
+		s.frames.Delete(path)
 		return nil
 	}
 	if err := s.merged.PutAt(path, acc); err != nil {
@@ -525,7 +624,7 @@ func (s *sessionState) recomputePath(path string) error {
 
 // remerge rebuilds the merged tree from worker snapshots and stamps
 // changed objects with the current version — the legacy full-snapshot
-// path, kept as the ablation baseline. Caller holds m.mu.
+// path, kept as the ablation baseline. Caller holds s.mu.
 func (s *sessionState) remerge() error {
 	if !s.dirty {
 		return nil
@@ -558,7 +657,7 @@ func (s *sessionState) remerge() error {
 		if !seen[path] {
 			s.gone[path] = s.version
 			delete(s.objVersion, path)
-			delete(s.frames, path)
+			s.frames.Delete(path)
 		}
 	})
 	s.merged = next
@@ -588,26 +687,56 @@ func objectsEqual(a, b aida.Object) bool {
 	return bytes.Equal(ba, bb)
 }
 
+// rlockClean acquires the session read lock with no legacy rebuild
+// pending: if a full-tree publish left the session dirty, it briefly
+// upgrades to the write lock to remerge, then re-checks. On success the
+// read lock is held.
+func (s *sessionState) rlockClean() error {
+	for {
+		s.mu.RLock()
+		if !s.dirty {
+			return nil
+		}
+		s.mu.RUnlock()
+		s.mu.Lock()
+		err := s.remerge()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
 // Poll returns merged updates since the client's version
 // (RMI-compatible). Unknown sessions yield an empty reply rather than
-// allocating state.
+// allocating state. Quiescent polls (SinceVersion == current version)
+// return on one atomic load; other polls share the session read lock,
+// so any number of clients poll concurrently with each other.
 func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	s := m.lookup(args.SessionID)
 	if s == nil {
 		return nil
 	}
-	if err := s.remerge(); err != nil {
+	if !args.Full && !m.CoarseLocking {
+		// Lock-free fast path: nothing changed since the client's last
+		// poll. The snapshot pointer is stored only after a write
+		// section completes, so the version it reports never runs ahead
+		// of visible state; a concurrent in-flight publish simply isn't
+		// observed until its commit.
+		if ps := s.pub.Load(); ps.version == args.SinceVersion {
+			reply.Version = ps.version
+			reply.Progress = ps.progress
+			s.fastPolls.Add(1)
+			return nil
+		}
+	}
+	if err := s.rlockClean(); err != nil {
 		return err
 	}
+	defer s.mu.RUnlock()
 	reply.Version = s.version
-	for _, id := range s.workerIDs {
-		w := s.workers[id]
-		reply.Progress = append(reply.Progress, WorkerProgress{
-			WorkerID: id, EventsDone: w.done, EventsTotal: w.total, Seq: w.seq,
-		})
-	}
+	reply.Progress = s.pub.Load().progress
 	for _, l := range s.logs {
 		if l.version > args.SinceVersion {
 			reply.Logs = append(reply.Logs, l.text)
@@ -619,10 +748,14 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 			return
 		}
 		ver := s.objVersion[path]
-		if cf, ok := s.frames[path]; ok && cf.version == ver && !m.DisableEncodeCache {
-			s.cacheHits++
-			reply.Entries = append(reply.Entries, PollEntry{Path: path, Frame: cf.frame})
-			return
+		if !m.DisableEncodeCache {
+			if v, ok := s.frames.Load(path); ok {
+				if cf := v.(cachedFrame); cf.version == ver {
+					s.cacheHits.Add(1)
+					reply.Entries = append(reply.Entries, PollEntry{Path: path, Frame: cf.frame})
+					return
+				}
+			}
 		}
 		st, err := aida.StateOf(obj)
 		if err != nil {
@@ -634,23 +767,26 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 			firstErr = err
 			return
 		}
-		s.cacheMisses++
+		s.cacheMisses.Add(1)
 		if !m.DisableEncodeCache {
-			s.frames[path] = cachedFrame{version: ver, frame: frame}
+			// Concurrent pollers may both miss and store; the entries are
+			// identical for a given (path, version), so last-write-wins
+			// is fine.
+			s.frames.Store(path, cachedFrame{version: ver, frame: frame})
 		}
 		reply.Entries = append(reply.Entries, PollEntry{Path: path, Frame: frame})
 	}
 	if !args.Full && args.SinceVersion > 0 && args.SinceVersion >= s.indexedSince && !m.DisableChangeIndex {
 		// Change-index fast path: touch only the paths stamped after the
 		// client's version instead of walking the whole merged tree.
-		s.indexPolls++
+		s.indexPolls.Add(1)
 		for _, path := range s.changedSince(args.SinceVersion) {
 			if obj := s.merged.Get(path); obj != nil {
 				emit(path, obj)
 			}
 		}
 	} else {
-		s.walkPolls++
+		s.walkPolls.Add(1)
 		include := func(path string) bool {
 			if args.Full || args.SinceVersion == 0 {
 				return true
@@ -693,13 +829,14 @@ var ErrSealed = errors.New("merge: session sealed for shard handoff; retry")
 // Reset drops all worker snapshots for a session — issued on rewind so the
 // next run starts from empty histograms (RMI-compatible).
 func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	s := m.lookup(args.SessionID)
 	if s == nil {
 		return nil
 	}
-	if s.sealed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed.Load() {
 		return ErrSealed
 	}
 	s.version++
@@ -710,21 +847,22 @@ func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
 	s.workers = make(map[string]*workerState)
 	s.workerIDs = nil
 	s.merged = aida.NewTree()
-	s.frames = make(map[string]cachedFrame)
+	s.clearFrames()
 	s.logs = nil
 	s.dirty = false
 	s.invalidateChangeIndex()
+	s.commitLocked()
 	reply.Version = s.version
 	return nil
 }
 
 // Version returns a session's current merged-result version (0 for
-// unknown sessions) — the generation stamp clients poll against.
+// unknown sessions) — the generation stamp clients poll against. Served
+// from the atomic snapshot; never blocks behind a publish.
 func (m *Manager) Version(sessionID string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	if s := m.lookup(sessionID); s != nil {
-		return s.version
+		return s.pub.Load().version
 	}
 	return 0
 }
@@ -732,31 +870,31 @@ func (m *Manager) Version(sessionID string) int64 {
 // CacheStats reports the poll encode cache's effectiveness for a
 // session: hits are entries served without re-encoding, misses are
 // fresh encodes (including every first-touch encode after a change).
+// Lock-free.
 func (m *Manager) CacheStats(sessionID string) (hits, misses int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	if s := m.lookup(sessionID); s != nil {
-		return s.cacheHits, s.cacheMisses
+		return s.cacheHits.Load(), s.cacheMisses.Load()
 	}
 	return 0, 0
 }
 
 // Drop removes a session entirely (teardown).
 func (m *Manager) Drop(sessionID string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.sessions, sessionID)
+	defer m.lockCoarse()()
+	m.sessions.Delete(sessionID)
 }
 
 // MergedTree returns a deep copy of the current merged tree (manager-side
 // consumers like XML export). Unknown sessions yield an empty tree.
 func (m *Manager) MergedTree(sessionID string) (*aida.Tree, int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	s := m.lookup(sessionID)
 	if s == nil {
 		return aida.NewTree(), 0, nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.remerge(); err != nil {
 		return nil, 0, err
 	}
@@ -780,13 +918,14 @@ type FlushState struct {
 // in the merged tree after since. Unknown sessions yield an empty
 // snapshot.
 func (m *Manager) FlushState(sessionID string, since, logSince int64) (FlushState, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	fs := FlushState{Delta: &aida.DeltaState{Full: since == 0}}
 	s := m.lookup(sessionID)
 	if s == nil {
 		return fs, nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.remerge(); err != nil {
 		return fs, err
 	}
@@ -886,12 +1025,13 @@ type ExportReply struct {
 // atomically frozen in the same locked section, so no publish can slip
 // between the dump and the freeze.
 func (m *Manager) Export(args ExportArgs, reply *ExportReply) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	s := m.lookup(args.SessionID)
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.remerge(); err != nil {
 		return err
 	}
@@ -917,7 +1057,7 @@ func (m *Manager) Export(args ExportArgs, reply *ExportReply) error {
 		reply.Logs = append(reply.Logs, LogLine{Version: l.version, Text: l.text})
 	}
 	if args.Seal {
-		s.sealed = true
+		s.sealed.Store(true)
 	}
 	return nil
 }
@@ -947,7 +1087,7 @@ func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
 	if args.SessionID == "" {
 		return errors.New("merge: import needs a session ID")
 	}
-	// Restore all worker trees before mutating anything so a corrupt
+	// Restore all worker trees before locking anything so a corrupt
 	// import is rejected atomically.
 	trees := make([]*aida.Tree, len(args.Workers))
 	for i, ws := range args.Workers {
@@ -960,19 +1100,20 @@ func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
 		}
 		trees[i] = tree
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	s := m.session(args.SessionID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if args.Version > s.version {
 		s.version = args.Version
 	}
-	s.sealed = false
+	s.sealed.Store(false)
 	s.workers = make(map[string]*workerState)
 	s.workerIDs = nil
 	s.merged = aida.NewTree()
 	s.objVersion = make(map[string]int64)
 	s.gone = make(map[string]int64)
-	s.frames = make(map[string]cachedFrame)
+	s.clearFrames()
 	s.logs = nil
 	for i, ws := range args.Workers {
 		w := s.worker(ws.WorkerID)
@@ -1002,6 +1143,7 @@ func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
 	if len(s.logs) > maxLogLines {
 		s.logs = s.logs[len(s.logs)-maxLogLines:]
 	}
+	s.commitLocked()
 	reply.Version = s.version
 	return nil
 }
@@ -1019,21 +1161,26 @@ type StatsReply struct {
 	CacheHits, CacheMisses int64
 	Workers                int
 	Sealed                 bool
+	// FastPolls counts polls answered by the lock-free quiescent path.
+	FastPolls int64
 }
 
 // Stats reports a session's version and cache counters (RMI-compatible).
+// Served entirely from atomics, so a fault-detection probe never blocks
+// behind a long publish holding the session write lock.
 func (m *Manager) Stats(args StatsArgs, reply *StatsReply) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	s := m.lookup(args.SessionID)
 	if s == nil {
 		return nil
 	}
+	ps := s.pub.Load()
 	reply.Found = true
-	reply.Version = s.version
-	reply.CacheHits, reply.CacheMisses = s.cacheHits, s.cacheMisses
-	reply.Workers = len(s.workers)
-	reply.Sealed = s.sealed
+	reply.Version = ps.version
+	reply.CacheHits, reply.CacheMisses = s.cacheHits.Load(), s.cacheMisses.Load()
+	reply.Workers = len(ps.progress)
+	reply.Sealed = s.sealed.Load()
+	reply.FastPolls = s.fastPolls.Load()
 	return nil
 }
 
@@ -1051,15 +1198,17 @@ type SealReply struct {
 }
 
 // Seal freezes or thaws a session without touching its state
-// (RMI-compatible).
+// (RMI-compatible). The write lock orders the toggle against in-flight
+// publishes: after Seal returns, every subsequent publish sees it.
 func (m *Manager) Seal(args SealArgs, reply *SealReply) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	s := m.lookup(args.SessionID)
 	if s == nil {
 		return nil
 	}
-	s.sealed = args.On
+	s.mu.Lock()
+	s.sealed.Store(args.On)
+	s.mu.Unlock()
 	reply.Found = true
 	return nil
 }
@@ -1086,27 +1235,20 @@ func (m *Manager) DropSession(args DropArgs, reply *DropReply) error {
 		m.Drop(args.SessionID)
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.lookup(args.SessionID)
-	if s == nil {
-		return nil
-	}
-	// The shell keeps version 0, not s.version: a poll that resolved
-	// this shard just before the routing flip would otherwise read an
-	// empty tree stamped at the live version and fast-forward its
-	// SinceVersion past everything the new owner imported. Version 0
+	defer m.lockCoarse()()
+	// The shell keeps version 0, not the live version: a poll that
+	// resolved this shard just before the routing flip would otherwise
+	// read an empty tree stamped at the live version and fast-forward
+	// its SinceVersion past everything the new owner imported. Version 0
 	// makes such a straggler poll reset to a full refresh instead —
 	// exactly what it would see if the session were already deleted.
-	shell := &sessionState{
-		sealed:     true,
-		workers:    make(map[string]*workerState),
-		merged:     aida.NewTree(),
-		objVersion: make(map[string]int64),
-		gone:       make(map[string]int64),
-		frames:     make(map[string]cachedFrame),
+	// CompareAndSwap (not Store) so a concurrent teardown Drop wins and
+	// no empty shell lingers after it.
+	if v, ok := m.sessions.Load(args.SessionID); ok {
+		shell := newSessionState()
+		shell.sealed.Store(true)
+		m.sessions.CompareAndSwap(args.SessionID, v, shell)
 	}
-	m.sessions[args.SessionID] = shell
 	return nil
 }
 
@@ -1120,13 +1262,14 @@ type SessionsReply struct {
 
 // SessionList enumerates this manager's sessions, sorted
 // (RMI-compatible) — an operator/diagnostic surface; the shard router
-// tracks placement itself and does not depend on it.
+// tracks placement itself and does not depend on it. Lock-free: a long
+// publish on any session never delays the enumeration.
 func (m *Manager) SessionList(args SessionsArgs, reply *SessionsReply) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for id := range m.sessions {
-		reply.SessionIDs = append(reply.SessionIDs, id)
-	}
+	defer m.lockCoarse()()
+	m.sessions.Range(func(k, _ any) bool {
+		reply.SessionIDs = append(reply.SessionIDs, k.(string))
+		return true
+	})
 	sort.Strings(reply.SessionIDs)
 	return nil
 }
@@ -1159,14 +1302,23 @@ func (m *Manager) Flush(args FlushArgs, reply *FlushReply) error {
 }
 
 // PollIndexStats reports how many polls were served off the change
-// index vs by a full merged-tree walk.
+// index vs by a full merged-tree walk. Polls answered by the lock-free
+// quiescent path count in neither (see StatsReply.FastPolls).
 func (m *Manager) PollIndexStats(sessionID string) (indexed, walked int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	defer m.lockCoarse()()
 	if s := m.lookup(sessionID); s != nil {
-		return s.indexPolls, s.walkPolls
+		return s.indexPolls.Load(), s.walkPolls.Load()
 	}
 	return 0, 0
+}
+
+// FastPolls reports how many polls a session answered on the lock-free
+// quiescent fast path.
+func (m *Manager) FastPolls(sessionID string) int64 {
+	if s := m.lookup(sessionID); s != nil {
+		return s.fastPolls.Load()
+	}
+	return 0
 }
 
 // SubMerger aggregates the engines of one group and forwards one
@@ -1193,11 +1345,15 @@ type SubMerger struct {
 	// FlushInterval also forwards when this much time has passed since
 	// the last flush attempt, even if fewer than FlushEvery publishes
 	// accumulated — the freshness floor for deep hierarchies with large
-	// batches. Each deadline carries ±20% jitter (deterministically
-	// seeded from the group name) so co-scheduled groups don't flush in
-	// lockstep and storm the upstream tier. 0 disables the timer; the
-	// check rides incoming publishes, so an entirely idle group sends
-	// nothing (there is nothing new to send).
+	// batches. Deadlines are enforced two ways: each incoming publish
+	// checks them, and a background timer goroutine (started lazily by
+	// the first publish, stopped by Close) fires them even when no
+	// publish arrives, so the tail of a burst is pushed upstream without
+	// waiting for the next publish. Each deadline carries ±20% jitter
+	// (deterministically seeded from the group name) so co-scheduled
+	// groups don't flush in lockstep and storm the upstream tier. 0
+	// disables both; an entirely idle group sends nothing (there is
+	// nothing new to send).
 	FlushInterval time.Duration
 	nextFlush     time.Time
 	jrand         uint64           // xorshift state for deadline jitter
@@ -1205,6 +1361,10 @@ type SubMerger struct {
 	// ForwardFull republishes the whole merged tree on every flush —
 	// the legacy behavior, retained as the A6 ablation baseline.
 	ForwardFull bool
+	// Background flush timer state (see FlushInterval).
+	timerOn bool
+	closed  bool
+	stop    chan struct{}
 }
 
 // NewSubMerger creates a group merger forwarding to upstream.
@@ -1231,11 +1391,84 @@ func (s *SubMerger) Publish(args PublishArgs, reply *PublishReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pending++
+	s.ensureTimerLocked()
 	if s.pending < s.FlushEvery && !s.intervalDueLocked() {
 		return nil
 	}
 	s.pending = 0
 	return s.flushLocked()
+}
+
+// ensureTimerLocked lazily starts the background flush goroutine once
+// there is something it could ever flush. The fake-clock test hook
+// drives deadlines synchronously through publishes, so the timer only
+// runs on the real clock. Caller holds s.mu.
+func (s *SubMerger) ensureTimerLocked() {
+	if s.timerOn || s.closed || s.FlushInterval <= 0 || s.clock != nil {
+		return
+	}
+	s.timerOn = true
+	s.stop = make(chan struct{})
+	go s.timerLoop(s.stop)
+}
+
+// timerLoop fires FlushInterval deadlines even when no publish arrives.
+func (s *SubMerger) timerLoop(stop <-chan struct{}) {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		wait := s.FlushInterval
+		// Chase the armed deadline only while something is pending; an
+		// idle group's stale past deadline would otherwise clamp every
+		// sleep to the 1ms floor and busy-spin until the next publish.
+		if s.pending > 0 && !s.nextFlush.IsZero() {
+			if until := time.Until(s.nextFlush); until < wait {
+				wait = until
+			}
+		}
+		s.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(wait):
+		}
+		s.mu.Lock()
+		if !s.closed && s.pending > 0 && s.intervalDueLocked() {
+			pend := s.pending
+			s.pending = 0
+			if err := s.flushLocked(); err != nil {
+				// Keep the tail flagged so the next deadline retries
+				// (flushLocked already re-armed it); the transport has
+				// marked itself for a full re-baseline, so nothing is
+				// lost — without this a burst tail whose flush failed
+				// once would sit here until the next publish, which
+				// after the end of a run never comes.
+				s.pending = pend
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Close stops the background flush timer. It does not force a final
+// flush — call Flush first when the tail matters. Publishes after Close
+// still merge and flush on the publish-driven checks.
+func (s *SubMerger) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.stop != nil {
+		close(s.stop)
+	}
 }
 
 // intervalDueLocked reports whether the jittered flush deadline passed.

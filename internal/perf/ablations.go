@@ -6,6 +6,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
@@ -13,6 +15,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/gram"
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/netsim"
+	"github.com/ipa-grid/ipa/internal/rmi"
 	"github.com/ipa-grid/ipa/internal/scheduler"
 	"github.com/ipa-grid/ipa/internal/shard"
 )
@@ -776,6 +779,271 @@ func ShardAblation(shardCounts []int, sessions, workers, rounds, objects int) ([
 			PublishesPerSec: float64(sessions*rounds*workers) / secs,
 			PollsPerSec:     float64(sessions*rounds) / secs,
 			WallMS:          wall.Milliseconds(),
+		})
+	}
+	return out, nil
+}
+
+// A10 — fine-grained merge-fabric locking and RMI pipelining. The
+// coarse baseline serializes every Publish/Poll/Stats of a Manager on
+// one mutex (why BENCH_3's A9 curve was nearly flat); the fine-grained
+// fabric gives every session its own RWMutex and answers quiescent
+// polls from an atomic snapshot with no lock at all.
+
+// LockAblationRow is one (mode, shards, sessions) cell's outcome.
+type LockAblationRow struct {
+	Mode     string // "coarse" or "fine"
+	Shards   int
+	Sessions int
+	Workers  int // publishing workers per session
+	Pollers  int // polling clients per session
+	Rounds   int
+	// PublishesPerSec is aggregate fabric publish throughput.
+	PublishesPerSec float64
+	// PollsPerSec is aggregate client poll throughput (the pollers
+	// free-run for the duration of the publish load).
+	PollsPerSec float64
+	// FastPollFrac is the fraction of polls answered on the lock-free
+	// quiescent path (always 0 in coarse mode, which disables it).
+	FastPollFrac float64
+	WallMS       int64
+}
+
+// LockAblation drives, for every (shard count × session count) pair,
+// `workers` delta-publishing engines and `pollers` free-running
+// incremental pollers per session against a router over fine-grained
+// and coarse-locked managers in turn.
+func LockAblation(shardCounts, sessionCounts []int, workers, pollers, rounds, objects int) ([]LockAblationRow, error) {
+	var out []LockAblationRow
+	for _, mode := range []string{"coarse", "fine"} {
+		for _, nShards := range shardCounts {
+			for _, nSessions := range sessionCounts {
+				row, err := lockAblationCell(mode, nShards, nSessions, workers, pollers, rounds, objects)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func lockAblationCell(mode string, nShards, nSessions, workers, pollers, rounds, objects int) (LockAblationRow, error) {
+	router := shard.NewRouter(0)
+	var mgrs []*merge.Manager
+	for i := 0; i < nShards; i++ {
+		m := merge.NewManager()
+		m.CoarseLocking = mode == "coarse"
+		mgrs = append(mgrs, m)
+		if err := router.AddShard(fmt.Sprintf("shard%02d", i), m); err != nil {
+			return LockAblationRow{}, err
+		}
+	}
+	errs := make(chan error, nSessions)
+	var stop atomic.Bool
+	var pollCount, fastBase atomic.Int64
+	var pollErr atomic.Pointer[error]
+	var pollWG sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < nSessions; s++ {
+		sid := fmt.Sprintf("sess-%02d", s)
+		go func() {
+			trees := make([]*aida.Tree, workers)
+			hists := make([][]*aida.Histogram1D, workers)
+			transports := make([]*merge.Transport, workers)
+			for w := range trees {
+				trees[w] = aida.NewTree()
+				hists[w] = make([]*aida.Histogram1D, objects)
+				for o := 0; o < objects; o++ {
+					h, err := trees[w].H1D("/a", fmt.Sprintf("h%02d", o), "", 100, 0, 100)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for f := 0; f < 200; f++ {
+						h.Fill(float64((w*31 + f) % 100))
+					}
+					hists[w][o] = h
+				}
+				transports[w] = merge.NewTransport(sid, fmt.Sprintf("w%02d", w), router)
+			}
+			for r := 0; r < rounds; r++ {
+				for w := 0; w < workers; w++ {
+					hists[w][r%objects].Fill(float64(r % 100))
+					_, err := transports[w].Send(func(full bool) (merge.Snapshot, error) {
+						var d *aida.DeltaState
+						var err error
+						if full {
+							d, err = trees[w].FullDelta()
+						} else {
+							d, err = trees[w].Delta()
+						}
+						return merge.Snapshot{Delta: d}, err
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+		for p := 0; p < pollers; p++ {
+			pollWG.Add(1)
+			go func() {
+				defer pollWG.Done()
+				var since int64
+				for !stop.Load() {
+					var reply merge.PollReply
+					if err := router.Poll(merge.PollArgs{SessionID: sid, SinceVersion: since}, &reply); err != nil {
+						// Surface the failure: a silently-exiting poller
+						// would leave the cell green with merely fewer
+						// polls/s — exactly what the CI -race smoke must
+						// not miss.
+						pollErr.CompareAndSwap(nil, &err)
+						return
+					}
+					since = reply.Version
+					pollCount.Add(1)
+				}
+			}()
+		}
+	}
+	var firstErr error
+	for s := 0; s < nSessions; s++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	wall := time.Since(start)
+	// Snapshot the poll count at the same instant as the wall clock:
+	// polls completing while the pollers drain after stop would
+	// otherwise land in the numerator but not the denominator.
+	pollsInWindow := pollCount.Load()
+	stop.Store(true)
+	pollWG.Wait()
+	if firstErr == nil {
+		if ep := pollErr.Load(); ep != nil {
+			firstErr = *ep
+		}
+	}
+	if firstErr != nil {
+		return LockAblationRow{}, firstErr
+	}
+	for s := 0; s < nSessions; s++ {
+		sid := fmt.Sprintf("sess-%02d", s)
+		for _, m := range mgrs {
+			fastBase.Add(m.FastPolls(sid))
+		}
+	}
+	secs := wall.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	row := LockAblationRow{
+		Mode: mode, Shards: nShards, Sessions: nSessions,
+		Workers: workers, Pollers: pollers, Rounds: rounds,
+		PublishesPerSec: float64(nSessions*rounds*workers) / secs,
+		PollsPerSec:     float64(pollsInWindow) / secs,
+		WallMS:          wall.Milliseconds(),
+	}
+	// The fraction uses the complete post-drain counts so numerator and
+	// denominator cover the same poll population.
+	if n := pollCount.Load(); n > 0 {
+		row.FastPollFrac = float64(fastBase.Load()) / float64(n)
+	}
+	return row, nil
+}
+
+// RMIPipelineRow is one RMI concurrency mode's outcome.
+type RMIPipelineRow struct {
+	Mode        string // "serialized" or "pipelined"
+	Callers     int
+	Calls       int // per caller
+	CallsPerSec float64
+	WallMS      int64
+}
+
+// RMIPipelineAblation measures `callers` goroutines sharing ONE RMI
+// connection, each issuing `calls` quiescent polls against a manager
+// with published state — the interactive many-pollers-one-socket
+// pattern. Serialized is the pre-pipelining client (one in-flight call
+// at a time); pipelined tags requests with sequence numbers and lets a
+// reader goroutine match out-of-order replies.
+func RMIPipelineAblation(callers, calls int) ([]RMIPipelineRow, error) {
+	mgr := merge.NewManager()
+	tree := aida.NewTree()
+	h, err := tree.H1D("/a", "h", "", 100, 0, 100)
+	if err != nil {
+		return nil, err
+	}
+	for f := 0; f < 500; f++ {
+		h.Fill(float64(f % 100))
+	}
+	d, err := tree.FullDelta()
+	if err != nil {
+		return nil, err
+	}
+	var rep merge.PublishReply
+	if err := mgr.Publish(merge.PublishArgs{SessionID: "s", WorkerID: "w", Seq: 1, Delta: d}, &rep); err != nil {
+		return nil, err
+	}
+	srv := rmi.NewServer(nil)
+	if err := srv.Register(merge.RMIObjectName, mgr); err != nil {
+		return nil, err
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	var out []RMIPipelineRow
+	for _, mode := range []string{"serialized", "pipelined"} {
+		var opts []rmi.Option
+		if mode == "serialized" {
+			opts = append(opts, rmi.WithSerializedCalls())
+		}
+		client, err := rmi.Dial(addr.String(), "tok", opts...)
+		if err != nil {
+			return nil, err
+		}
+		errs := make(chan error, callers)
+		start := time.Now()
+		for c := 0; c < callers; c++ {
+			go func() {
+				for i := 0; i < calls; i++ {
+					var reply merge.PollReply
+					if err := client.Call(merge.RMIObjectName+".Poll", merge.PollArgs{
+						SessionID: "s", SinceVersion: rep.Version,
+					}, &reply); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		var firstErr error
+		for c := 0; c < callers; c++ {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		wall := time.Since(start)
+		client.Close()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		secs := wall.Seconds()
+		if secs <= 0 {
+			secs = 1e-9
+		}
+		out = append(out, RMIPipelineRow{
+			Mode: mode, Callers: callers, Calls: calls,
+			CallsPerSec: float64(callers*calls) / secs,
+			WallMS:      wall.Milliseconds(),
 		})
 	}
 	return out, nil

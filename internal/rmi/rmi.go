@@ -8,6 +8,16 @@
 // first creating a secure session with the Web Service" (§3.7) — every call
 // carries a session token that the server validates before dispatch.
 //
+// Calls are pipelined: one connection carries any number of concurrent
+// in-flight requests. Each request is tagged with a sequence number; the
+// server dispatches every request to its own goroutine and writes
+// responses as they complete (possibly out of order), and a per-client
+// reader goroutine matches each response back to its caller. A slow call
+// therefore never head-of-line-blocks a fast one on the same connection
+// — the property that lets N polling clients share one socket (ablation
+// A10). WithSerializedCalls restores the old one-call-at-a-time behavior
+// as the ablation baseline.
+//
 // Objects are plain Go values; any exported method with the signature
 //
 //	func (o *T) Method(args A, reply *B) error
@@ -39,6 +49,9 @@ type TokenValidator func(token, object, method string) error
 
 // ErrBadToken is the canonical rejection returned by validators.
 var ErrBadToken = errors.New("rmi: invalid or expired session token")
+
+// ErrClientClosed rejects calls on a closed client.
+var ErrClientClosed = errors.New("rmi: client closed")
 
 // request is the wire header preceding the gob-encoded argument.
 type request struct {
@@ -178,11 +191,73 @@ func (s *Server) Close() {
 	}
 }
 
+// connWriter serializes response writes on one server connection: each
+// response (header + body) is encoded and flushed as one atomic unit,
+// so concurrently-completing handlers interleave at response, not gob
+// message, granularity.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+}
+
+// writeError sends an error response with the placeholder body.
+func (w *connWriter) writeError(seq uint64, msg string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.enc.Encode(&response{Seq: seq, Err: msg}) != nil {
+		w.fail()
+		return
+	}
+	if w.enc.Encode(struct{}{}) != nil {
+		w.fail()
+		return
+	}
+	if w.bw.Flush() != nil {
+		w.fail()
+	}
+}
+
+// writeReply sends a success response carrying reply's value.
+func (w *connWriter) writeReply(seq uint64, reply reflect.Value) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.enc.Encode(&response{Seq: seq}) != nil {
+		w.fail()
+		return
+	}
+	if w.enc.EncodeValue(reply) != nil {
+		w.fail()
+		return
+	}
+	if w.bw.Flush() != nil {
+		w.fail()
+	}
+}
+
+// fail closes the connection so the read loop (and the client) notice a
+// half-written response instead of desynchronizing the stream. Caller
+// holds w.mu.
+func (w *connWriter) fail() { w.conn.Close() }
+
+// maxInFlightPerConn bounds concurrently-dispatched requests on one
+// connection: past it the read loop blocks, which TCP turns into
+// backpressure on the client. Generous for pipelined pollers, but a
+// runaway (or malicious) client can no longer grow server goroutines
+// and queued replies without bound.
+const maxInFlightPerConn = 256
+
 func (s *Server) serveConn(conn net.Conn) {
 	bw := writerPool.Get().(*bufio.Writer)
 	bw.Reset(conn)
+	w := &connWriter{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+	var handlers sync.WaitGroup
 	defer func() {
 		conn.Close()
+		// Handlers may still be writing; only pool the buffer after the
+		// last one is done with it.
+		handlers.Wait()
 		bw.Reset(nil) // drop the conn reference before pooling
 		writerPool.Put(bw)
 		s.lnMu.Lock()
@@ -190,63 +265,69 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.lnMu.Unlock()
 	}()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(bw)
+	slots := make(chan struct{}, maxInFlightPerConn)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or broken connection
 		}
-		s.handle(&req, dec, enc)
-		if err := bw.Flush(); err != nil {
+		if !s.dispatch(&req, dec, w, &handlers, slots) {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(req *request, dec *gob.Decoder, enc *gob.Encoder) {
-	fail := func(msg string) {
+// dispatch resolves and launches one request. The argument is decoded
+// inline — the read loop owns the stream — and the handler then runs in
+// its own goroutine so a slow method never blocks the next request on
+// the same connection. Returns false when the stream is broken.
+func (s *Server) dispatch(req *request, dec *gob.Decoder, w *connWriter, handlers *sync.WaitGroup, slots chan struct{}) bool {
+	fail := func(msg string) bool {
 		// The argument still needs draining to keep the stream aligned;
 		// decode into a throwaway interface.
 		var discard any
 		dec.Decode(&discard)
-		enc.Encode(&response{Seq: req.Seq, Err: msg})
-		enc.Encode(struct{}{})
+		w.writeError(req.Seq, msg)
+		return true
 	}
 	s.mu.RLock()
 	obj := s.objects[req.Object]
 	s.mu.RUnlock()
 	if obj == nil {
-		fail(fmt.Sprintf("rmi: no object %q", req.Object))
-		return
+		return fail(fmt.Sprintf("rmi: no object %q", req.Object))
 	}
 	m := obj.methods[req.Method]
 	if m == nil {
-		fail(fmt.Sprintf("rmi: %s has no method %q", req.Object, req.Method))
-		return
+		return fail(fmt.Sprintf("rmi: %s has no method %q", req.Object, req.Method))
 	}
 	if s.validate != nil {
 		if err := s.validate(req.Token, req.Object, req.Method); err != nil {
-			fail(err.Error())
-			return
+			return fail(err.Error())
 		}
 	}
 	argp := reflect.New(m.argType)
 	if err := dec.DecodeValue(argp); err != nil {
-		enc.Encode(&response{Seq: req.Seq, Err: "rmi: decoding argument: " + err.Error()})
-		enc.Encode(struct{}{})
-		return
+		w.writeError(req.Seq, "rmi: decoding argument: "+err.Error())
+		// The stream is desynchronized; drop the connection.
+		return false
 	}
-	reply := reflect.New(m.replyType)
-	out := m.fn.Call([]reflect.Value{argp.Elem(), reply})
-	if errv := out[0].Interface(); errv != nil {
-		enc.Encode(&response{Seq: req.Seq, Err: errv.(error).Error()})
-		enc.Encode(struct{}{})
-		return
-	}
-	if err := enc.Encode(&response{Seq: req.Seq}); err != nil {
-		return
-	}
-	enc.EncodeValue(reply)
+	seq := req.Seq
+	slots <- struct{}{} // blocks past maxInFlightPerConn
+	handlers.Add(1)
+	go func() {
+		defer func() {
+			<-slots
+			handlers.Done()
+		}()
+		reply := reflect.New(m.replyType)
+		out := m.fn.Call([]reflect.Value{argp.Elem(), reply})
+		if errv := out[0].Interface(); errv != nil {
+			w.writeError(seq, errv.(error).Error())
+			return
+		}
+		w.writeReply(seq, reply)
+	}()
+	return true
 }
 
 // RemoteError is an error string that crossed the wire.
@@ -254,18 +335,86 @@ type RemoteError string
 
 func (e RemoteError) Error() string { return string(e) }
 
-// Client is a synchronous RMI client. It is safe for concurrent use; calls
-// are serialized over one connection (sufficient for the polling pattern).
+// pendingCall is one in-flight request awaiting its response.
+type pendingCall struct {
+	reply any
+	done  chan error // buffered(1); receives nil, RemoteError, or a transport error
+}
+
+// clientConn is one live connection's pipelining state. A new one is
+// built on every (re)connect so stale responses can never be matched
+// against a fresh connection's calls.
+type clientConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes request writes (header+args+flush)
+	bw  *bufio.Writer
+	enc *gob.Encoder
+
+	dec *gob.Decoder // owned by the read loop
+
+	pmu     sync.Mutex
+	seq     uint64
+	pending map[uint64]*pendingCall
+	broken  error
+}
+
+// register allocates a sequence number for pc, or reports the
+// connection broken.
+func (cc *clientConn) register(pc *pendingCall) (uint64, error) {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	if cc.broken != nil {
+		return 0, cc.broken
+	}
+	cc.seq++
+	cc.pending[cc.seq] = pc
+	return cc.seq, nil
+}
+
+// take removes and returns the pending call for seq (nil if none).
+func (cc *clientConn) take(seq uint64) *pendingCall {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	pc := cc.pending[seq]
+	delete(cc.pending, seq)
+	return pc
+}
+
+// fail marks the connection broken, closes it, and delivers err to
+// every caller still waiting. Safe to call from both the read loop and
+// writers; each pending call is delivered exactly once because removal
+// from the map is what grants the right to send on done.
+func (cc *clientConn) fail(err error) {
+	cc.pmu.Lock()
+	if cc.broken == nil {
+		cc.broken = err
+	}
+	stranded := cc.pending
+	cc.pending = make(map[uint64]*pendingCall)
+	cc.pmu.Unlock()
+	cc.conn.Close()
+	for _, pc := range stranded {
+		pc.done <- err
+	}
+}
+
+// Client is an RMI client. It is safe for concurrent use: calls are
+// pipelined over one connection — each request is sequence-tagged, a
+// reader goroutine matches responses (which the server may send out of
+// order) back to their callers, so concurrent Calls never wait on each
+// other, only on their own replies.
 type Client struct {
-	mu         sync.Mutex
-	conn       net.Conn
-	bw         *bufio.Writer
-	dec        *gob.Decoder
-	enc        *gob.Encoder
-	seq        uint64
+	mu         sync.Mutex // guards cc, token, closed
+	cc         *clientConn
 	token      string
 	addr       string
 	compressed bool
+	closed     bool
+
+	// serialized is the ablation baseline: one in-flight call at a time.
+	serialized bool
+	callMu     sync.Mutex // held per-call in serialized mode
 }
 
 // Option configures a client connection at Dial time.
@@ -280,6 +429,13 @@ func WithCompressedFrames() Option {
 	return func(c *Client) { c.compressed = true }
 }
 
+// WithSerializedCalls restores the pre-pipelining behavior — at most
+// one in-flight call per connection — retained as the A10 ablation
+// baseline.
+func WithSerializedCalls() Option {
+	return func(c *Client) { c.serialized = true }
+}
+
 // Compressed reports whether this connection prefers compressed frames.
 func (c *Client) Compressed() bool { return c.compressed }
 
@@ -289,30 +445,101 @@ func Dial(addr, token string, opts ...Option) (*Client, error) {
 	for _, opt := range opts {
 		opt(c)
 	}
-	if err := c.connect(); err != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.connLocked(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) connect() error {
+// connLocked returns the live connection, dialing a fresh one if
+// needed. Caller holds c.mu.
+func (c *Client) connLocked() (*clientConn, error) {
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	if c.cc != nil {
+		return c.cc, nil
+	}
 	conn, err := net.Dial("tcp", c.addr)
 	if err != nil {
-		return fmt.Errorf("rmi: dialing %s: %w", c.addr, err)
+		return nil, fmt.Errorf("rmi: dialing %s: %w", c.addr, err)
 	}
-	c.conn = conn
-	c.bw = bufio.NewWriterSize(conn, 8192)
-	c.dec = gob.NewDecoder(conn)
-	c.enc = gob.NewEncoder(c.bw)
-	return nil
+	bw := bufio.NewWriterSize(conn, 8192)
+	cc := &clientConn{
+		conn: conn, bw: bw,
+		enc:     gob.NewEncoder(bw),
+		dec:     gob.NewDecoder(conn),
+		pending: make(map[uint64]*pendingCall),
+	}
+	c.cc = cc
+	go c.readLoop(cc)
+	return cc, nil
 }
 
-// Close shuts the connection.
+// drop forgets cc if it is still the client's current connection, so
+// the next Call dials afresh.
+func (c *Client) drop(cc *clientConn) {
+	c.mu.Lock()
+	if c.cc == cc {
+		c.cc = nil
+	}
+	c.mu.Unlock()
+}
+
+// readLoop owns cc's decoder: it reads response headers, matches them
+// to pending calls by sequence number, and decodes each reply body
+// directly into the caller's reply value (stream order: body always
+// directly follows its header). Any decode failure poisons the
+// connection — a gob stream cannot be resynchronized.
+func (c *Client) readLoop(cc *clientConn) {
+	for {
+		var resp response
+		if err := cc.dec.Decode(&resp); err != nil {
+			c.drop(cc)
+			cc.fail(fmt.Errorf("rmi: reading response: %w", err))
+			return
+		}
+		pc := cc.take(resp.Seq)
+		if pc == nil {
+			// A response nobody asked for: the stream is untrustworthy.
+			c.drop(cc)
+			cc.fail(fmt.Errorf("rmi: unmatched response seq %d", resp.Seq))
+			return
+		}
+		if resp.Err != "" {
+			// Drain the placeholder body.
+			var discard struct{}
+			if err := cc.dec.Decode(&discard); err != nil {
+				pc.done <- RemoteError(resp.Err)
+				c.drop(cc)
+				cc.fail(fmt.Errorf("rmi: reading response: %w", err))
+				return
+			}
+			pc.done <- RemoteError(resp.Err)
+			continue
+		}
+		if err := cc.dec.Decode(pc.reply); err != nil {
+			err = fmt.Errorf("rmi: reading reply: %w", err)
+			pc.done <- err
+			c.drop(cc)
+			cc.fail(err)
+			return
+		}
+		pc.done <- nil
+	}
+}
+
+// Close shuts the connection; in-flight calls fail with ErrClientClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		return c.conn.Close()
+	c.closed = true
+	cc := c.cc
+	c.cc = nil
+	c.mu.Unlock()
+	if cc != nil {
+		cc.fail(ErrClientClosed)
 	}
 	return nil
 }
@@ -325,58 +552,49 @@ func (c *Client) SetToken(token string) {
 }
 
 // Call invokes object.method with args, decoding the result into reply
-// (a pointer). Remote failures come back as RemoteError.
+// (a pointer). Remote failures come back as RemoteError. Safe for any
+// number of concurrent callers; see the Client comment.
 func (c *Client) Call(objectDotMethod string, args any, reply any) error {
 	obj, method, ok := splitTarget(objectDotMethod)
 	if !ok {
 		return fmt.Errorf("rmi: bad call target %q (want Object.Method)", objectDotMethod)
 	}
+	if c.serialized {
+		c.callMu.Lock()
+		defer c.callMu.Unlock()
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		if err := c.connect(); err != nil {
-			return err
-		}
+	cc, err := c.connLocked()
+	token := c.token
+	c.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	c.seq++
-	req := request{Seq: c.seq, Object: obj, Method: method, Token: c.token}
-	if err := c.enc.Encode(&req); err != nil {
-		c.reset()
-		return fmt.Errorf("rmi: sending request: %w", err)
+	pc := &pendingCall{reply: reply, done: make(chan error, 1)}
+	seq, err := cc.register(pc)
+	if err != nil {
+		return err
 	}
-	if err := c.enc.Encode(args); err != nil {
-		c.reset()
-		return fmt.Errorf("rmi: sending args: %w", err)
+	req := request{Seq: seq, Object: obj, Method: method, Token: token}
+	cc.wmu.Lock()
+	err = cc.enc.Encode(&req)
+	if err == nil {
+		err = cc.enc.Encode(args)
 	}
-	if err := c.bw.Flush(); err != nil {
-		c.reset()
-		return fmt.Errorf("rmi: sending request: %w", err)
+	if err == nil {
+		err = cc.bw.Flush()
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.reset()
-		return fmt.Errorf("rmi: reading response: %w", err)
+	cc.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("rmi: sending request: %w", err)
+		c.drop(cc)
+		cc.fail(err)
+		// fail delivered err to our own pending call too; drain it so
+		// the channel logic stays single-shot.
+		<-pc.done
+		return err
 	}
-	if resp.Err != "" {
-		// Drain the placeholder body.
-		var discard struct{}
-		c.dec.Decode(&discard)
-		return RemoteError(resp.Err)
-	}
-	if err := c.dec.Decode(reply); err != nil {
-		c.reset()
-		return fmt.Errorf("rmi: reading reply: %w", err)
-	}
-	return nil
-}
-
-func (c *Client) reset() {
-	if c.conn != nil {
-		c.conn.Close()
-	}
-	c.conn = nil
-	c.bw = nil
-	c.dec, c.enc = nil, nil
+	return <-pc.done
 }
 
 func splitTarget(s string) (obj, method string, ok bool) {

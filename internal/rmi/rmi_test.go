@@ -2,9 +2,11 @@ package rmi
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // calcService is a test object.
@@ -243,4 +245,192 @@ func TestServerClose(t *testing.T) {
 	if err := c.Call("Calc.Add", addArgs{1, 1}, &sum); err == nil {
 		t.Fatal("call succeeded after server close")
 	}
+}
+
+// sleepService exposes a deliberately slow method next to a fast one,
+// for pipelining interleaving tests.
+type sleepService struct{}
+
+type sleepArgs struct{ MS int }
+
+func (s *sleepService) Sleep(args sleepArgs, reply *int) error {
+	time.Sleep(time.Duration(args.MS) * time.Millisecond)
+	*reply = args.MS
+	return nil
+}
+
+type pingArgs struct{ N int }
+
+func (s *sleepService) Ping(args pingArgs, reply *int) error {
+	*reply = args.N
+	return nil
+}
+
+// TestPipelinedOutOfOrderReplies: on one connection, a fast call issued
+// after a slow one must complete first — the server dispatches
+// concurrently and the client matches the out-of-order replies back to
+// their callers by sequence number.
+func TestPipelinedOutOfOrderReplies(t *testing.T) {
+	s := NewServer(nil)
+	if err := s.Register("Svc", &sleepService{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	c, err := Dial(addr.String(), "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		var got int
+		err := c.Call("Svc.Sleep", sleepArgs{MS: 400}, &got)
+		if err == nil && got != 400 {
+			err = fmt.Errorf("slow reply = %d, want 400", got)
+		}
+		slowDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow request hit the wire first
+	start := time.Now()
+	var fast int
+	if err := c.Call("Svc.Ping", pingArgs{N: 7}, &fast); err != nil {
+		t.Fatal(err)
+	}
+	if fast != 7 {
+		t.Fatalf("fast reply = %d, want 7", fast)
+	}
+	if d := time.Since(start); d > 300*time.Millisecond {
+		t.Fatalf("fast call head-of-line-blocked behind the slow one (%v)", d)
+	}
+	select {
+	case err := <-slowDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow call never completed")
+	}
+}
+
+// TestPipelinedCallsMatchCallers hammers one client from many
+// goroutines (run under -race): every reply must reach exactly the
+// caller that asked for it.
+func TestPipelinedCallsMatchCallers(t *testing.T) {
+	for _, serialized := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serialized=%v", serialized), func(t *testing.T) {
+			_, addr := startServer(t, nil)
+			var opts []Option
+			if serialized {
+				opts = append(opts, WithSerializedCalls())
+			}
+			c, err := Dial(addr, "tok", opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						want := echoArgs{
+							Msg:  fmt.Sprintf("g%d-i%d", g, i),
+							Nums: []int{g, i},
+						}
+						var got echoArgs
+						if err := c.Call("Echo.Echo", want, &got); err != nil {
+							t.Error(err)
+							return
+						}
+						if got.Msg != want.Msg || len(got.Nums) != 2 || got.Nums[0] != g || got.Nums[1] != i {
+							t.Errorf("reply %+v does not match request %+v", got, want)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestPipelinedSlowCallsOverlap: two slow calls on one connection run
+// concurrently on the server, so their wall time is ~max, not ~sum.
+func TestPipelinedSlowCallsOverlap(t *testing.T) {
+	s := NewServer(nil)
+	if err := s.Register("Svc", &sleepService{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	c, err := Dial(addr.String(), "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got int
+			if err := c.Call("Svc.Sleep", sleepArgs{MS: 200}, &got); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if d := time.Since(start); d > 380*time.Millisecond {
+		t.Fatalf("2 × 200ms calls took %v: not overlapped", d)
+	}
+}
+
+// TestPipelinedErrorsMatchCallers: remote errors interleaved with
+// successes land on the right callers.
+func TestPipelinedErrorsMatchCallers(t *testing.T) {
+	_, addr := startServer(t, nil)
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var s string
+				err := c.Call("Calc.Fail", struct{}{}, &s)
+				if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+					t.Errorf("Fail returned %v", err)
+					return
+				}
+				var sum float64
+				if err := c.Call("Calc.Add", addArgs{A: float64(i), B: 1}, &sum); err != nil {
+					t.Error(err)
+					return
+				}
+				if sum != float64(i)+1 {
+					t.Errorf("Add = %v, want %v", sum, float64(i)+1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -498,6 +498,10 @@ type Status struct {
 	// Shard names the merge-fabric shard owning this session's results
 	// ("" when results are served by a single unsharded manager).
 	Shard string
+	// ShardAddr is the RMI endpoint serving that shard directly ("" when
+	// unsharded or unadvertised). Heavy pollers dial it and skip the
+	// router hop.
+	ShardAddr string
 }
 
 // Status reports the session and per-engine state — the client's "hosts
@@ -535,7 +539,12 @@ func (s *Service) Status(sessionID string) (Status, error) {
 	}
 	st.ResultVersion = s.cfg.Merge.Version(sess.ID)
 	st.PollCacheHits, st.PollCacheMisses = s.cfg.Merge.CacheStats(sess.ID)
-	if p, ok := s.cfg.Merge.(interface{ Placement(string) string }); ok {
+	switch p := s.cfg.Merge.(type) {
+	case interface {
+		PlacementInfo(string) (string, string)
+	}:
+		st.Shard, st.ShardAddr = p.PlacementInfo(sess.ID)
+	case interface{ Placement(string) string }:
 		st.Shard = p.Placement(sess.ID)
 	}
 	return st, nil

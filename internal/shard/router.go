@@ -56,6 +56,7 @@ type Router struct {
 	ring     *Ring
 	backends map[string]Backend
 	place    map[string]*route // sessionID → current owner
+	addrs    map[string]string // shard → RMI endpoint serving it
 	handoffs int64
 
 	// topoMu serializes ring edits (and their handoffs) against each
@@ -70,6 +71,7 @@ func NewRouter(vnodes int) *Router {
 		ring:     NewRing(vnodes),
 		backends: make(map[string]Backend),
 		place:    make(map[string]*route),
+		addrs:    make(map[string]string),
 	}
 }
 
@@ -211,6 +213,33 @@ func (r *Router) Placement(sessionID string) string {
 		return rt.shard
 	}
 	return r.ring.Owner(sessionID)
+}
+
+// SetShardAddr records the RMI endpoint whose ObjectName(shard)
+// registration serves a shard's manager ("" clears it). Heavy polling
+// clients learn it through PlacementInfo and dial the owning shard
+// directly, skipping the router hop on every poll.
+func (r *Router) SetShardAddr(shard, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if addr == "" {
+		delete(r.addrs, shard)
+		return
+	}
+	r.addrs[shard] = addr
+}
+
+// PlacementInfo names the shard currently owning a session together
+// with the RMI endpoint serving it (addr "" when the shard's endpoint
+// was never recorded — the client then keeps polling via the router).
+func (r *Router) PlacementInfo(sessionID string) (shard, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rt := r.place[sessionID]; rt != nil {
+		return rt.shard, r.addrs[rt.shard]
+	}
+	home := r.ring.Owner(sessionID)
+	return home, r.addrs[home]
 }
 
 // Shards lists the fabric members, sorted.

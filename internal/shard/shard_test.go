@@ -609,3 +609,144 @@ func TestRemoteShardsOverRMI(t *testing.T) {
 		t.Fatalf("entries after RMI handoff = %d, want 3", n)
 	}
 }
+
+// TestConcurrentPublishPollHandoffRace is the publish×poll×handoff race
+// test (run under -race): sessions publish and poll through the router
+// while shards join and leave. Pollers assert that versions only ever
+// regress to a tombstone's zero (the designed full-refresh reset for
+// straggler polls mid-flip), never to an intermediate value, and the
+// final merged state matches a flat reference manager.
+func TestConcurrentPublishPollHandoffRace(t *testing.T) {
+	router, _ := newRouterWithShards(t, 2)
+	flat := merge.NewManager()
+	const nSessions = 4
+	const rounds = 50
+
+	var pubWG sync.WaitGroup
+	for s := 0; s < nSessions; s++ {
+		sid := fmt.Sprintf("sess-%d", s)
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			tree := aida.NewTree()
+			h, _ := tree.H1D("/h", "x", "", 10, 0, 10)
+			tr := merge.NewTransport(sid, "w0", router)
+			for i := 0; i < rounds; i++ {
+				h.Fill(float64(i % 10))
+				_, err := tr.Send(func(full bool) (merge.Snapshot, error) {
+					var d *aida.DeltaState
+					var err error
+					if full {
+						d, err = tree.FullDelta()
+					} else {
+						d, err = tree.Delta()
+					}
+					return merge.Snapshot{Delta: d}, err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	for s := 0; s < nSessions; s++ {
+		sid := fmt.Sprintf("sess-%d", s)
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			var since int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var reply merge.PollReply
+				if err := router.Poll(merge.PollArgs{SessionID: sid, SinceVersion: since}, &reply); err != nil {
+					t.Error(err)
+					return
+				}
+				if reply.Version < since && reply.Version != 0 {
+					t.Errorf("poll version regressed %d → %d (not a tombstone reset)", since, reply.Version)
+					return
+				}
+				for _, e := range reply.Entries {
+					if _, err := e.State(); err != nil {
+						t.Errorf("undecodable entry %s mid-handoff: %v", e.Path, err)
+						return
+					}
+				}
+				since = reply.Version
+			}
+		}()
+	}
+	// Topology churn concurrent with both traffic kinds.
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("churn%d", i)
+		if err := router.AddShard(name, merge.NewManager()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := router.RemoveShard("churn1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.RemoveShard("churn2"); err != nil {
+		t.Fatal(err)
+	}
+	pubWG.Wait()
+	close(stop)
+	pollWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for s := 0; s < nSessions; s++ {
+		sid := fmt.Sprintf("sess-%d", s)
+		tree := aida.NewTree()
+		h, _ := tree.H1D("/h", "x", "", 10, 0, 10)
+		for i := 0; i < rounds; i++ {
+			h.Fill(float64(i % 10))
+		}
+		d, err := tree.FullDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep merge.PublishReply
+		if err := flat.Publish(merge.PublishArgs{SessionID: sid, WorkerID: "w0", Seq: 1, Delta: d}, &rep); err != nil {
+			t.Fatal(err)
+		}
+		got, want := fullState(t, router, sid), fullState(t, flat, sid)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("session %s diverged under concurrent publish/poll/handoff", sid)
+		}
+	}
+}
+
+// TestPlacementInfoAddrs: the router reports each session's owning
+// shard together with its advertised RMI endpoint, before and after a
+// handoff.
+func TestPlacementInfoAddrs(t *testing.T) {
+	router, _ := newRouterWithShards(t, 2)
+	router.SetShardAddr("shard00", "10.0.0.1:7000")
+	router.SetShardAddr("shard01", "10.0.0.2:7000")
+	w := &testWorker{session: "sess-a", id: "w0", tree: aida.NewTree()}
+	w.tree.H1D("/h", "x", "", 10, 0, 10)
+	w.publish(t, router, true)
+
+	shard, addr := router.PlacementInfo("sess-a")
+	if shard != router.Placement("sess-a") {
+		t.Fatalf("PlacementInfo shard %q != Placement %q", shard, router.Placement("sess-a"))
+	}
+	want := map[string]string{"shard00": "10.0.0.1:7000", "shard01": "10.0.0.2:7000"}
+	if addr != want[shard] {
+		t.Fatalf("shard %s addr = %q, want %q", shard, addr, want[shard])
+	}
+	// An unadvertised shard reports an empty addr.
+	router.SetShardAddr(shard, "")
+	if _, addr := router.PlacementInfo("sess-a"); addr != "" {
+		t.Fatalf("cleared shard addr still reports %q", addr)
+	}
+}

@@ -1,12 +1,12 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_4.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1/BENCH_2/BENCH_3 baselines.
+// (default BENCH_5.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1…BENCH_4 baselines.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|all] [-out DIR] [-json FILE] [-tiny]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|all] [-out DIR] [-json FILE] [-tiny]
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_4.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_5.json", "metrics baseline file (\"\" disables)")
 	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
 	flag.Parse()
 	// A partial run writes a partial metrics map; never let it silently
@@ -51,9 +51,9 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -312,6 +312,71 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 			metrics["rmi_"+r.Mode+"_calls_per_s"] = r.CallsPerSec
 		}
 		fmt.Fprintln(w, t2.String())
+	}
+	if all || exp == "place" {
+		// A11a: the RCU placement table vs the retained locked routing
+		// baseline under a quiescent-poll storm; -tiny keeps the CI
+		// smoke (run under -race) fast.
+		shards, sessions, pollers, polls := 4, 8, 4, 2000
+		if tiny {
+			shards, sessions, pollers, polls = 2, 2, 2, 150
+		}
+		rrows, err := perf.RouteAblation(shards, sessions, pollers, polls)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A11a — owner resolution, %d shards, %d sessions x %d pollers x %d polls",
+			shards, sessions, pollers, polls),
+			Columns: []string{"Routing", "Polls/s", "Wall ms"}}
+		for _, r := range rrows {
+			t.AddRow(r.Mode, fmt.Sprintf("%.0f", r.PollsPerSec), fmt.Sprintf("%d", r.WallMS))
+			metrics["place_route_"+r.Mode+"_poll_per_s"] = r.PollsPerSec
+		}
+		fmt.Fprintln(w, t.String())
+
+		// A11b: load-weighted rebalancing under skewed per-session load.
+		rbShards, hot, cold, rounds, skew := 4, 4, 8, 8, 10
+		if tiny {
+			rbShards, hot, cold, rounds, skew = 2, 2, 3, 4, 6
+		}
+		brows, err := perf.RebalanceAblation(rbShards, hot, cold, rounds, skew)
+		if err != nil {
+			return err
+		}
+		t2 := &aida.Table{Title: fmt.Sprintf("A11b — rebalancing, %d shards, %d hot (x%d load) + %d cold sessions",
+			rbShards, hot, skew, cold),
+			Columns: []string{"Rebalance", "Moves", "Hot-shard share", "Diverged", "Wall ms"}}
+		for _, r := range brows {
+			t2.AddRow(r.Mode, fmt.Sprintf("%d", r.Moves), fmt.Sprintf("%.0f%%", 100*r.HotShare),
+				fmt.Sprintf("%v", r.Diverged), fmt.Sprintf("%d", r.WallMS))
+			metrics["place_rebalance_"+r.Mode+"_moves"] = float64(r.Moves)
+			metrics["place_rebalance_"+r.Mode+"_hot_share"] = r.HotShare
+			if r.Diverged {
+				return fmt.Errorf("rebalance ablation (%s) diverged from the flat reference", r.Mode)
+			}
+		}
+		fmt.Fprintln(w, t2.String())
+
+		// A11c: kill-a-shard fault recovery.
+		rcShards, rcSessions, rcRounds := 3, 10, 3
+		if tiny {
+			rcShards, rcSessions, rcRounds = 2, 4, 2
+		}
+		rec, err := perf.RecoveryAblation(rcShards, rcSessions, rcRounds)
+		if err != nil {
+			return err
+		}
+		t3 := &aida.Table{Title: fmt.Sprintf("A11c — shard kill, %d shards x %d sessions", rcShards, rcSessions),
+			Columns: []string{"Killed", "Its sessions", "Probe rounds", "Recovered", "Lost updates"}}
+		t3.AddRow(rec.Killed, fmt.Sprintf("%d", rec.KilledSessions), fmt.Sprintf("%d", rec.ProbeRounds),
+			fmt.Sprintf("%d/%d", rec.Recovered, rec.Sessions), fmt.Sprintf("%v", rec.Lost))
+		fmt.Fprintln(w, t3.String())
+		metrics["place_recover_sessions"] = float64(rec.Recovered)
+		metrics["place_recover_killed_sessions"] = float64(rec.KilledSessions)
+		metrics["place_recover_probe_rounds"] = float64(rec.ProbeRounds)
+		if rec.Lost {
+			return fmt.Errorf("recovery ablation lost updates (%d/%d sessions recovered)", rec.Recovered, rec.Sessions)
+		}
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(metrics, "", "  ")

@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	ipa-manager [-nodes 8] [-wsrf :9443] [-rmi :9444] [-events 20000] [-insecure]
+//	ipa-manager [-nodes 8] [-events 20000] [-insecure] [-shards N]
+//	            [-rebalance 5s] [-rebalance-moves 2] [-rebalance-band 0.25]
+//	            [-health 2s] [-health-fails 3]
 //
 // On startup it prints the endpoints and, with -events > 0, publishes a
 // generated LC dataset ("ds-zh") so a client can run immediately. In
@@ -34,9 +36,18 @@ func main() {
 	insecure := flag.Bool("insecure", false, "serve plain HTTP (no GSI)")
 	credDir := flag.String("creddir", "ipa-creds", "where to write CA + user credentials")
 	shards := flag.Int("shards", 1, "merge-fabric shard count (>1 = consistent-hash session sharding)")
+	rebalance := flag.Duration("rebalance", 0, "shard rebalance probe interval (0 = off; needs -shards > 1)")
+	rebalanceMoves := flag.Int("rebalance-moves", 2, "max session migrations per rebalance round")
+	rebalanceBand := flag.Float64("rebalance-band", 0.25, "rebalance hysteresis band (fraction over the fabric-mean load)")
+	health := flag.Duration("health", 0, "shard health probe interval (0 = off; needs -shards > 1)")
+	healthFails := flag.Int("health-fails", 3, "consecutive failed probes before a shard is marked dead")
 	flag.Parse()
 
-	grid, err := ipa.NewLocalGrid(ipa.GridOptions{Nodes: *nodes, Insecure: *insecure, Shards: *shards})
+	grid, err := ipa.NewLocalGrid(ipa.GridOptions{
+		Nodes: *nodes, Insecure: *insecure, Shards: *shards,
+		RebalanceInterval: *rebalance, RebalanceMaxMoves: *rebalanceMoves, RebalanceBand: *rebalanceBand,
+		HealthInterval: *health, HealthFails: *healthFails,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +75,13 @@ func main() {
 	fmt.Printf("nodes: %d, interactive queue ready\n", *nodes)
 	if *shards > 1 {
 		fmt.Printf("merge fabric: %d shards (consistent-hash session routing)\n", *shards)
+		if *rebalance > 0 {
+			fmt.Printf("rebalancer: every %s, ≤%d moves/round, band %.0f%%\n",
+				*rebalance, *rebalanceMoves, 100**rebalanceBand)
+		}
+		if *health > 0 {
+			fmt.Printf("health prober: every %s, dead after %d failed probes\n", *health, *healthFails)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -32,6 +32,10 @@ type Client struct {
 	mu      sync.Mutex
 	tree    *aida.Tree // client-side mirror of the merged results
 	version int64
+	// epoch is the last seen session-state incarnation (see
+	// merge.PollReply.Epoch); a change means the merged state was
+	// rebuilt from scratch and the mirror must full-resync.
+	epoch int64
 
 	// Direct shard polling (SetDirectPoll): a second RMI connection to
 	// the session's owning shard, bypassing the router hop.
@@ -335,7 +339,7 @@ func (c *Client) Poll() (Update, error) {
 		return Update{}, fmt.Errorf("core: no session (CreateSession first)")
 	}
 	c.mu.Lock()
-	since := c.version
+	since, sinceEpoch := c.version, c.epoch
 	c.mu.Unlock()
 	reply, err := c.pollReply(merge.PollArgs{
 		SessionID: c.sessionID, SinceVersion: since,
@@ -343,7 +347,25 @@ func (c *Client) Poll() (Update, error) {
 	if err != nil {
 		return Update{}, err
 	}
-	up := Update{Changed: reply.Changed, Progress: reply.Progress, Logs: reply.Logs}
+	// Resync when the merged state was rebuilt under us: the version
+	// regressed (a handoff tombstone reset a straggler poll), or the
+	// incarnation epoch changed (a shard died and the engines
+	// re-baselined on a fresh owner — whose new version counter may
+	// already have overtaken ours, which is why regression alone is not
+	// a sufficient signal).
+	resync := since > 0 && (reply.Version < since ||
+		(reply.Epoch != 0 && sinceEpoch != 0 && reply.Epoch != sinceEpoch))
+	if resync {
+		// Our mirror may hold state the new owner never saw, so rebuild
+		// it from a full poll instead of patching.
+		reply = merge.PollReply{}
+		if err := c.rmi.Call("AIDAManager.Poll", merge.PollArgs{
+			SessionID: c.sessionID, Full: true,
+		}, &reply); err != nil {
+			return Update{}, err
+		}
+	}
+	up := Update{Changed: reply.Changed || resync, Progress: reply.Progress, Logs: reply.Logs}
 	for _, p := range reply.Progress {
 		up.EventsDone += p.EventsDone
 		up.EventsTotal += p.EventsTotal
@@ -351,6 +373,12 @@ func (c *Client) Poll() (Update, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.version = reply.Version
+	if reply.Epoch != 0 {
+		c.epoch = reply.Epoch
+	}
+	if resync {
+		c.tree = aida.NewTree()
+	}
 	for _, path := range reply.Removed {
 		c.tree.Rm(path)
 	}

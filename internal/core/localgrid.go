@@ -40,6 +40,20 @@ type GridOptions struct {
 	// from a single manager, >1 spreads sessions across that many
 	// manager shards behind a consistent-hash router.
 	Shards int
+	// RebalanceInterval starts a load balancer on the sharded fabric
+	// that probes per-session publish+poll rates and migrates the
+	// hottest sessions off overloaded shards (0 = no balancer; ignored
+	// when unsharded).
+	RebalanceInterval time.Duration
+	// RebalanceMaxMoves / RebalanceBand tune the balancer policy (0
+	// selects the defaults: 2 moves per round, 0.25 hysteresis band).
+	RebalanceMaxMoves int
+	RebalanceBand     float64
+	// HealthInterval starts a shard health prober (0 = none; ignored
+	// when unsharded); HealthFails is the consecutive-failure threshold
+	// before a shard is marked dead (0 = 3).
+	HealthInterval time.Duration
+	HealthFails    int
 }
 
 // LocalGrid is a complete single-process Grid site on loopback TCP:
@@ -59,6 +73,10 @@ type LocalGrid struct {
 	Merge merge.Service
 	// Router is non-nil on a sharded grid (== Merge).
 	Router *shard.Router
+	// Balancer / Health are the placement policy loops, non-nil when the
+	// corresponding interval option enabled them on a sharded grid.
+	Balancer *shard.Balancer
+	Health   *shard.Health
 	// ShardMgrs are the fabric's member managers by shard name.
 	ShardMgrs map[string]*merge.Manager
 	Reg       *registry.Registry
@@ -156,6 +174,19 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 			}
 		}
 		g.Merge = g.Router
+		if opts.RebalanceInterval > 0 {
+			g.Balancer = shard.NewBalancer(g.Router)
+			g.Balancer.Interval = opts.RebalanceInterval
+			g.Balancer.MaxMoves = opts.RebalanceMaxMoves
+			g.Balancer.Band = opts.RebalanceBand
+			g.Balancer.Start()
+		}
+		if opts.HealthInterval > 0 {
+			g.Health = shard.NewHealth(g.Router)
+			g.Health.Interval = opts.HealthInterval
+			g.Health.Threshold = opts.HealthFails
+			g.Health.Start()
+		}
 	} else {
 		g.Merge = merge.NewManager()
 	}
@@ -300,6 +331,12 @@ func (g *LocalGrid) Scratch(node string) *storage.Element {
 // Close tears the whole site down.
 func (g *LocalGrid) Close() {
 	close(g.stop)
+	if g.Balancer != nil {
+		g.Balancer.Stop()
+	}
+	if g.Health != nil {
+		g.Health.Stop()
+	}
 	for _, id := range g.Session.Sessions() {
 		g.Session.Close(id)
 	}

@@ -246,6 +246,7 @@ func (m *Manager) register() {
 		resp := &StatusResponse{
 			State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle,
 			Shard: st.Shard, ShardAddr: st.ShardAddr,
+			PlacementGen: st.PlacementGen, DeadShards: st.DeadShards,
 		}
 		for _, e := range st.Engines {
 			resp.Engines = append(resp.Engines, EngineStatusXML{

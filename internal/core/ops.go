@@ -131,8 +131,15 @@ type StatusResponse struct {
 	// ShardAddr is the RMI endpoint serving that shard directly (empty
 	// when unadvertised); polling clients may dial it to skip the
 	// router hop.
-	ShardAddr string            `xml:"shardAddr,omitempty"`
-	Engines   []EngineStatusXML `xml:"engine"`
+	ShardAddr string `xml:"shardAddr,omitempty"`
+	// PlacementGen is the fabric's placement-table generation — it bumps
+	// on every topology edit, rebalance move, or fault eviction (0 when
+	// unsharded).
+	PlacementGen uint64 `xml:"placementGen,omitempty"`
+	// DeadShards lists fabric shards currently marked unreachable by the
+	// health prober.
+	DeadShards []string          `xml:"deadShard,omitempty"`
+	Engines    []EngineStatusXML `xml:"engine"`
 }
 
 // CloseRequest tears the session down (Session.Close).

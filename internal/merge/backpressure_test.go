@@ -1,0 +1,197 @@
+package merge
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+)
+
+// scriptedUpstream is a Publisher whose replies carry a controllable
+// backpressure hint.
+type scriptedUpstream struct {
+	mu    sync.Mutex
+	busy  bool
+	calls int
+}
+
+func (p *scriptedUpstream) SetBusy(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.busy = on
+}
+
+func (p *scriptedUpstream) Calls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+func (p *scriptedUpstream) Publish(args PublishArgs, reply *PublishReply) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	reply.Accepted = true
+	reply.Version = int64(p.calls)
+	if p.busy {
+		reply.Busy = true
+		reply.QueueDepth = 3
+	}
+	return nil
+}
+
+// TestSubMergerWidensFlushIntervalUnderPressure drives a SubMerger on a
+// fake clock: while the upstream reports Busy, each flush doubles the
+// effective flush interval (up to 8×); clear replies decay it back.
+func TestSubMergerWidensFlushIntervalUnderPressure(t *testing.T) {
+	up := &scriptedUpstream{}
+	sm := NewSubMerger("bp-group", "s", up, 1000) // interval-driven only
+	sm.FlushInterval = 100 * time.Millisecond
+	now := time.Unix(0, 0)
+	sm.clock = func() time.Time { return now }
+
+	tree := aida.NewTree()
+	h, err := tree.H1D("/h", "x", "", 10, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := int64(0)
+	publish := func() {
+		t.Helper()
+		h.Fill(1)
+		d, err := tree.Delta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		var rep PublishReply
+		if err := sm.Publish(PublishArgs{SessionID: "s", WorkerID: "w0", Seq: seq, Delta: d}, &rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The jittered base interval is 100ms ± 20%: a 130ms step always
+	// crosses an unwidened deadline, never a once-widened (≥160ms) one.
+	step := func(d time.Duration) { now = now.Add(d) }
+
+	publish() // arms the first deadline, no flush yet
+	if got := up.Calls(); got != 0 {
+		t.Fatalf("flushed %d times before any deadline", got)
+	}
+	up.SetBusy(true)
+	step(130 * time.Millisecond)
+	publish() // deadline due → flush; busy reply raises pressure
+	if got := up.Calls(); got != 1 {
+		t.Fatalf("calls after first deadline = %d, want 1", got)
+	}
+	if got := sm.Pressure(); got != 1 {
+		t.Fatalf("pressure after one busy reply = %d, want 1", got)
+	}
+	step(130 * time.Millisecond)
+	publish() // would have been due unwidened; the 2× deadline is not
+	if got := up.Calls(); got != 1 {
+		t.Fatalf("pressured SubMerger flushed anyway (calls=%d)", got)
+	}
+	step(130 * time.Millisecond)
+	publish() // 260ms since the flush: past the ≤240ms widened deadline
+	if got := up.Calls(); got != 2 {
+		t.Fatalf("calls after widened deadline = %d, want 2", got)
+	}
+	if got := sm.Pressure(); got != 2 {
+		t.Fatalf("pressure after two busy replies = %d, want 2", got)
+	}
+	// Pressure caps at maxFlushPressure even under endless busy replies.
+	for i := 0; i < 4; i++ {
+		step(time.Second)
+		publish()
+	}
+	if got := sm.Pressure(); got != maxFlushPressure {
+		t.Fatalf("pressure = %d, want capped at %d", got, maxFlushPressure)
+	}
+	// Clear replies decay it back one level per flush.
+	up.SetBusy(false)
+	for want := maxFlushPressure - 1; want >= 0; want-- {
+		step(time.Second)
+		publish()
+		if got := sm.Pressure(); got != want {
+			t.Fatalf("pressure during decay = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestPublishReportsQueueDepth: publishes queued behind a held write
+// section must see the backpressure hint on their replies.
+func TestPublishReportsQueueDepth(t *testing.T) {
+	m := NewManager()
+	tree := aida.NewTree()
+	h, err := tree.H1D("/h", "x", "", 10, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Fill(1)
+	d, err := tree.FullDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PublishReply
+	if err := m.Publish(PublishArgs{SessionID: "s", WorkerID: "w0", Seq: 1, Delta: d}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Busy || rep.QueueDepth != 0 {
+		t.Fatalf("uncontended publish reported pressure: %+v", rep)
+	}
+
+	// Hold the session's write lock and stack publishes behind it.
+	s := m.lookup("s")
+	s.mu.Lock()
+	const waiters = 3
+	replies := make(chan PublishReply, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			wt := aida.NewTree()
+			wh, _ := wt.H1D("/h", "x", "", 10, 0, 10)
+			wh.Fill(float64(i))
+			wd, _ := wt.FullDelta()
+			var r PublishReply
+			if err := m.Publish(PublishArgs{
+				SessionID: "s", WorkerID: fmt.Sprintf("q%d", i), Seq: 1, Delta: wd,
+			}, &r); err != nil {
+				t.Error(err)
+			}
+			replies <- r
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pubWaiting.Load() < waiters {
+		if time.Now().After(deadline) {
+			s.mu.Unlock()
+			t.Fatalf("only %d publishes queued", s.pubWaiting.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Unlock()
+	maxDepth, busy := 0, false
+	for i := 0; i < waiters; i++ {
+		r := <-replies
+		if r.QueueDepth > maxDepth {
+			maxDepth = r.QueueDepth
+		}
+		busy = busy || r.Busy
+	}
+	// The first publish to win the lock ran with the other two still
+	// queued; it must have reported them.
+	if !busy || maxDepth < 1 {
+		t.Fatalf("no queued publish reported pressure (busy=%v maxDepth=%d)", busy, maxDepth)
+	}
+
+	// The hint rides FlushReply too (uncontended here: depth 0).
+	var fr FlushReply
+	if err := m.Flush(FlushArgs{SessionID: "s"}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Busy || fr.QueueDepth != 0 {
+		t.Fatalf("idle flush reported pressure: busy=%v depth=%d", fr.Busy, fr.QueueDepth)
+	}
+}

@@ -102,6 +102,13 @@ type PublishReply struct {
 	// the delta (unknown worker or a sequence gap) and needs a full
 	// snapshot next.
 	NeedFull bool
+	// QueueDepth / Busy are the upstream backpressure hint: how many
+	// other publishes were queued behind this one on the session's write
+	// section when it completed. SubMergers widen their flush interval
+	// while the parent tier reports pressure, trading freshness for
+	// larger batches instead of piling onto a contended session.
+	QueueDepth int
+	Busy       bool
 }
 
 // PollArgs is the client's update request.
@@ -127,6 +134,15 @@ type WorkerProgress struct {
 type PollReply struct {
 	// Version is the current session version; poll with it next time.
 	Version int64
+	// Epoch identifies this incarnation of the session's merged state.
+	// It survives a shard handoff (the import carries it) but changes
+	// when the state is rebuilt from scratch — a fault re-home after a
+	// shard death. A client seeing a new epoch must discard its mirror
+	// and full-resync: the new incarnation's version counter is
+	// unrelated to the old one and may have already overtaken it, so
+	// version regression alone cannot signal the rebuild. 0 for unknown
+	// sessions.
+	Epoch int64
 	// Changed reports whether Entries carries anything new.
 	Changed bool
 	// Entries are the merged objects that changed since SinceVersion
@@ -180,6 +196,12 @@ type sessionState struct {
 	// pub. All plain fields below are guarded by it.
 	mu sync.RWMutex
 
+	// epoch identifies this incarnation of the session (see
+	// PollReply.Epoch). Assigned at creation, overwritten by Import so
+	// handoffs keep it stable. Atomic because the lock-free poll fast
+	// path reads it while an Import may be writing.
+	epoch atomic.Int64
+
 	// pub is the atomic read snapshot (see polledState). Stored only at
 	// the end of a write section, before mu is released.
 	pub atomic.Pointer[polledState]
@@ -193,6 +215,14 @@ type sessionState struct {
 	cacheHits, cacheMisses atomic.Int64
 	indexPolls, walkPolls  atomic.Int64
 	fastPolls              atomic.Int64
+	// Cumulative traffic counters — what the shard balancer ranks
+	// session moves by. Publishes counts every snapshot upload routed
+	// here, polls every client read (fast path included).
+	publishes, polls atomic.Int64
+	// pubWaiting counts publishes currently inside or queued for the
+	// write section; its excess over 1 is the backpressure hint carried
+	// on PublishReply/FlushReply.
+	pubWaiting atomic.Int32
 
 	version int64
 	workers map[string]*workerState
@@ -277,6 +307,15 @@ func (m *Manager) lockCoarse() func() {
 	return m.coarseMu.Unlock
 }
 
+// sessionEpoch seeds session incarnation stamps: the process start
+// time in nanoseconds plus one per session created. Unique within a
+// process by construction and across manager processes with
+// overwhelming probability — enough for "did the state get rebuilt
+// under me" detection.
+var sessionEpoch atomic.Int64
+
+func init() { sessionEpoch.Store(time.Now().UnixNano()) }
+
 func newSessionState() *sessionState {
 	s := &sessionState{
 		workers:    make(map[string]*workerState),
@@ -284,6 +323,7 @@ func newSessionState() *sessionState {
 		objVersion: make(map[string]int64),
 		gone:       make(map[string]int64),
 	}
+	s.epoch.Store(sessionEpoch.Add(1))
 	s.pub.Store(&polledState{})
 	return s
 }
@@ -336,6 +376,17 @@ func (s *sessionState) clearFrames() {
 		s.frames.Delete(k)
 		return true
 	})
+}
+
+// reportPressure stamps the backpressure hint: publishes queued behind
+// this one right now. Runs (via defer) while the write lock and the
+// caller's own pubWaiting slot are still held, so the self-count is
+// excluded exactly once.
+func (s *sessionState) reportPressure(reply *PublishReply) {
+	if d := int(s.pubWaiting.Load()) - 1; d > 0 {
+		reply.QueueDepth = d
+		reply.Busy = true
+	}
 }
 
 // worker returns the state for workerID, creating (and index-inserting)
@@ -441,8 +492,12 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 		return fmt.Errorf("merge: bad snapshot from %s: %w", args.WorkerID, err)
 	}
 	s := m.session(args.SessionID)
+	s.publishes.Add(1)
+	s.pubWaiting.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.pubWaiting.Add(-1)
+	defer s.reportPressure(reply)
 	if s.sealed.Load() {
 		// Mid-handoff: the session is frozen for export. Refusing with
 		// NeedFull makes the producer re-baseline — by the time it does,
@@ -487,8 +542,12 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 		objs[i] = obj
 	}
 	s := m.session(args.SessionID)
+	s.publishes.Add(1)
+	s.pubWaiting.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.pubWaiting.Add(-1)
+	defer s.reportPressure(reply)
 	reply.Version = s.version
 	if s.sealed.Load() {
 		// See Publish: frozen for handoff, ask for a re-baseline.
@@ -718,6 +777,7 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 	if s == nil {
 		return nil
 	}
+	s.polls.Add(1)
 	if !args.Full && !m.CoarseLocking {
 		// Lock-free fast path: nothing changed since the client's last
 		// poll. The snapshot pointer is stored only after a write
@@ -726,6 +786,7 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 		// observed until its commit.
 		if ps := s.pub.Load(); ps.version == args.SinceVersion {
 			reply.Version = ps.version
+			reply.Epoch = s.epoch.Load()
 			reply.Progress = ps.progress
 			s.fastPolls.Add(1)
 			return nil
@@ -736,6 +797,7 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 	}
 	defer s.mu.RUnlock()
 	reply.Version = s.version
+	reply.Epoch = s.epoch.Load()
 	reply.Progress = s.pub.Load().progress
 	for _, l := range s.logs {
 		if l.version > args.SinceVersion {
@@ -912,6 +974,12 @@ type FlushState struct {
 	Version     int64
 	Done, Total int64
 	Logs        []string
+	// Busy / QueueDepth are the backpressure hint: publishes queued for
+	// this session's write section while the flush was assembled. A
+	// SubMerger pulling from a contended tier widens its own flush
+	// interval in response.
+	Busy       bool
+	QueueDepth int
 }
 
 // FlushState assembles a forwardable delta of everything that changed
@@ -928,6 +996,12 @@ func (m *Manager) FlushState(sessionID string, since, logSince int64) (FlushStat
 	defer s.mu.Unlock()
 	if err := s.remerge(); err != nil {
 		return fs, err
+	}
+	if d := int(s.pubWaiting.Load()); d > 0 {
+		// Publishes are queued behind this flush's write lock: surface
+		// the contention to whoever forwards our state upstream.
+		fs.QueueDepth = d
+		fs.Busy = true
 	}
 	fs.Version = s.version
 	for _, id := range s.workerIDs {
@@ -1015,6 +1089,9 @@ type LogLine struct {
 type ExportReply struct {
 	Found   bool
 	Version int64
+	// Epoch is the session's incarnation stamp; the importer adopts it
+	// so a handoff does not look like a rebuild to polling clients.
+	Epoch   int64
 	Workers []WorkerSnapshot
 	Removed []RemovedPath
 	Logs    []LogLine
@@ -1037,6 +1114,7 @@ func (m *Manager) Export(args ExportArgs, reply *ExportReply) error {
 	}
 	reply.Found = true
 	reply.Version = s.version
+	reply.Epoch = s.epoch.Load()
 	for _, id := range s.workerIDs {
 		w := s.workers[id]
 		ws := WorkerSnapshot{WorkerID: id, Seq: w.seq, Done: w.done, Total: w.total}
@@ -1066,9 +1144,12 @@ func (m *Manager) Export(args ExportArgs, reply *ExportReply) error {
 type ImportArgs struct {
 	SessionID string
 	Version   int64
-	Workers   []WorkerSnapshot
-	Removed   []RemovedPath
-	Logs      []LogLine
+	// Epoch, when non-zero, carries the exported incarnation stamp
+	// across the handoff (see ExportReply.Epoch).
+	Epoch   int64
+	Workers []WorkerSnapshot
+	Removed []RemovedPath
+	Logs    []LogLine
 }
 
 // ImportReply acknowledges an import.
@@ -1106,6 +1187,9 @@ func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
 	defer s.mu.Unlock()
 	if args.Version > s.version {
 		s.version = args.Version
+	}
+	if args.Epoch != 0 {
+		s.epoch.Store(args.Epoch)
 	}
 	s.sealed.Store(false)
 	s.workers = make(map[string]*workerState)
@@ -1163,6 +1247,9 @@ type StatsReply struct {
 	Sealed                 bool
 	// FastPolls counts polls answered by the lock-free quiescent path.
 	FastPolls int64
+	// Publishes / Polls are the session's cumulative traffic counters —
+	// the load signal the shard balancer ranks migration candidates by.
+	Publishes, Polls int64
 }
 
 // Stats reports a session's version and cache counters (RMI-compatible).
@@ -1181,6 +1268,8 @@ func (m *Manager) Stats(args StatsArgs, reply *StatsReply) error {
 	reply.Workers = len(ps.progress)
 	reply.Sealed = s.sealed.Load()
 	reply.FastPolls = s.fastPolls.Load()
+	reply.Publishes = s.publishes.Load()
+	reply.Polls = s.polls.Load()
 	return nil
 }
 
@@ -1258,19 +1347,40 @@ type SessionsArgs struct{}
 // SessionsReply lists the sessions a manager currently holds.
 type SessionsReply struct {
 	SessionIDs []string
+	// Loads carries each session's cumulative traffic counters, aligned
+	// with SessionIDs — one probe gives the balancer the whole shard's
+	// load picture instead of a Stats call per session.
+	Loads []SessionLoad
 }
 
-// SessionList enumerates this manager's sessions, sorted
-// (RMI-compatible) — an operator/diagnostic surface; the shard router
-// tracks placement itself and does not depend on it. Lock-free: a long
-// publish on any session never delays the enumeration.
+// SessionLoad is one session's traffic summary in a SessionList reply.
+type SessionLoad struct {
+	SessionID        string
+	Publishes, Polls int64
+	Version          int64
+}
+
+// SessionList enumerates this manager's sessions, sorted, with their
+// traffic counters (RMI-compatible) — the balancer's probe surface; the
+// shard router tracks placement itself and does not depend on it.
+// Lock-free: a long publish on any session never delays the
+// enumeration.
 func (m *Manager) SessionList(args SessionsArgs, reply *SessionsReply) error {
 	defer m.lockCoarse()()
-	m.sessions.Range(func(k, _ any) bool {
-		reply.SessionIDs = append(reply.SessionIDs, k.(string))
+	m.sessions.Range(func(k, v any) bool {
+		s := v.(*sessionState)
+		reply.Loads = append(reply.Loads, SessionLoad{
+			SessionID: k.(string),
+			Publishes: s.publishes.Load(), Polls: s.polls.Load(),
+			Version: s.pub.Load().version,
+		})
 		return true
 	})
-	sort.Strings(reply.SessionIDs)
+	sort.Slice(reply.Loads, func(i, j int) bool { return reply.Loads[i].SessionID < reply.Loads[j].SessionID })
+	reply.SessionIDs = make([]string, len(reply.Loads))
+	for i, l := range reply.Loads {
+		reply.SessionIDs[i] = l.SessionID
+	}
 	return nil
 }
 
@@ -1281,12 +1391,14 @@ type FlushArgs struct {
 	Since, LogSince int64
 }
 
-// FlushReply mirrors FlushState.
+// FlushReply mirrors FlushState, including the backpressure hint.
 type FlushReply struct {
 	Delta       *aida.DeltaState
 	Version     int64
 	Done, Total int64
 	Logs        []string
+	Busy        bool
+	QueueDepth  int
 }
 
 // Flush assembles a forwardable delta of everything that changed after
@@ -1298,6 +1410,7 @@ func (m *Manager) Flush(args FlushArgs, reply *FlushReply) error {
 	}
 	reply.Delta, reply.Version = fs.Delta, fs.Version
 	reply.Done, reply.Total, reply.Logs = fs.Done, fs.Total, fs.Logs
+	reply.Busy, reply.QueueDepth = fs.Busy, fs.QueueDepth
 	return nil
 }
 
@@ -1361,6 +1474,13 @@ type SubMerger struct {
 	// ForwardFull republishes the whole merged tree on every flush —
 	// the legacy behavior, retained as the A6 ablation baseline.
 	ForwardFull bool
+	// pressure is the upstream-backpressure level (0..maxFlushPressure):
+	// each flush whose reply reports Busy raises it one step, each clear
+	// reply lowers it, and the effective flush interval is the jittered
+	// base shifted left by it — a contended parent sees flushes at up to
+	// 1/8th the configured rate, each carrying a proportionally larger
+	// batch (deltas accumulate; nothing is dropped).
+	pressure int
 	// Background flush timer state (see FlushInterval).
 	timerOn bool
 	closed  bool
@@ -1517,11 +1637,19 @@ func (s *SubMerger) Flush() error {
 	return s.flushLocked()
 }
 
+// maxFlushPressure caps the backpressure widening at 2^3 = 8× the
+// configured flush interval.
+const maxFlushPressure = 3
+
 func (s *SubMerger) flushLocked() error {
 	if s.FlushInterval > 0 {
 		// Re-arm on every attempt (success or not) so a failing upstream
-		// doesn't turn each publish into a retry storm.
-		s.nextFlush = s.nowLocked().Add(s.jitteredIntervalLocked())
+		// doesn't turn each publish into a retry storm. Deferred so the
+		// deadline reflects the pressure level this flush's reply just
+		// taught us.
+		defer func() {
+			s.nextFlush = s.nowLocked().Add(s.jitteredIntervalLocked() << uint(s.pressure))
+		}()
 	}
 	var covered int64
 	reply, err := s.transport.Send(func(full bool) (Snapshot, error) {
@@ -1545,10 +1673,24 @@ func (s *SubMerger) flushLocked() error {
 	if err != nil {
 		return err
 	}
+	switch {
+	case reply.Busy && s.pressure < maxFlushPressure:
+		s.pressure++
+	case !reply.Busy && s.pressure > 0:
+		s.pressure--
+	}
 	if reply.Accepted {
 		s.lastFlushed = covered
 	}
 	return nil
+}
+
+// Pressure reports the current upstream-backpressure level (0 = none;
+// each level doubles the effective flush interval).
+func (s *SubMerger) Pressure() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pressure
 }
 
 // fullSnapshotLocked builds the legacy whole-tree flush payload.

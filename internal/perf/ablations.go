@@ -1048,3 +1048,474 @@ func RMIPipelineAblation(callers, calls int) ([]RMIPipelineRow, error) {
 	}
 	return out, nil
 }
+
+// A11 — placement as a subsystem. (a) RCU routing: the Router's owner
+// resolution is one atomic placement-table load vs the retained
+// mutex-per-call baseline — the fabric's last global serialization
+// point. (b) Load-weighted rebalancing: a Balancer probing lock-free
+// per-session publish+poll rates migrates the hottest sessions off an
+// overloaded shard. (c) Fault re-homing: a killed shard is detected by
+// the Health prober, its sessions re-home lazily, and the engines'
+// re-baseline restores every update.
+
+// RouteAblationRow is one routing mode's outcome.
+type RouteAblationRow struct {
+	Mode     string // "locked" or "rcu"
+	Shards   int
+	Sessions int
+	Pollers  int // per session
+	Polls    int // per poller
+	// PollsPerSec is aggregate quiescent-poll throughput — isolating
+	// the router's resolution cost, since the managers answer these
+	// from one atomic load.
+	PollsPerSec float64
+	WallMS      int64
+}
+
+// RouteAblation hammers a router of `shards` managers with
+// sessions×pollers goroutines, each issuing `polls` quiescent polls,
+// with owner resolution locked vs RCU.
+func RouteAblation(shards, sessions, pollers, polls int) ([]RouteAblationRow, error) {
+	var out []RouteAblationRow
+	for _, mode := range []string{"locked", "rcu"} {
+		router := shard.NewRouter(0)
+		router.LockedRouting = mode == "locked"
+		for i := 0; i < shards; i++ {
+			if err := router.AddShard(fmt.Sprintf("shard%02d", i), merge.NewManager()); err != nil {
+				return nil, err
+			}
+		}
+		versions := make([]int64, sessions)
+		for s := 0; s < sessions; s++ {
+			tree := aida.NewTree()
+			h, err := tree.H1D("/a", "h", "", 100, 0, 100)
+			if err != nil {
+				return nil, err
+			}
+			for f := 0; f < 200; f++ {
+				h.Fill(float64(f % 100))
+			}
+			d, err := tree.FullDelta()
+			if err != nil {
+				return nil, err
+			}
+			var rep merge.PublishReply
+			if err := router.Publish(merge.PublishArgs{
+				SessionID: fmt.Sprintf("sess-%02d", s), WorkerID: "w0", Seq: 1, Delta: d,
+			}, &rep); err != nil {
+				return nil, err
+			}
+			versions[s] = rep.Version
+		}
+		errs := make(chan error, sessions*pollers)
+		start := time.Now()
+		for s := 0; s < sessions; s++ {
+			sid := fmt.Sprintf("sess-%02d", s)
+			since := versions[s]
+			for p := 0; p < pollers; p++ {
+				go func() {
+					for i := 0; i < polls; i++ {
+						var reply merge.PollReply
+						if err := router.Poll(merge.PollArgs{SessionID: sid, SinceVersion: since}, &reply); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- nil
+				}()
+			}
+		}
+		var firstErr error
+		for i := 0; i < sessions*pollers; i++ {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		wall := time.Since(start)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		secs := wall.Seconds()
+		if secs <= 0 {
+			secs = 1e-9
+		}
+		out = append(out, RouteAblationRow{
+			Mode: mode, Shards: shards, Sessions: sessions, Pollers: pollers, Polls: polls,
+			PollsPerSec: float64(sessions*pollers*polls) / secs,
+			WallMS:      wall.Milliseconds(),
+		})
+	}
+	return out, nil
+}
+
+// RebalanceAblationRow is one rebalance mode's outcome.
+type RebalanceAblationRow struct {
+	Mode     string // "off" or "on"
+	Shards   int
+	Sessions int
+	Hot      int // hot sessions, all ring-homed on one shard
+	Rounds   int
+	// Moves is how many sessions the balancer migrated.
+	Moves int64
+	// HotShare is the hottest shard's share of the steady per-round load
+	// at the end of the run (1/shards would be perfect balance).
+	HotShare float64
+	// Diverged reports any session whose merged state no longer matches
+	// the flat single-manager reference — must stay false.
+	Diverged bool
+	WallMS   int64
+}
+
+// ablationWorker couples one session's fabric transport with a
+// flat-reference twin, so the placement ablations can verify merged
+// state bit-for-bit after moves and faults.
+type ablationWorker struct {
+	sid       string
+	tree, ref *aida.Tree
+	h, refH   *aida.Histogram1D
+	tr, refTr *merge.Transport
+	perRound  int64 // publishes+polls per round (the rebalance skew)
+}
+
+func newAblationWorker(sid string, fabric, flat merge.Publisher) (*ablationWorker, error) {
+	w := &ablationWorker{sid: sid, tree: aida.NewTree(), ref: aida.NewTree()}
+	var err error
+	if w.h, err = w.tree.H1D("/h", "x", "", 10, 0, 10); err != nil {
+		return nil, err
+	}
+	if w.refH, err = w.ref.H1D("/h", "x", "", 10, 0, 10); err != nil {
+		return nil, err
+	}
+	w.tr = merge.NewTransport(sid, "w0", fabric)
+	w.refTr = merge.NewTransport(sid, "w0", flat)
+	return w, nil
+}
+
+// sendSnapshot publishes tree's next delta through tr (a full baseline
+// when the transport's state machine asks for one).
+func sendSnapshot(tr *merge.Transport, tree *aida.Tree) error {
+	_, err := tr.Send(func(full bool) (merge.Snapshot, error) {
+		var d *aida.DeltaState
+		var err error
+		if full {
+			d, err = tree.FullDelta()
+		} else {
+			d, err = tree.Delta()
+		}
+		return merge.Snapshot{Delta: d}, err
+	})
+	return err
+}
+
+// RebalanceAblation drives `hot` sessions (all ring-homed on one shard)
+// at `skew`× the load of `cold` background sessions for `rounds`
+// rounds, with the balancer probing between rounds, rebalancing off vs
+// on.
+func RebalanceAblation(shards, hot, cold, rounds, skew int) ([]RebalanceAblationRow, error) {
+	var out []RebalanceAblationRow
+	for _, mode := range []string{"off", "on"} {
+		router := shard.NewRouter(0)
+		for i := 0; i < shards; i++ {
+			if err := router.AddShard(fmt.Sprintf("shard%02d", i), merge.NewManager()); err != nil {
+				return nil, err
+			}
+		}
+		flat := merge.NewManager()
+		hotShard := "shard00"
+		var workers []*ablationWorker
+		mk := func(sid string, perRound int64) error {
+			w, err := newAblationWorker(sid, router, flat)
+			if err != nil {
+				return err
+			}
+			w.perRound = perRound
+			workers = append(workers, w)
+			return nil
+		}
+		for i, n := 0, 0; n < hot; i++ {
+			sid := fmt.Sprintf("hot-%d", i)
+			if router.Placement(sid) != hotShard {
+				continue
+			}
+			if err := mk(sid, int64(skew)); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		for i := 0; i < cold; i++ {
+			if err := mk(fmt.Sprintf("cold-%d", i), 1); err != nil {
+				return nil, err
+			}
+		}
+		b := shard.NewBalancer(router)
+		b.DisableRebalance = mode == "off"
+		b.MaxMoves = 2
+		b.Band = 0.25
+		start := time.Now()
+		for _, w := range workers { // baseline
+			w.h.Fill(1)
+			w.refH.Fill(1)
+			if err := sendSnapshot(w.tr, w.tree); err != nil {
+				return nil, err
+			}
+			if err := sendSnapshot(w.refTr, w.ref); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := b.RunOnce(); err != nil { // warm the rate window
+			return nil, err
+		}
+		for r := 0; r < rounds; r++ {
+			for _, w := range workers {
+				for k := int64(0); k < w.perRound; k++ {
+					w.h.Fill(float64(r % 10))
+					w.refH.Fill(float64(r % 10))
+					if err := sendSnapshot(w.tr, w.tree); err != nil {
+						return nil, err
+					}
+					if err := sendSnapshot(w.refTr, w.ref); err != nil {
+						return nil, err
+					}
+					var reply merge.PollReply
+					if err := router.Poll(merge.PollArgs{SessionID: w.sid}, &reply); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := b.RunOnce(); err != nil {
+				return nil, err
+			}
+		}
+		wall := time.Since(start)
+		// Final load distribution from the drivers' steady rates and the
+		// router's final placements.
+		perShard := map[string]int64{}
+		var total int64
+		for _, w := range workers {
+			perShard[router.Placement(w.sid)] += w.perRound
+			total += w.perRound
+		}
+		var hottest int64
+		for _, l := range perShard {
+			if l > hottest {
+				hottest = l
+			}
+		}
+		row := RebalanceAblationRow{
+			Mode: mode, Shards: shards, Sessions: len(workers), Hot: hot, Rounds: rounds,
+			Moves:    b.Moves(),
+			HotShare: float64(hottest) / float64(total),
+			WallMS:   wall.Milliseconds(),
+		}
+		for _, w := range workers {
+			same, err := statesMatch(router, flat, w.sid)
+			if err != nil {
+				return nil, err
+			}
+			if !same {
+				row.Diverged = true
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// statesMatch compares a session's full merged state between two poll
+// surfaces.
+func statesMatch(a, b interface {
+	Poll(args merge.PollArgs, reply *merge.PollReply) error
+}, sid string) (bool, error) {
+	read := func(p interface {
+		Poll(args merge.PollArgs, reply *merge.PollReply) error
+	}) (map[string][]byte, error) {
+		var reply merge.PollReply
+		if err := p.Poll(merge.PollArgs{SessionID: sid, Full: true}, &reply); err != nil {
+			return nil, err
+		}
+		out := make(map[string][]byte, len(reply.Entries))
+		for _, e := range reply.Entries {
+			st, err := e.State()
+			if err != nil {
+				return nil, err
+			}
+			buf, err := aida.AppendObjectState(nil, &st)
+			if err != nil {
+				return nil, err
+			}
+			out[e.Path] = buf
+		}
+		return out, nil
+	}
+	sa, err := read(a)
+	if err != nil {
+		return false, err
+	}
+	sb, err := read(b)
+	if err != nil {
+		return false, err
+	}
+	if len(sa) != len(sb) {
+		return false, nil
+	}
+	for k, v := range sa {
+		if !bytes.Equal(sb[k], v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// faultShard wraps a Manager and fails every call once killed — the
+// crash model for the recovery ablation.
+type faultShard struct {
+	inner *merge.Manager
+	dead  atomic.Bool
+}
+
+var errShardDown = fmt.Errorf("perf: injected shard death")
+
+func (f *faultShard) call(do func() error) error {
+	if f.dead.Load() {
+		return errShardDown
+	}
+	return do()
+}
+
+func (f *faultShard) Publish(a merge.PublishArgs, r *merge.PublishReply) error {
+	return f.call(func() error { return f.inner.Publish(a, r) })
+}
+func (f *faultShard) Poll(a merge.PollArgs, r *merge.PollReply) error {
+	return f.call(func() error { return f.inner.Poll(a, r) })
+}
+func (f *faultShard) Reset(a merge.ResetArgs, r *merge.ResetReply) error {
+	return f.call(func() error { return f.inner.Reset(a, r) })
+}
+func (f *faultShard) Flush(a merge.FlushArgs, r *merge.FlushReply) error {
+	return f.call(func() error { return f.inner.Flush(a, r) })
+}
+func (f *faultShard) Export(a merge.ExportArgs, r *merge.ExportReply) error {
+	return f.call(func() error { return f.inner.Export(a, r) })
+}
+func (f *faultShard) Import(a merge.ImportArgs, r *merge.ImportReply) error {
+	return f.call(func() error { return f.inner.Import(a, r) })
+}
+func (f *faultShard) Stats(a merge.StatsArgs, r *merge.StatsReply) error {
+	return f.call(func() error { return f.inner.Stats(a, r) })
+}
+func (f *faultShard) Seal(a merge.SealArgs, r *merge.SealReply) error {
+	return f.call(func() error { return f.inner.Seal(a, r) })
+}
+func (f *faultShard) DropSession(a merge.DropArgs, r *merge.DropReply) error {
+	return f.call(func() error { return f.inner.DropSession(a, r) })
+}
+func (f *faultShard) SessionList(a merge.SessionsArgs, r *merge.SessionsReply) error {
+	return f.call(func() error { return f.inner.SessionList(a, r) })
+}
+
+// RecoveryAblationRow is the kill-a-shard outcome.
+type RecoveryAblationRow struct {
+	Shards   int
+	Sessions int
+	// Killed names the murdered shard; KilledSessions how many sessions
+	// it owned.
+	Killed         string
+	KilledSessions int
+	// ProbeRounds is how many health rounds detection took (the
+	// configured threshold, by construction).
+	ProbeRounds int
+	// Recovered counts sessions whose post-recovery state matches the
+	// flat reference exactly; Lost reports any that do not.
+	Recovered int
+	Lost      bool
+	WallMS    int64
+}
+
+// RecoveryAblation publishes `rounds` rounds across `sessions`
+// sessions, kills the shard owning the most, lets the Health prober
+// mark it dead, and verifies every session's state after the engines
+// re-baseline onto the surviving shards.
+func RecoveryAblation(shards, sessions, rounds int) (RecoveryAblationRow, error) {
+	router := shard.NewRouter(0)
+	faults := map[string]*faultShard{}
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("shard%02d", i)
+		fs := &faultShard{inner: merge.NewManager()}
+		faults[name] = fs
+		if err := router.AddShard(name, fs); err != nil {
+			return RecoveryAblationRow{}, err
+		}
+	}
+	flat := merge.NewManager()
+	var workers []*ablationWorker
+	for s := 0; s < sessions; s++ {
+		w, err := newAblationWorker(fmt.Sprintf("sess-%02d", s), router, flat)
+		if err != nil {
+			return RecoveryAblationRow{}, err
+		}
+		workers = append(workers, w)
+	}
+	start := time.Now()
+	publishAll := func(x float64, tolerateFabricErr bool) error {
+		for _, w := range workers {
+			w.h.Fill(x)
+			w.refH.Fill(x)
+			if err := sendSnapshot(w.tr, w.tree); err != nil && !tolerateFabricErr {
+				return err
+			}
+			if err := sendSnapshot(w.refTr, w.ref); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for r := 0; r < rounds; r++ {
+		if err := publishAll(float64(r), false); err != nil {
+			return RecoveryAblationRow{}, err
+		}
+	}
+	// Kill the shard owning the most sessions.
+	owned := map[string]int{}
+	for _, w := range workers {
+		owned[router.Placement(w.sid)]++
+	}
+	victim, max := "", -1
+	for name, n := range owned {
+		if n > max {
+			victim, max = name, n
+		}
+	}
+	faults[victim].dead.Store(true)
+	row := RecoveryAblationRow{
+		Shards: shards, Sessions: sessions, Killed: victim, KilledSessions: max,
+	}
+	h := shard.NewHealth(router)
+	h.Threshold = 2
+	for len(router.DeadShards()) == 0 {
+		h.RunOnce()
+		row.ProbeRounds++
+		if row.ProbeRounds > 10 {
+			return row, fmt.Errorf("perf: health prober never detected the killed shard")
+		}
+	}
+	// Recovery: the first post-kill publish of an orphaned session draws
+	// NeedFull from its new home; the next carries the full re-baseline.
+	for r := 0; r < rounds; r++ {
+		if err := publishAll(float64(10+r), true); err != nil {
+			return row, err
+		}
+	}
+	for _, w := range workers {
+		same, err := statesMatch(router, flat, w.sid)
+		if err != nil {
+			return row, err
+		}
+		if same {
+			row.Recovered++
+		} else {
+			row.Lost = true
+		}
+	}
+	row.WallMS = time.Since(start).Milliseconds()
+	return row, nil
+}

@@ -502,6 +502,14 @@ type Status struct {
 	// unsharded or unadvertised). Heavy pollers dial it and skip the
 	// router hop.
 	ShardAddr string
+	// PlacementGen is the fabric's placement-table generation (0 when
+	// unsharded): it bumps on every topology edit, rebalance move, or
+	// fault eviction, so a client can tell "the fabric changed under me"
+	// from "nothing moved" without diffing placements.
+	PlacementGen uint64
+	// DeadShards lists fabric shards the health prober currently marks
+	// unreachable (nil when unsharded or all healthy).
+	DeadShards []string
 }
 
 // Status reports the session and per-engine state — the client's "hosts
@@ -540,6 +548,14 @@ func (s *Service) Status(sessionID string) (Status, error) {
 	st.ResultVersion = s.cfg.Merge.Version(sess.ID)
 	st.PollCacheHits, st.PollCacheMisses = s.cfg.Merge.CacheStats(sess.ID)
 	switch p := s.cfg.Merge.(type) {
+	case interface {
+		PlacementInfo(string) (string, string)
+		Generation() uint64
+		DeadShards() []string
+	}:
+		st.Shard, st.ShardAddr = p.PlacementInfo(sess.ID)
+		st.PlacementGen = p.Generation()
+		st.DeadShards = p.DeadShards()
 	case interface {
 		PlacementInfo(string) (string, string)
 	}:

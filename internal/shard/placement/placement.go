@@ -1,0 +1,300 @@
+// Package placement is the shard fabric's routing brain, extracted
+// from the Router so placement is a first-class subsystem rather than a
+// field under a mutex. One immutable Table holds everything a call
+// needs to find its shard — session placements, the consistent-hash
+// ring, shard backends, advertised endpoints, and fault marks — and a
+// Store swaps whole tables through one atomic.Pointer, RCU-style:
+//
+//   - Readers (every Publish/Poll/Reset resolution) Load the current
+//     table and walk plain maps with zero locks and zero retries; a
+//     concurrent topology edit is simply not observed until its swap.
+//   - Writers (shard add/remove, first-touch placement, rebalance
+//     flips, fault evictions) clone the table under the store mutex,
+//     edit the clone, and publish it with a generation bump.
+//
+// This removes the fabric's last global serialization point: after the
+// managers went per-session concurrent, the Router's single mutex was
+// the one lock every call still funneled through.
+package placement
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is one session's placement.
+type Entry struct {
+	// Shard names the session's current owner.
+	Shard string
+	// Pinned marks a placement made by the load balancer rather than
+	// ring position: ring edits leave it alone (only losing its shard
+	// re-homes it), so a deliberate hot-session move is not silently
+	// undone by the next topology change.
+	Pinned bool
+}
+
+// Table is one immutable placement snapshot, parameterized by the
+// backend handle type (the Router instantiates it with its Backend
+// interface). Readers obtained it from Store.Load and must not mutate
+// it; the mutators below are for the cloned table inside Store.Update
+// only.
+type Table[B any] struct {
+	gen      uint64
+	ring     *Ring
+	sessions map[string]Entry
+	backends map[string]B
+	addrs    map[string]string
+	dead     map[string]struct{}
+}
+
+func newTable[B any](vnodes int) *Table[B] {
+	return &Table[B]{
+		ring:     NewRing(vnodes),
+		sessions: make(map[string]Entry),
+		backends: make(map[string]B),
+		addrs:    make(map[string]string),
+		dead:     make(map[string]struct{}),
+	}
+}
+
+func (t *Table[B]) clone() *Table[B] {
+	cp := &Table[B]{
+		gen:      t.gen + 1,
+		ring:     t.ring.Clone(),
+		sessions: make(map[string]Entry, len(t.sessions)),
+		backends: make(map[string]B, len(t.backends)),
+		addrs:    make(map[string]string, len(t.addrs)),
+		dead:     make(map[string]struct{}, len(t.dead)),
+	}
+	for k, v := range t.sessions {
+		cp.sessions[k] = v
+	}
+	for k, v := range t.backends {
+		cp.backends[k] = v
+	}
+	for k, v := range t.addrs {
+		cp.addrs[k] = v
+	}
+	for k := range t.dead {
+		cp.dead[k] = struct{}{}
+	}
+	return cp
+}
+
+// ------------------------------------------------------------ reads
+
+// Gen is the table generation: 0 for the empty initial table, bumped by
+// every published edit (topology change, first-touch placement,
+// rebalance flip, fault eviction). Surfaced through session status so
+// clients can tell "the fabric changed under me" from "nothing moved".
+func (t *Table[B]) Gen() uint64 { return t.gen }
+
+// Lookup returns a session's recorded placement.
+func (t *Table[B]) Lookup(sessionID string) (Entry, bool) {
+	e, ok := t.sessions[sessionID]
+	return e, ok
+}
+
+// Home is the shard the ring assigns a session, skipping shards marked
+// dead ("" when the ring is empty or everything is dead). Unplaced
+// sessions route here; a session evicted by a fault re-homes here on
+// its next touch.
+func (t *Table[B]) Home(sessionID string) string {
+	if len(t.dead) == 0 {
+		return t.ring.Owner(sessionID)
+	}
+	return t.ring.OwnerFunc(sessionID, func(s string) bool {
+		_, d := t.dead[s]
+		return !d
+	})
+}
+
+// Backend returns a shard's handle.
+func (t *Table[B]) Backend(shard string) (B, bool) {
+	b, ok := t.backends[shard]
+	return b, ok
+}
+
+// HasBackend reports whether a shard handle is registered (it may
+// already be off the ring mid-removal).
+func (t *Table[B]) HasBackend(shard string) bool {
+	_, ok := t.backends[shard]
+	return ok
+}
+
+// InRing reports ring membership.
+func (t *Table[B]) InRing(shard string) bool { return t.ring.Has(shard) }
+
+// RingSize reports the ring member count.
+func (t *Table[B]) RingSize() int { return t.ring.Size() }
+
+// Addr returns a shard's advertised RMI endpoint ("" when none, or when
+// the shard is gone — a departed shard never leaks a stale endpoint).
+func (t *Table[B]) Addr(shard string) string {
+	if !t.HasBackend(shard) {
+		return ""
+	}
+	return t.addrs[shard]
+}
+
+// AddrEntry returns the raw recorded endpoint for a shard, whether or
+// not it currently has a backend (an operator may record the endpoint
+// before the shard joins) — the no-op check for SetAddr callers.
+func (t *Table[B]) AddrEntry(shard string) string { return t.addrs[shard] }
+
+// IsDead reports whether the health prober marked a shard unreachable.
+func (t *Table[B]) IsDead(shard string) bool {
+	_, ok := t.dead[shard]
+	return ok
+}
+
+// Shards lists ring members, sorted.
+func (t *Table[B]) Shards() []string { return t.ring.Shards() }
+
+// DeadShards lists the shards currently marked dead, sorted.
+func (t *Table[B]) DeadShards() []string {
+	if len(t.dead) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(t.dead))
+	for s := range t.dead {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sessions lists every placed session, sorted.
+func (t *Table[B]) Sessions() []string {
+	out := make([]string, 0, len(t.sessions))
+	for id := range t.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EachSession visits every placement (iteration order unspecified).
+func (t *Table[B]) EachSession(f func(sessionID string, e Entry)) {
+	for id, e := range t.sessions {
+		f(id, e)
+	}
+}
+
+// EachBackend visits every registered shard handle.
+func (t *Table[B]) EachBackend(f func(shard string, b B)) {
+	for name, b := range t.backends {
+		f(name, b)
+	}
+}
+
+// -------------------------------------------------------- mutations
+//
+// Valid only on the cloned table passed to a Store.Update edit
+// function; calling them on a table obtained from Load is a data race.
+
+// Place records a session's owner.
+func (t *Table[B]) Place(sessionID, shard string, pinned bool) {
+	t.sessions[sessionID] = Entry{Shard: shard, Pinned: pinned}
+}
+
+// Evict forgets a session's placement (teardown, or a fault eviction —
+// the session re-homes by ring position on its next touch).
+func (t *Table[B]) Evict(sessionID string) {
+	delete(t.sessions, sessionID)
+}
+
+// AddShard registers a backend and joins it to the ring. A re-added
+// shard starts alive.
+func (t *Table[B]) AddShard(shard string, b B) {
+	t.backends[shard] = b
+	t.ring.Add(shard)
+	delete(t.dead, shard)
+}
+
+// RemoveFromRing takes a shard off the ring while keeping its backend —
+// the first half of a removal, so its sessions can still be exported.
+func (t *Table[B]) RemoveFromRing(shard string) {
+	t.ring.Remove(shard)
+}
+
+// DropShard forgets a shard entirely: backend, advertised endpoint,
+// fault mark. Clearing addrs here is what keeps PlacementInfo from ever
+// reporting a departed shard's endpoint.
+func (t *Table[B]) DropShard(shard string) {
+	t.ring.Remove(shard)
+	delete(t.backends, shard)
+	delete(t.addrs, shard)
+	delete(t.dead, shard)
+}
+
+// SetAddr records a shard's RMI endpoint ("" clears it).
+func (t *Table[B]) SetAddr(shard, addr string) {
+	if addr == "" {
+		delete(t.addrs, shard)
+		return
+	}
+	t.addrs[shard] = addr
+}
+
+// SetDead marks or clears a shard's fault state.
+func (t *Table[B]) SetDead(shard string, on bool) {
+	if on {
+		t.dead[shard] = struct{}{}
+		return
+	}
+	delete(t.dead, shard)
+}
+
+// EvictSessionsOn drops every placement pointing at a shard and returns
+// the evicted session IDs, sorted — the fault path: the state is gone,
+// so each session lazily re-homes on its next touch and its engines
+// rebuild it through the normal NeedFull re-baseline.
+func (t *Table[B]) EvictSessionsOn(shard string) []string {
+	var out []string
+	for id, e := range t.sessions {
+		if e.Shard == shard {
+			out = append(out, id)
+			delete(t.sessions, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ------------------------------------------------------------ store
+
+// Store publishes Tables RCU-style: Load is one atomic pointer read,
+// Update serializes writers and swaps in an edited clone.
+type Store[B any] struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Table[B]]
+}
+
+// NewStore creates a store holding an empty table (vnodes <= 0 selects
+// the default virtual-node count).
+func NewStore[B any](vnodes int) *Store[B] {
+	s := &Store[B]{}
+	s.cur.Store(newTable[B](vnodes))
+	return s
+}
+
+// Load returns the current table. Never nil, never blocks.
+func (s *Store[B]) Load() *Table[B] { return s.cur.Load() }
+
+// Update clones the current table, applies edit to the clone, and
+// publishes it iff edit returns true (false discards the clone without
+// a generation bump — a recognized no-op). Returns the table readers
+// see afterwards. Edits run under the store mutex, so they see every
+// prior edit and may derive decisions from the clone's state.
+func (s *Store[B]) Update(edit func(t *Table[B]) bool) *Table[B] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.cur.Load().clone()
+	if !edit(next) {
+		return s.cur.Load()
+	}
+	s.cur.Store(next)
+	return next
+}

@@ -1,121 +1,12 @@
-// Package shard turns the single AIDA merge manager into a horizontally
-// scalable fabric: sessions are spread across multiple merge.Manager
-// shards by consistent hashing on the session ID, behind a Router that
-// speaks exactly the surface one Manager spoke — engines, SubMergers,
-// polling clients, and the session service cannot tell the difference.
-//
-// The paper's architecture funnels every session's publishes and polls
-// through one mediator, the ceiling DIAL's distributed-scheduler design
-// warns about for interactive analysis at scale. Here the root tier
-// becomes N managers (in-process or behind RMI on other nodes), the
-// ring assigns each session a home shard, and ring changes migrate live
-// sessions with no lost updates: the old owner is sealed and exported,
-// the dump is imported into the new owner as a baseline at the same
-// version, routing flips, and any publish that raced the move is
-// answered NeedFull so its producer re-baselines on the new shard.
 package shard
 
-import (
-	"hash/fnv"
-	"sort"
-	"strconv"
-)
+import "github.com/ipa-grid/ipa/internal/shard/placement"
 
-// defaultVnodes is the virtual-node count per shard. 64 points per
-// shard keeps the expected load imbalance across shards in the few-
-// percent range without making ring edits noticeable.
-const defaultVnodes = 64
+// Ring is the consistent-hash ring, now owned by the placement
+// subsystem (it lives inside the immutable placement.Table so routing
+// reads need no lock); the alias keeps the fabric's original surface.
+type Ring = placement.Ring
 
-type ringPoint struct {
-	hash  uint64
-	shard string
-}
-
-// Ring is a consistent-hash ring with virtual nodes mapping session IDs
-// to shard names. Adding or removing one shard moves only ~1/N of the
-// key space. Not safe for concurrent use; the Router serializes access.
-type Ring struct {
-	vnodes int
-	points []ringPoint // sorted by hash
-	shards map[string]struct{}
-}
-
-// NewRing creates an empty ring (vnodes <= 0 selects the default).
-func NewRing(vnodes int) *Ring {
-	if vnodes <= 0 {
-		vnodes = defaultVnodes
-	}
-	return &Ring{vnodes: vnodes, shards: make(map[string]struct{})}
-}
-
-func hashKey(parts ...string) uint64 {
-	h := fnv.New64a()
-	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0})
-	}
-	// FNV avalanches poorly on short, similar keys (shard names differ in
-	// one digit), which skews vnode spacing badly; a splitmix64 finalizer
-	// decorrelates the ring positions.
-	x := h.Sum64()
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
-// Add inserts a shard's virtual nodes (no-op if already present).
-func (r *Ring) Add(shard string) {
-	if _, ok := r.shards[shard]; ok {
-		return
-	}
-	r.shards[shard] = struct{}{}
-	for i := 0; i < r.vnodes; i++ {
-		r.points = append(r.points, ringPoint{hash: hashKey(shard, strconv.Itoa(i)), shard: shard})
-	}
-	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
-}
-
-// Remove deletes a shard's virtual nodes (no-op if absent).
-func (r *Ring) Remove(shard string) {
-	if _, ok := r.shards[shard]; !ok {
-		return
-	}
-	delete(r.shards, shard)
-	kept := r.points[:0]
-	for _, p := range r.points {
-		if p.shard != shard {
-			kept = append(kept, p)
-		}
-	}
-	r.points = kept
-}
-
-// Owner maps a session ID to its home shard ("" on an empty ring): the
-// first virtual node at or after the key's hash, wrapping around.
-func (r *Ring) Owner(sessionID string) string {
-	if len(r.points) == 0 {
-		return ""
-	}
-	h := hashKey(sessionID)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
-	}
-	return r.points[i].shard
-}
-
-// Shards lists the member shard names, sorted.
-func (r *Ring) Shards() []string {
-	out := make([]string, 0, len(r.shards))
-	for s := range r.shards {
-		out = append(out, s)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Size reports the member count.
-func (r *Ring) Size() int { return len(r.shards) }
+// NewRing creates an empty ring (vnodes <= 0 selects the default
+// virtual-node count).
+func NewRing(vnodes int) *Ring { return placement.NewRing(vnodes) }

@@ -1,3 +1,26 @@
+// Package shard turns the single AIDA merge manager into a horizontally
+// scalable fabric: sessions are spread across multiple merge.Manager
+// shards by consistent hashing on the session ID, behind a Router that
+// speaks exactly the surface one Manager spoke — engines, SubMergers,
+// polling clients, and the session service cannot tell the difference.
+//
+// The paper's architecture funnels every session's publishes and polls
+// through one mediator, the ceiling DIAL's distributed-scheduler design
+// warns about for interactive analysis at scale. Here the root tier
+// becomes N managers (in-process or behind RMI on other nodes), an
+// immutable placement table (internal/shard/placement) assigns each
+// session a home shard, and ring changes migrate live sessions with no
+// lost updates: the old owner is sealed and exported, the dump is
+// imported into the new owner as a baseline at the same version,
+// routing flips, and any publish that raced the move is answered
+// NeedFull so its producer re-baselines on the new shard.
+//
+// Placement is a subsystem of its own (ablation A11): routing reads are
+// lock-free RCU loads of the placement table (LockedRouting retains the
+// old mutex-per-call baseline), a Balancer migrates the hottest
+// sessions off overloaded shards by observed publish+poll rates, and a
+// Health prober marks unreachable shards dead so their sessions re-home
+// lazily from their engines' next re-baseline.
 package shard
 
 import (
@@ -6,9 +29,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/shard/placement"
 )
 
 // Backend is one merge shard as the router sees it: the engine/client
@@ -28,38 +53,43 @@ type Backend interface {
 	SessionList(args merge.SessionsArgs, reply *merge.SessionsReply) error
 }
 
-// ErrNoShards rejects routing on an empty fabric.
+// ErrNoShards rejects routing on an empty fabric (or one whose every
+// shard is marked dead).
 var ErrNoShards = errors.New("shard: router has no shards")
-
-type route struct {
-	shard string
-}
 
 // Router fronts a set of Manager shards behind the single-manager
 // surface (merge.Service plus the handoff RPCs). Every call is routed
 // to the session's home shard, assigned by the consistent-hash ring on
-// first touch and moved only by explicit handoff, so a ring edit never
-// silently strands a live session's state on its old owner.
+// first touch and moved only by explicit handoff or fault eviction, so
+// a ring edit never silently strands a live session's state on its old
+// owner.
 //
 // The RPC methods (Publish/Poll/Reset) have RMI-compatible signatures:
 // registering the Router on an rmi.Server under the AIDA manager's name
 // gives remote engines and clients a sharded fabric transparently.
 //
-// Safe for concurrent use. Routing holds the lock only to resolve the
-// owner; the shard call itself runs unlocked, so a slow shard does not
-// stall the fabric. Handoffs (AddShard/RemoveShard) run concurrently
-// with traffic: a publish that races the migration lands on the sealed
-// old owner, is answered NeedFull, and its producer re-baselines on the
-// new owner — nothing is lost and nothing is double-merged.
+// Safe for concurrent use. Routing is lock-free: it loads the current
+// placement table (one atomic pointer read) and resolves the owner from
+// immutable maps, so any number of publishes and polls resolve
+// concurrently and a slow shard or a topology edit never stalls the
+// fabric. Only topology edits, first-touch placements, rebalance
+// flips, and fault evictions take the write path (clone-and-swap under
+// the store mutex). Handoffs (AddShard/RemoveShard/MoveSession) run
+// concurrently with traffic: a publish that races the migration lands
+// on the sealed old owner, is answered NeedFull, and its producer
+// re-baselines on the new owner — nothing is lost and nothing is
+// double-merged.
 type Router struct {
-	mu       sync.Mutex
-	ring     *Ring
-	backends map[string]Backend
-	place    map[string]*route // sessionID → current owner
-	addrs    map[string]string // shard → RMI endpoint serving it
-	handoffs int64
+	// LockedRouting serializes every owner resolution behind one mutex —
+	// the pre-A11 behavior, retained as the ablation baseline. Set
+	// before first use.
+	LockedRouting bool
+	lockedMu      sync.Mutex
 
-	// topoMu serializes ring edits (and their handoffs) against each
+	table    *placement.Store[Backend]
+	handoffs atomic.Int64
+
+	// topoMu serializes topology edits (and their handoffs) against each
 	// other without blocking routing.
 	topoMu sync.Mutex
 }
@@ -67,37 +97,70 @@ type Router struct {
 // NewRouter creates an empty router (vnodes <= 0 selects the default
 // virtual-node count).
 func NewRouter(vnodes int) *Router {
-	return &Router{
-		ring:     NewRing(vnodes),
-		backends: make(map[string]Backend),
-		place:    make(map[string]*route),
-		addrs:    make(map[string]string),
-	}
+	return &Router{table: placement.NewStore[Backend](vnodes)}
 }
 
-// owner resolves the home shard of a session. Only the publish path
-// records the placement (mirroring the Manager's rule that read-only
-// RPCs never allocate state): an unplaced session's reads route by ring
-// position, which is exactly where a later publish would place it.
+// Table exposes the current placement snapshot (diagnostics, balancer,
+// health prober). Treat it as read-only.
+func (r *Router) Table() *placement.Table[Backend] { return r.table.Load() }
+
+// Generation is the placement table's generation stamp: it bumps on
+// every topology edit, first-touch placement, rebalance move, or fault
+// eviction — surfaced through session status so clients can tell the
+// fabric changed under them.
+func (r *Router) Generation() uint64 { return r.table.Load().Gen() }
+
+// owner resolves the home shard of a session with no locks: one atomic
+// load of the placement table, then plain map reads. Only the publish
+// path records a first-touch placement (mirroring the Manager's rule
+// that read-only RPCs never allocate state): an unplaced session's
+// reads route by ring position, which is exactly where a later publish
+// would place it.
 func (r *Router) owner(sessionID string, place bool) (string, Backend, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	rt := r.place[sessionID]
-	if rt == nil {
-		home := r.ring.Owner(sessionID)
+	if r.LockedRouting {
+		r.lockedMu.Lock()
+		defer r.lockedMu.Unlock()
+	}
+	t := r.table.Load()
+	if e, ok := t.Lookup(sessionID); ok {
+		return backendOf(t, sessionID, e.Shard)
+	}
+	if !place {
+		home := t.Home(sessionID)
 		if home == "" {
 			return "", nil, ErrNoShards
 		}
-		rt = &route{shard: home}
-		if place {
-			r.place[sessionID] = rt
+		return backendOf(t, sessionID, home)
+	}
+	// First-touch publish: record the placement. This is the only read
+	// that takes the write path, once per session lifetime — the edit
+	// re-resolves inside the store lock so a racing topology change or a
+	// concurrent first touch cannot double-place.
+	var home string
+	t = r.table.Update(func(m *placement.Table[Backend]) bool {
+		if e, ok := m.Lookup(sessionID); ok {
+			home = e.Shard
+			return false
 		}
+		home = m.Home(sessionID)
+		if home == "" {
+			return false
+		}
+		m.Place(sessionID, home, false)
+		return true
+	})
+	if home == "" {
+		return "", nil, ErrNoShards
 	}
-	b := r.backends[rt.shard]
-	if b == nil {
-		return "", nil, fmt.Errorf("shard: session %s routed to unknown shard %q", sessionID, rt.shard)
+	return backendOf(t, sessionID, home)
+}
+
+func backendOf(t *placement.Table[Backend], sessionID, shard string) (string, Backend, error) {
+	b, ok := t.Backend(shard)
+	if !ok {
+		return "", nil, fmt.Errorf("shard: session %s routed to unknown shard %q", sessionID, shard)
 	}
-	return rt.shard, b, nil
+	return shard, b, nil
 }
 
 // Publish routes an engine/SubMerger snapshot to the session's shard
@@ -150,7 +213,7 @@ func isSealedErr(err error) bool {
 
 // FlushState assembles a forwardable delta from the session's shard —
 // the Manager surface SubMergers pull, so a merge tier can sit above a
-// sharded fabric too.
+// sharded fabric too. The shard's backpressure hint rides along.
 func (r *Router) FlushState(sessionID string, since, logSince int64) (merge.FlushState, error) {
 	_, b, err := r.owner(sessionID, false)
 	if err != nil {
@@ -163,6 +226,7 @@ func (r *Router) FlushState(sessionID string, since, logSince int64) (merge.Flus
 	return merge.FlushState{
 		Delta: reply.Delta, Version: reply.Version,
 		Done: reply.Done, Total: reply.Total, Logs: reply.Logs,
+		Busy: reply.Busy, QueueDepth: reply.QueueDepth,
 	}, nil
 }
 
@@ -190,29 +254,28 @@ func (r *Router) CacheStats(sessionID string) (hits, misses int64) {
 // past handoff can have left a stray (resynced-away) session copy on a
 // previous owner, and teardown is the moment to reap it.
 func (r *Router) Drop(sessionID string) {
-	r.mu.Lock()
-	backends := make([]Backend, 0, len(r.backends))
-	for _, b := range r.backends {
-		backends = append(backends, b)
-	}
-	delete(r.place, sessionID)
-	r.mu.Unlock()
-	for _, b := range backends {
+	t := r.table.Update(func(m *placement.Table[Backend]) bool {
+		if _, ok := m.Lookup(sessionID); !ok {
+			return false
+		}
+		m.Evict(sessionID)
+		return true
+	})
+	t.EachBackend(func(_ string, b Backend) {
 		var dr merge.DropReply
 		b.DropSession(merge.DropArgs{SessionID: sessionID}, &dr)
-	}
+	})
 }
 
 // Placement names the shard currently owning a session (by placement if
 // the session is live, by ring position otherwise; "" on an empty
 // fabric) — surfaced through session.Status.
 func (r *Router) Placement(sessionID string) string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if rt := r.place[sessionID]; rt != nil {
-		return rt.shard
+	t := r.table.Load()
+	if e, ok := t.Lookup(sessionID); ok {
+		return e.Shard
 	}
-	return r.ring.Owner(sessionID)
+	return t.Home(sessionID)
 }
 
 // SetShardAddr records the RMI endpoint whose ObjectName(shard)
@@ -220,100 +283,177 @@ func (r *Router) Placement(sessionID string) string {
 // clients learn it through PlacementInfo and dial the owning shard
 // directly, skipping the router hop on every poll.
 func (r *Router) SetShardAddr(shard, addr string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if addr == "" {
-		delete(r.addrs, shard)
-		return
-	}
-	r.addrs[shard] = addr
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		if m.AddrEntry(shard) == addr {
+			// Re-advertising the same endpoint must not bump the
+			// placement generation clients watch for real changes.
+			return false
+		}
+		m.SetAddr(shard, addr)
+		return true
+	})
 }
 
 // PlacementInfo names the shard currently owning a session together
 // with the RMI endpoint serving it (addr "" when the shard's endpoint
 // was never recorded — the client then keeps polling via the router).
+// A departed shard's endpoint is cleared with the shard, so this never
+// reports a stale address.
 func (r *Router) PlacementInfo(sessionID string) (shard, addr string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if rt := r.place[sessionID]; rt != nil {
-		return rt.shard, r.addrs[rt.shard]
+	t := r.table.Load()
+	if e, ok := t.Lookup(sessionID); ok {
+		return e.Shard, t.Addr(e.Shard)
 	}
-	home := r.ring.Owner(sessionID)
-	return home, r.addrs[home]
+	home := t.Home(sessionID)
+	return home, t.Addr(home)
 }
 
 // Shards lists the fabric members, sorted.
-func (r *Router) Shards() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.ring.Shards()
-}
+func (r *Router) Shards() []string { return r.table.Load().Shards() }
+
+// DeadShards lists the shards currently marked unreachable, sorted.
+func (r *Router) DeadShards() []string { return r.table.Load().DeadShards() }
 
 // Handoffs reports how many live-session migrations the router has
-// completed across all ring edits.
-func (r *Router) Handoffs() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.handoffs
-}
+// completed across all ring edits and rebalance moves.
+func (r *Router) Handoffs() int64 { return r.handoffs.Load() }
 
 // Sessions enumerates every session the router has placed, sorted.
-func (r *Router) Sessions() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.place))
-	for id := range r.place {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (r *Router) Sessions() []string { return r.table.Load().Sessions() }
 
 // AddShard joins a shard to the fabric and migrates to it every live
 // session the new ring assigns it. The first error aborts the remaining
-// migrations (already-moved sessions stay moved).
+// migrations (already-moved sessions stay moved). A re-added shard
+// starts alive even if its previous incarnation was marked dead.
 func (r *Router) AddShard(name string, b Backend) error {
 	if name == "" || b == nil {
 		return errors.New("shard: AddShard needs a name and a backend")
 	}
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
-	r.mu.Lock()
-	if _, dup := r.backends[name]; dup {
-		r.mu.Unlock()
+	dup := false
+	t := r.table.Update(func(m *placement.Table[Backend]) bool {
+		if m.HasBackend(name) {
+			dup = true
+			return false
+		}
+		m.AddShard(name, b)
+		return true
+	})
+	if dup {
 		return fmt.Errorf("shard: shard %q already present", name)
 	}
-	r.backends[name] = b
-	r.ring.Add(name)
-	moves := r.pendingMovesLocked()
-	r.mu.Unlock()
-	return r.migrate(moves)
+	return r.migrate(r.pendingMoves(t))
 }
 
 // RemoveShard retires a shard, first migrating every session it owns to
 // the shard's successors on the ring. The last shard cannot be removed.
+// The shard's backend, advertised endpoint, and fault mark are all
+// forgotten, so PlacementInfo never reports a departed shard.
 func (r *Router) RemoveShard(name string) error {
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
-	r.mu.Lock()
-	if _, ok := r.backends[name]; !ok {
-		r.mu.Unlock()
+	missing, last := false, false
+	t := r.table.Update(func(m *placement.Table[Backend]) bool {
+		if !m.HasBackend(name) {
+			missing = true
+			return false
+		}
+		if m.RingSize() == 1 && m.InRing(name) {
+			last = true
+			return false
+		}
+		m.RemoveFromRing(name)
+		return true
+	})
+	if missing {
 		return fmt.Errorf("shard: no shard %q", name)
 	}
-	if r.ring.Size() == 1 {
-		r.mu.Unlock()
+	if last {
 		return errors.New("shard: cannot remove the last shard")
 	}
-	r.ring.Remove(name)
-	moves := r.pendingMovesLocked()
-	r.mu.Unlock()
-	if err := r.migrate(moves); err != nil {
+	if err := r.migrate(r.pendingMoves(t)); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	delete(r.backends, name)
-	r.mu.Unlock()
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		m.DropShard(name)
+		return true
+	})
 	return nil
+}
+
+// MoveSession migrates one live session to a named shard regardless of
+// its ring position — the balancer's primitive. The new placement is
+// pinned: later ring edits leave the session where the balancer put it;
+// only removing or losing its shard re-homes it.
+func (r *Router) MoveSession(sessionID, to string) error {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	t := r.table.Load()
+	e, ok := t.Lookup(sessionID)
+	if !ok {
+		return fmt.Errorf("shard: session %s has no recorded placement", sessionID)
+	}
+	if e.Shard == to {
+		return nil
+	}
+	toB, ok := t.Backend(to)
+	if !ok {
+		return fmt.Errorf("shard: no shard %q", to)
+	}
+	if t.IsDead(to) {
+		return fmt.Errorf("shard: shard %q is marked dead", to)
+	}
+	fromB, ok := t.Backend(e.Shard)
+	if !ok {
+		return fmt.Errorf("shard: session %s placed on unknown shard %q", sessionID, e.Shard)
+	}
+	mv := move{session: sessionID, from: e.Shard, to: to, fromB: fromB, toB: toB, pin: true}
+	if err := r.handoff(mv); err != nil {
+		return fmt.Errorf("shard: moving session %s %s→%s: %w", sessionID, e.Shard, to, err)
+	}
+	return nil
+}
+
+// MarkDead declares a shard unreachable: it stays on the ring (so a
+// revival needs no re-add) but stops receiving routes, and every
+// session placed on it is evicted from the table. Evicted sessions
+// re-home lazily on their next touch — the ring's successor semantics
+// pick their new owner, the new shard answers their first delta with
+// NeedFull, and the engines' full re-baseline rebuilds the state (their
+// trees hold everything, so no durable store is needed). Returns the
+// evicted session IDs.
+func (r *Router) MarkDead(name string) []string {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	var evicted []string
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		if !m.HasBackend(name) || m.IsDead(name) {
+			return false
+		}
+		m.SetDead(name, true)
+		evicted = m.EvictSessionsOn(name)
+		return true
+	})
+	return evicted
+}
+
+// MarkAlive lifts a shard's dead mark (a recovered probe). Sessions do
+// not move back — the revived shard simply rejoins the routing pool for
+// ring-position resolution. Reports whether anything changed.
+func (r *Router) MarkAlive(name string) bool {
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	changed := false
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		if !m.HasBackend(name) || !m.IsDead(name) {
+			return false
+		}
+		m.SetDead(name, false)
+		changed = true
+		return true
+	})
+	return changed
 }
 
 type move struct {
@@ -321,22 +461,30 @@ type move struct {
 	from, to string
 	fromB    Backend
 	toB      Backend
+	// pin marks the destination placement as balancer-chosen (survives
+	// ring edits).
+	pin bool
 }
 
-// pendingMovesLocked lists the placed sessions whose ring owner differs
-// from their current placement. Caller holds r.mu.
-func (r *Router) pendingMovesLocked() []move {
+// pendingMoves lists the placed sessions whose required owner differs
+// from their current placement against the given table: unpinned
+// sessions follow the ring; pinned ones move only when their shard left
+// the ring or died (nothing else may undo a deliberate balancer move).
+func (r *Router) pendingMoves(t *placement.Table[Backend]) []move {
 	var moves []move
-	for sid, rt := range r.place {
-		want := r.ring.Owner(sid)
-		if want == "" || want == rt.shard {
-			continue
+	t.EachSession(func(sid string, e placement.Entry) {
+		displaced := !t.InRing(e.Shard) || t.IsDead(e.Shard)
+		if e.Pinned && !displaced {
+			return
 		}
-		moves = append(moves, move{
-			session: sid, from: rt.shard, to: want,
-			fromB: r.backends[rt.shard], toB: r.backends[want],
-		})
-	}
+		want := t.Home(sid)
+		if want == "" || want == e.Shard {
+			return
+		}
+		fromB, _ := t.Backend(e.Shard)
+		toB, _ := t.Backend(want)
+		moves = append(moves, move{session: sid, from: e.Shard, to: want, fromB: fromB, toB: toB})
+	})
 	sort.Slice(moves, func(i, j int) bool { return moves[i].session < moves[j].session })
 	return moves
 }
@@ -363,7 +511,7 @@ func (r *Router) handoff(mv move) error {
 	}
 	if exp.Found {
 		imp := merge.ImportArgs{
-			SessionID: mv.session, Version: exp.Version,
+			SessionID: mv.session, Version: exp.Version, Epoch: exp.Epoch,
 			Workers: exp.Workers, Removed: exp.Removed, Logs: exp.Logs,
 		}
 		var ir merge.ImportReply
@@ -379,12 +527,14 @@ func (r *Router) handoff(mv move) error {
 			return fmt.Errorf("import: %w", err)
 		}
 	}
-	r.mu.Lock()
-	if rt := r.place[mv.session]; rt != nil {
-		rt.shard = mv.to
-	}
-	r.handoffs++
-	r.mu.Unlock()
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		if e, ok := m.Lookup(mv.session); ok && e.Shard == mv.from {
+			m.Place(mv.session, mv.to, mv.pin)
+			return true
+		}
+		return false
+	})
+	r.handoffs.Add(1)
 	// Tombstone, not delete: a racing publish that already resolved the
 	// old backend must keep drawing NeedFull there, never re-create an
 	// unsealed session whose accepted snapshots nobody polls. The shell

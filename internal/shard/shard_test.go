@@ -334,6 +334,10 @@ func TestHandoffMidPublish(t *testing.T) {
 	send(tr, tree)
 	send(refTr, ref)
 	verBefore := router.Version(sid)
+	var pre merge.PollReply
+	if err := router.Poll(merge.PollArgs{SessionID: sid}, &pre); err != nil {
+		t.Fatal(err)
+	}
 
 	// Kick off the handoff; it blocks inside Export with the seal on.
 	done := make(chan error, 1)
@@ -375,6 +379,11 @@ func TestHandoffMidPublish(t *testing.T) {
 	}
 	if quiet.Changed {
 		t.Fatalf("caught-up poll after handoff reported changes: %+v", quiet)
+	}
+	// The import carried the incarnation stamp: a handoff must not look
+	// like a rebuild to polling clients.
+	if quiet.Epoch != pre.Epoch {
+		t.Fatalf("handoff changed the session epoch %d → %d (clients would spuriously full-resync)", pre.Epoch, quiet.Epoch)
 	}
 
 	h.Fill(3)

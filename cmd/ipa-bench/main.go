@@ -1,12 +1,12 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_5.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1…BENCH_4 baselines.
+// (default BENCH_6.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1…BENCH_5 baselines.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|all] [-out DIR] [-json FILE] [-tiny]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|all] [-out DIR] [-json FILE] [-tiny]
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_5.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_6.json", "metrics baseline file (\"\" disables)")
 	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
 	flag.Parse()
 	// A partial run writes a partial metrics map; never let it silently
@@ -51,9 +51,9 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -376,6 +376,67 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 		metrics["place_recover_probe_rounds"] = float64(rec.ProbeRounds)
 		if rec.Lost {
 			return fmt.Errorf("recovery ablation lost updates (%d/%d sessions recovered)", rec.Recovered, rec.Sessions)
+		}
+	}
+	if all || exp == "repl" {
+		// A12: replicated shards — failover with the engines already
+		// finished (nothing can re-baseline), replication on vs off.
+		rpShards, rpSessions, rpRounds := 4, 16, 32
+		if tiny {
+			rpShards, rpSessions, rpRounds = 3, 6, 8
+		}
+		rrows, err := perf.ReplicationAblation(rpShards, rpSessions, rpRounds)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A12 — replicated shard kill after engines finished, %d shards x %d sessions x %d rounds",
+			rpShards, rpSessions, rpRounds),
+			Columns: []string{"Replication", "Publish/s", "Failover ms", "Promoted", "Recovered", "Lost"}}
+		var on, off *perf.ReplicationAblationRow
+		for i := range rrows {
+			r := &rrows[i]
+			t.AddRow(r.Mode, fmt.Sprintf("%.0f", r.PublishPerSec), fmt.Sprintf("%.2f", r.FailoverMS),
+				fmt.Sprintf("%d", r.Promoted), fmt.Sprintf("%d/%d", r.Recovered, r.Sessions), fmt.Sprintf("%d", r.Lost))
+			metrics["repl_"+r.Mode+"_publish_per_s"] = r.PublishPerSec
+			metrics["repl_"+r.Mode+"_recovered"] = float64(r.Recovered)
+			metrics["repl_"+r.Mode+"_lost"] = float64(r.Lost)
+			if r.Mode == "repl" {
+				on = r
+				metrics["repl_failover_ms"] = r.FailoverMS
+				metrics["repl_promoted"] = float64(r.Promoted)
+			} else {
+				off = r
+			}
+		}
+		fmt.Fprintln(w, t.String())
+		if on.Lost > 0 {
+			return fmt.Errorf("replication ablation lost %d sessions with replication on", on.Lost)
+		}
+		if off.PublishPerSec > 0 {
+			overhead := 1 - on.PublishPerSec/off.PublishPerSec
+			metrics["repl_publish_overhead_frac"] = overhead
+			fmt.Fprintf(w, "replication publish overhead: %.1f%% (async mirror stream)\n\n", 100*overhead)
+		}
+
+		// A12b: crash-restart durability — replay the fsync'd session log
+		// into a cold manager and compare state byte-for-byte.
+		wSessions, wRounds := 8, 32
+		if tiny {
+			wSessions, wRounds = 3, 8
+		}
+		wrow, err := perf.WALAblation(wSessions, wRounds)
+		if err != nil {
+			return err
+		}
+		t2 := &aida.Table{Title: fmt.Sprintf("A12b — session-log replay, %d sessions x %d rounds", wSessions, wRounds),
+			Columns: []string{"Log KiB", "Records replayed", "Replay ms", "State intact"}}
+		t2.AddRow(fmt.Sprintf("%.0f", float64(wrow.LogBytes)/1024), fmt.Sprintf("%d", wrow.Replayed),
+			fmt.Sprintf("%.2f", wrow.ReplayMS), fmt.Sprintf("%v", wrow.Intact))
+		fmt.Fprintln(w, t2.String())
+		metrics["repl_wal_replay_ms"] = wrow.ReplayMS
+		metrics["repl_wal_replayed"] = float64(wrow.Replayed)
+		if !wrow.Intact {
+			return fmt.Errorf("session-log replay diverged from the pre-crash state")
 		}
 	}
 	if jsonPath != "" {

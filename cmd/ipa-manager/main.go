@@ -41,12 +41,16 @@ func main() {
 	rebalanceBand := flag.Float64("rebalance-band", 0.25, "rebalance hysteresis band (fraction over the fabric-mean load)")
 	health := flag.Duration("health", 0, "shard health probe interval (0 = off; needs -shards > 1)")
 	healthFails := flag.Int("health-fails", 3, "consecutive failed probes before a shard is marked dead")
+	replicate := flag.Bool("replicate", false, "mirror each session to a replica shard; shard death promotes the replica instead of losing the session (needs -shards > 1)")
+	wal := flag.String("wal", "", "directory for per-manager append-only session logs, replayed on restart (\"\" = no durability)")
+	walSync := flag.Int("wal-sync", 64, "fsync the session log every N records (0 = every record)")
 	flag.Parse()
 
 	grid, err := ipa.NewLocalGrid(ipa.GridOptions{
 		Nodes: *nodes, Insecure: *insecure, Shards: *shards,
 		RebalanceInterval: *rebalance, RebalanceMaxMoves: *rebalanceMoves, RebalanceBand: *rebalanceBand,
 		HealthInterval: *health, HealthFails: *healthFails,
+		Replicate: *replicate, WALDir: *wal, WALSyncEvery: *walSync,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +86,12 @@ func main() {
 		if *health > 0 {
 			fmt.Printf("health prober: every %s, dead after %d failed probes\n", *health, *healthFails)
 		}
+		if *replicate {
+			fmt.Println("replication: each session mirrored to a standby shard (epoch-fenced failover)")
+		}
+	}
+	if *wal != "" {
+		fmt.Printf("session log: %s/ (fsync every %d records, replayed on restart)\n", *wal, *walSync)
 	}
 
 	sig := make(chan os.Signal, 1)

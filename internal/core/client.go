@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
 	"github.com/ipa-grid/ipa/internal/gsi"
@@ -79,13 +80,19 @@ func (c *Client) CreateSession() error {
 	c.token = resp.Token
 	c.engines = resp.Engines
 	c.rmiAddr = resp.RMIAddr
-	rc, err := rmi.Dial(resp.RMIAddr, resp.Token)
+	rc, err := rmi.Dial(resp.RMIAddr, resp.Token, rmi.WithRetry(clientRetry))
 	if err != nil {
 		return fmt.Errorf("core: connecting result channel: %w", err)
 	}
 	c.rmi = rc
 	return nil
 }
+
+// clientRetry is the dial policy for result-channel connections: a
+// manager restarting (WAL replay) or briefly partitioned should cost a
+// few backoff waits, not a dead client. Bounded so a truly gone
+// endpoint still errors promptly.
+var clientRetry = rmi.RetryPolicy{Attempts: 4, Base: 50 * time.Millisecond, Max: time.Second}
 
 // SessionID returns the active session's ID.
 func (c *Client) SessionID() string { return c.sessionID }
@@ -276,7 +283,7 @@ func (c *Client) ensureDirect() (*rmi.Client, string) {
 		// the session to an advertised shard.
 		return nil, ""
 	}
-	rc, err := rmi.Dial(st.ShardAddr, c.token)
+	rc, err := rmi.Dial(st.ShardAddr, c.token, rmi.WithRetry(clientRetry))
 	if err != nil {
 		return nil, ""
 	}

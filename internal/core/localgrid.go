@@ -54,6 +54,17 @@ type GridOptions struct {
 	// before a shard is marked dead (0 = 3).
 	HealthInterval time.Duration
 	HealthFails    int
+	// Replicate mirrors every accepted publish to a per-session replica
+	// shard, so a shard death promotes the replica (epoch-fenced)
+	// instead of evicting the sessions to empty. Needs Shards > 1; off
+	// by default (the DisableReplication ablation baseline).
+	Replicate bool
+	// WALDir, when set, gives every shard manager an append-only
+	// snapshot/delta log under this directory, replayed on startup — a
+	// restarted manager rejoins with its sessions intact. WALSyncEvery
+	// batches fsyncs (0 = every record).
+	WALDir       string
+	WALSyncEvery int
 }
 
 // LocalGrid is a complete single-process Grid site on loopback TCP:
@@ -87,6 +98,7 @@ type LocalGrid struct {
 
 	baseDir string
 	opts    GridOptions
+	wals    []*merge.WAL
 
 	mu      sync.Mutex
 	scratch map[string]*storage.Element
@@ -164,10 +176,18 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 		// Sharded merge fabric: sessions spread across managers by
 		// consistent hashing; everything publishes/polls via the router.
 		g.Router = shard.NewRouter(0)
+		g.Router.Replicate = opts.Replicate
 		g.ShardMgrs = make(map[string]*merge.Manager, opts.Shards)
 		for i := 0; i < opts.Shards; i++ {
 			name := fmt.Sprintf("shard%02d", i)
 			mgr := merge.NewManager()
+			if opts.WALDir != "" {
+				w, err := attachWAL(mgr, opts.WALDir, name, opts.WALSyncEvery)
+				if err != nil {
+					return nil, err
+				}
+				g.wals = append(g.wals, w)
+			}
 			g.ShardMgrs[name] = mgr
 			if err := g.Router.AddShard(name, mgr); err != nil {
 				return nil, err
@@ -188,7 +208,15 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 			g.Health.Start()
 		}
 	} else {
-		g.Merge = merge.NewManager()
+		mgr := merge.NewManager()
+		if opts.WALDir != "" {
+			w, err := attachWAL(mgr, opts.WALDir, "manager", opts.WALSyncEvery)
+			if err != nil {
+				return nil, err
+			}
+			g.wals = append(g.wals, w)
+		}
+		g.Merge = mgr
 	}
 	g.Reg = registry.New()
 	g.Loader = codeloader.New()
@@ -349,4 +377,27 @@ func (g *LocalGrid) Close() {
 	for _, e := range engines {
 		e.Shutdown()
 	}
+	for _, w := range g.wals {
+		w.Close()
+	}
+}
+
+// attachWAL opens (creating the directory if needed) a manager's
+// append-only log, replays whatever a previous incarnation left there —
+// a restarted manager rejoins with its sessions intact — and attaches
+// it for future appends.
+func attachWAL(mgr *merge.Manager, dir, name string, syncEvery int) (*merge.WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w, err := merge.OpenWAL(filepath.Join(dir, name+".wal"), merge.WALOptions{SyncEvery: syncEvery})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Replay(mgr); err != nil {
+		w.Close()
+		return nil, err
+	}
+	mgr.SetWAL(w)
+	return w, nil
 }

@@ -247,6 +247,7 @@ func (m *Manager) register() {
 			State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle,
 			Shard: st.Shard, ShardAddr: st.ShardAddr,
 			PlacementGen: st.PlacementGen, DeadShards: st.DeadShards,
+			ResultEpoch: st.ResultEpoch, Replica: st.Replica,
 		}
 		for _, e := range st.Engines {
 			resp.Engines = append(resp.Engines, EngineStatusXML{

@@ -138,8 +138,16 @@ type StatusResponse struct {
 	PlacementGen uint64 `xml:"placementGen,omitempty"`
 	// DeadShards lists fabric shards currently marked unreachable by the
 	// health prober.
-	DeadShards []string          `xml:"deadShard,omitempty"`
-	Engines    []EngineStatusXML `xml:"engine"`
+	DeadShards []string `xml:"deadShard,omitempty"`
+	// ResultEpoch stamps the session's merge-state incarnation: it
+	// changes when the state is rebuilt (failover promotion or
+	// post-fault re-baseline), telling incremental pollers to discard
+	// their mirror and full-resync.
+	ResultEpoch int64 `xml:"resultEpoch,omitempty"`
+	// Replica names the shard holding the session's standby copy (empty
+	// when replication is off).
+	Replica string            `xml:"replica,omitempty"`
+	Engines []EngineStatusXML `xml:"engine"`
 }
 
 // CloseRequest tears the session down (Session.Close).

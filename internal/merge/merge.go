@@ -98,6 +98,11 @@ type PublishArgs struct {
 type PublishReply struct {
 	Accepted bool
 	Version  int64 // session version after this publish
+	// Epoch is the session's incarnation stamp at this publish — what a
+	// replicating router forwards with the mirrored delta so the
+	// replica can tell live mirrors from a deposed primary's
+	// stragglers.
+	Epoch int64
 	// NeedFull asks the worker to re-baseline: the manager cannot apply
 	// the delta (unknown worker or a sequence gap) and needs a full
 	// snapshot next.
@@ -178,6 +183,12 @@ type workerState struct {
 	tree  *aida.Tree
 	done  int64
 	total int64
+	// pending is the undecoded delta tail of a mirror-fed standby copy:
+	// Mirror appends here instead of decoding and re-merging, so
+	// synchronous replication stays cheap on the publish path.
+	// Materialized (folded into tree) when it grows long, on export,
+	// and at promotion. Empty on live primaries.
+	pending []*aida.DeltaState
 }
 
 // polledState is the atomically-published read snapshot behind the
@@ -211,6 +222,12 @@ type sessionState struct {
 	// routing flips. Import clears it. Atomic so Stats never waits on a
 	// write section.
 	sealed atomic.Bool
+	// fence is the failover fence floor: state whose epoch is at or
+	// below it is refused on every write surface, and a session whose
+	// own epoch sits at or below it is a deposed copy that answers
+	// polls like an unknown session. Only ever rises. Atomic because
+	// the lock-free poll fast path reads it.
+	fence atomic.Int64
 	// Poll bookkeeping, atomic so read paths never take the write lock.
 	cacheHits, cacheMisses atomic.Int64
 	indexPolls, walkPolls  atomic.Int64
@@ -291,6 +308,11 @@ type Manager struct {
 
 	coarseMu sync.Mutex
 	sessions sync.Map // sessionID → *sessionState
+
+	// wal, when attached via SetWAL, logs every state-changing call for
+	// crash-restart replay; walCompacting single-flights compactions.
+	wal           *WAL
+	walCompacting atomic.Bool
 }
 
 // NewManager creates an empty manager.
@@ -498,10 +520,11 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	defer s.mu.Unlock()
 	defer s.pubWaiting.Add(-1)
 	defer s.reportPressure(reply)
-	if s.sealed.Load() {
-		// Mid-handoff: the session is frozen for export. Refusing with
+	reply.Epoch = s.epoch.Load()
+	if s.sealed.Load() || s.fenced() {
+		// Mid-handoff (or a deposed post-failover copy): refusing with
 		// NeedFull makes the producer re-baseline — by the time it does,
-		// routing has flipped and the baseline lands on the new owner.
+		// routing has flipped and the baseline lands on the live owner.
 		reply.Accepted, reply.NeedFull = false, true
 		reply.Version = s.version
 		return nil
@@ -515,6 +538,7 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	}
 	w.seq = args.Seq
 	w.tree = tree
+	w.pending = nil
 	w.done = args.EventsDone
 	w.total = args.EventsTotal
 	s.version++
@@ -523,7 +547,7 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	s.commitLocked()
 	reply.Accepted = true
 	reply.Version = s.version
-	return nil
+	return m.walAppend(&walRecord{Kind: walPublish, Publish: &args})
 }
 
 // publishDelta applies an incremental snapshot: patch the worker's
@@ -549,12 +573,22 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 	defer s.pubWaiting.Add(-1)
 	defer s.reportPressure(reply)
 	reply.Version = s.version
-	if s.sealed.Load() {
-		// See Publish: frozen for handoff, ask for a re-baseline.
+	reply.Epoch = s.epoch.Load()
+	if s.sealed.Load() || s.fenced() {
+		// See Publish: frozen for handoff (or fenced after failover),
+		// ask for a re-baseline.
 		reply.Accepted, reply.NeedFull = false, true
 		return nil
 	}
 	w := s.worker(args.WorkerID)
+	if len(w.pending) > 0 {
+		// A mirror-fed worker taking direct publishes (its copy went
+		// live): fold the stored tail first so the delta lands on the
+		// full baseline.
+		if err := w.materialize(); err != nil {
+			return err
+		}
+	}
 	if !d.Full {
 		if args.Seq <= w.seq && w.tree != nil {
 			// Duplicate or stale retry: w.seq only advances on applied
@@ -628,7 +662,7 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 	s.commitLocked()
 	reply.Accepted = true
 	reply.Version = s.version
-	return nil
+	return m.walAppend(&walRecord{Kind: walPublish, Publish: &args})
 }
 
 // recomputePath rebuilds the merged object at path from every worker's
@@ -778,6 +812,12 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 		return nil
 	}
 	s.polls.Add(1)
+	if s.fenced() {
+		// A deposed post-failover copy answers like an unknown session:
+		// version 0 sends a direct-polling straggler back to placement
+		// resolution, where it finds the promoted owner.
+		return nil
+	}
 	if !args.Full && !m.CoarseLocking {
 		// Lock-free fast path: nothing changed since the client's last
 		// poll. The snapshot pointer is stored only after a write
@@ -915,7 +955,7 @@ func (m *Manager) Reset(args ResetArgs, reply *ResetReply) error {
 	s.invalidateChangeIndex()
 	s.commitLocked()
 	reply.Version = s.version
-	return nil
+	return m.walAppend(&walRecord{Kind: walReset, Session: args.SessionID})
 }
 
 // Version returns a session's current merged-result version (0 for
@@ -944,7 +984,9 @@ func (m *Manager) CacheStats(sessionID string) (hits, misses int64) {
 // Drop removes a session entirely (teardown).
 func (m *Manager) Drop(sessionID string) {
 	defer m.lockCoarse()()
-	m.sessions.Delete(sessionID)
+	if _, ok := m.sessions.LoadAndDelete(sessionID); ok {
+		m.walAppend(&walRecord{Kind: walDrop, Session: sessionID})
+	}
 }
 
 // MergedTree returns a deep copy of the current merged tree (manager-side
@@ -1112,6 +1154,13 @@ func (m *Manager) Export(args ExportArgs, reply *ExportReply) error {
 	if err := s.remerge(); err != nil {
 		return err
 	}
+	for _, id := range s.workerIDs {
+		// A mirror-fed copy's stored delta tails must fold into the
+		// worker trees so the dump is complete.
+		if err := s.workers[id].materialize(); err != nil {
+			return err
+		}
+	}
 	reply.Found = true
 	reply.Version = s.version
 	reply.Epoch = s.epoch.Load()
@@ -1185,6 +1234,12 @@ func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
 	s := m.session(args.SessionID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if f := s.fence.Load(); f > 0 && args.Epoch <= f {
+		// A stale incarnation (or one of unknown vintage) must not
+		// resurrect over a fenced copy — the exact zombie-rebaseline
+		// race the fence exists to close.
+		return ErrFenced
+	}
 	if args.Version > s.version {
 		s.version = args.Version
 	}
@@ -1229,7 +1284,7 @@ func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
 	}
 	s.commitLocked()
 	reply.Version = s.version
-	return nil
+	return m.walAppend(&walRecord{Kind: walImport, Import: &args})
 }
 
 // StatsArgs requests a session's bookkeeping counters.
@@ -1245,6 +1300,10 @@ type StatsReply struct {
 	CacheHits, CacheMisses int64
 	Workers                int
 	Sealed                 bool
+	// Epoch is the session's incarnation stamp; Fenced marks a deposed
+	// post-failover copy (its epoch sits at or below its fence floor).
+	Epoch  int64
+	Fenced bool
 	// FastPolls counts polls answered by the lock-free quiescent path.
 	FastPolls int64
 	// Publishes / Polls are the session's cumulative traffic counters —
@@ -1267,6 +1326,8 @@ func (m *Manager) Stats(args StatsArgs, reply *StatsReply) error {
 	reply.CacheHits, reply.CacheMisses = s.cacheHits.Load(), s.cacheMisses.Load()
 	reply.Workers = len(ps.progress)
 	reply.Sealed = s.sealed.Load()
+	reply.Epoch = s.epoch.Load()
+	reply.Fenced = s.fenced()
 	reply.FastPolls = s.fastPolls.Load()
 	reply.Publishes = s.publishes.Load()
 	reply.Polls = s.polls.Load()
@@ -1336,7 +1397,12 @@ func (m *Manager) DropSession(args DropArgs, reply *DropReply) error {
 	if v, ok := m.sessions.Load(args.SessionID); ok {
 		shell := newSessionState()
 		shell.sealed.Store(true)
-		m.sessions.CompareAndSwap(args.SessionID, v, shell)
+		// A fence floor outlives the state it fenced: the shell must
+		// keep refusing the dead incarnation's stragglers and imports.
+		shell.fence.Store(v.(*sessionState).fence.Load())
+		if m.sessions.CompareAndSwap(args.SessionID, v, shell) {
+			m.walAppend(&walRecord{Kind: walDrop, Session: args.SessionID, Tombstone: true})
+		}
 	}
 	return nil
 }

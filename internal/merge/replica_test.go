@@ -1,0 +1,253 @@
+package merge
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+)
+
+// mergedOf returns a session's full merged state keyed by path.
+func mergedOf(t *testing.T, m *Manager, sid string) map[string]aida.ObjectState {
+	t.Helper()
+	var reply PollReply
+	if err := m.Poll(PollArgs{SessionID: sid, Full: true}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]aida.ObjectState, len(reply.Entries))
+	for _, e := range reply.Entries {
+		st, err := e.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Path] = st
+	}
+	return out
+}
+
+// publishRounds drives a primary and mirrors every accepted delta to a
+// replica, the way the router's mirror stream does, returning the tree.
+func publishRounds(t *testing.T, primary, replica *Manager, sid string, rounds int) *aida.Tree {
+	t.Helper()
+	tree := aida.NewTree()
+	h, err := tree.H1D("/h", "x", "", 10, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		h.Fill(float64(r % 10))
+		var d *aida.DeltaState
+		if r == 0 {
+			d, err = tree.FullDelta()
+		} else {
+			d, err = tree.Delta()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep PublishReply
+		if err := primary.Publish(PublishArgs{SessionID: sid, WorkerID: "w0", Seq: int64(r + 1), Delta: d}, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Accepted {
+			t.Fatalf("round %d not accepted: %+v", r, rep)
+		}
+		if replica != nil {
+			var mr MirrorReply
+			if err := replica.Mirror(MirrorArgs{
+				SessionID: sid, WorkerID: "w0", Seq: int64(r + 1),
+				Epoch: rep.Epoch, Version: rep.Version, Delta: d,
+			}, &mr); err != nil {
+				t.Fatal(err)
+			}
+			if !mr.Accepted || mr.NeedFull {
+				t.Fatalf("mirror round %d = %+v", r, mr)
+			}
+		}
+	}
+	return tree
+}
+
+// The delta stream alone must bootstrap a standby: mirroring every
+// publish (starting with the full baseline) and promoting yields the
+// primary's exact merged state under a new epoch.
+func TestMirrorStreamBootstrapsReplicaAndPromotes(t *testing.T) {
+	primary, replica := NewManager(), NewManager()
+	publishRounds(t, primary, replica, "s", 8)
+
+	oldEpoch := primary.Epoch("s")
+	if oldEpoch == 0 {
+		t.Fatal("live session has epoch 0")
+	}
+	if got := replica.Epoch("s"); got != oldEpoch {
+		t.Fatalf("replica adopted epoch %d, want the primary's %d", got, oldEpoch)
+	}
+
+	var pr PromoteReply
+	if err := replica.Promote(PromoteArgs{SessionID: "s"}, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Found {
+		t.Fatal("promote of a mirrored copy reported nothing to promote")
+	}
+	if pr.Epoch == oldEpoch || pr.PrevEpoch != oldEpoch {
+		t.Fatalf("promote epochs = %+v, want a bump over %d", pr, oldEpoch)
+	}
+	got, want := mergedOf(t, replica, "s"), mergedOf(t, primary, "s")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("promoted state differs from the primary's:\n got %v\nwant %v", got, want)
+	}
+}
+
+// A mirror with a sequence gap (or no baseline at all) must ask for a
+// re-baseline rather than apply out of order.
+func TestMirrorGapAsksForRebaseline(t *testing.T) {
+	replica := NewManager()
+	tree := aida.NewTree()
+	h, _ := tree.H1D("/h", "x", "", 10, 0, 10)
+	if _, err := tree.FullDelta(); err != nil { // consume the baseline
+		t.Fatal(err)
+	}
+	h.Fill(1)
+	d, _ := tree.Delta() // incremental: its baseline never reached us
+	if d.Full {
+		t.Fatal("delta after a consumed baseline is still full")
+	}
+	var mr MirrorReply
+	if err := replica.Mirror(MirrorArgs{SessionID: "s", WorkerID: "w0", Seq: 3, Epoch: 7, Delta: d}, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Accepted || !mr.NeedFull {
+		t.Fatalf("baseline-less mirror = %+v, want NeedFull", mr)
+	}
+	// And promoting the resulting empty shell must report nothing found:
+	// flipping routing onto vacuum would "recover" an empty session.
+	var pr PromoteReply
+	if err := replica.Promote(PromoteArgs{SessionID: "s"}, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Found {
+		t.Fatal("promote of an empty shell reported Found")
+	}
+}
+
+// After promotion the copy is fenced against its ancestor incarnation:
+// stale mirrors and stale imports are refused, and a straggler mirror
+// from the dead primary's epoch cannot resurrect over the new state.
+func TestPromoteFencesAncestorEpoch(t *testing.T) {
+	primary, replica := NewManager(), NewManager()
+	tree := publishRounds(t, primary, replica, "s", 4)
+	oldEpoch := primary.Epoch("s")
+
+	var pr PromoteReply
+	if err := replica.Promote(PromoteArgs{SessionID: "s"}, &pr); err != nil {
+		t.Fatal(err)
+	}
+	// A straggler mirror stamped with the dead incarnation's epoch.
+	d, _ := tree.Delta()
+	var mr MirrorReply
+	err := replica.Mirror(MirrorArgs{SessionID: "s", WorkerID: "w0", Seq: 5, Epoch: oldEpoch, Delta: d}, &mr)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch mirror after promote: err=%v reply=%+v, want ErrFenced", err, mr)
+	}
+	// A zombie re-baseline (import) from the dead incarnation.
+	var exp ExportReply
+	if err := primary.Export(ExportArgs{SessionID: "s"}, &exp); err != nil {
+		t.Fatal(err)
+	}
+	var ir ImportReply
+	err = replica.Import(ImportArgs{
+		SessionID: "s", Version: exp.Version, Epoch: exp.Epoch, Workers: exp.Workers,
+	}, &ir)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch import after promote: %v, want ErrFenced", err)
+	}
+	// The promoted incarnation itself keeps working: its own epoch is
+	// above the fence, so a fresh import (say, a later handoff) lands.
+	var exp2 ExportReply
+	if err := replica.Export(ExportArgs{SessionID: "s"}, &exp2); err != nil {
+		t.Fatal(err)
+	}
+	if exp2.Epoch <= oldEpoch {
+		t.Fatalf("promoted export epoch %d not above the fence %d", exp2.Epoch, oldEpoch)
+	}
+}
+
+// Self-fencing a deposed primary makes its copy refuse publishes (the
+// stragglers re-baseline elsewhere once routing flips) and answer polls
+// like an unknown session, while explicit fences create shells that
+// block resurrection-by-import.
+func TestFenceRefusesWritesAndHidesPolls(t *testing.T) {
+	primary := NewManager()
+	tree := publishRounds(t, primary, nil, "s", 4)
+	var fr FenceReply
+	if err := primary.Fence(FenceArgs{SessionID: "s"}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Epoch != primary.Epoch("s") {
+		t.Fatalf("self-fence floor %d != epoch %d", fr.Epoch, primary.Epoch("s"))
+	}
+	// Straggler publish → NeedFull, never applied.
+	d, _ := tree.Delta()
+	var rep PublishReply
+	if err := primary.Publish(PublishArgs{SessionID: "s", WorkerID: "w0", Seq: 5, Delta: d}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted || !rep.NeedFull {
+		t.Fatalf("publish to fenced copy = %+v, want NeedFull", rep)
+	}
+	// Polls answer like an unknown session (version 0, no entries).
+	var poll PollReply
+	if err := primary.Poll(PollArgs{SessionID: "s", Full: true}, &poll); err != nil {
+		t.Fatal(err)
+	}
+	if poll.Version != 0 || len(poll.Entries) != 0 {
+		t.Fatalf("poll of fenced copy = version %d, %d entries; want empty", poll.Version, len(poll.Entries))
+	}
+	// An explicit fence on an unknown session leaves a shell that blocks
+	// a later import at or below the floor.
+	other := NewManager()
+	if err := other.Fence(FenceArgs{SessionID: "ghost", Epoch: 42}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	var ir ImportReply
+	err := other.Import(ImportArgs{SessionID: "ghost", Version: 1, Epoch: 42}, &ir)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("import at the fence floor: %v, want ErrFenced", err)
+	}
+	// Self-fence of an unknown session stays a no-op (no shell).
+	if err := other.Fence(FenceArgs{SessionID: "nobody"}, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if other.Epoch("nobody") != 0 {
+		t.Fatal("self-fence of an unknown session allocated state")
+	}
+}
+
+// A long mirror tail materializes incrementally (the pending threshold)
+// and an Export of a mirror-fed copy folds the tail first — both paths
+// must yield the primary's exact state.
+func TestMirrorTailMaterializesOnExport(t *testing.T) {
+	primary, replica := NewManager(), NewManager()
+	publishRounds(t, primary, replica, "s", mirrorPendingMax+8)
+	var exp ExportReply
+	if err := replica.Export(ExportArgs{SessionID: "s"}, &exp); err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Found || len(exp.Workers) != 1 || !exp.Workers[0].HasTree {
+		t.Fatalf("export of mirrored copy = %+v", exp)
+	}
+	dst := NewManager()
+	var ir ImportReply
+	if err := dst.Import(ImportArgs{
+		SessionID: "s", Version: exp.Version, Epoch: exp.Epoch,
+		Workers: exp.Workers, Removed: exp.Removed, Logs: exp.Logs,
+	}, &ir); err != nil {
+		t.Fatal(err)
+	}
+	got, want := mergedOf(t, dst, "s"), mergedOf(t, primary, "s")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("re-imported mirror state differs from the primary's")
+	}
+}

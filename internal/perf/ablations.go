@@ -1412,6 +1412,15 @@ func (f *faultShard) DropSession(a merge.DropArgs, r *merge.DropReply) error {
 func (f *faultShard) SessionList(a merge.SessionsArgs, r *merge.SessionsReply) error {
 	return f.call(func() error { return f.inner.SessionList(a, r) })
 }
+func (f *faultShard) Mirror(a merge.MirrorArgs, r *merge.MirrorReply) error {
+	return f.call(func() error { return f.inner.Mirror(a, r) })
+}
+func (f *faultShard) Promote(a merge.PromoteArgs, r *merge.PromoteReply) error {
+	return f.call(func() error { return f.inner.Promote(a, r) })
+}
+func (f *faultShard) Fence(a merge.FenceArgs, r *merge.FenceReply) error {
+	return f.call(func() error { return f.inner.Fence(a, r) })
+}
 
 // RecoveryAblationRow is the kill-a-shard outcome.
 type RecoveryAblationRow struct {

@@ -1,0 +1,237 @@
+// A12 — replicated shards and durable session state (the robustness
+// tentpole): replication overhead on the publish path, epoch-fenced
+// failover after a shard kill with the engines already gone, and WAL
+// replay after a manager restart.
+
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/shard"
+)
+
+// ReplicationAblationRow is one mode (replication on/off) of the
+// kill-after-engines-finished experiment.
+type ReplicationAblationRow struct {
+	Mode     string // "repl" | "norepl"
+	Shards   int
+	Sessions int
+	Rounds   int
+	// Publishes and PublishPerSec cover the steady publish phase through
+	// the fabric only (the flat reference twin is driven untimed), so
+	// the two modes compare the same work with and without mirroring.
+	Publishes     int64
+	PublishPerSec float64
+	// Mirrored counts replica applies (0 with replication off).
+	Mirrored int64
+	// Killed names the murdered shard; KilledSessions how many sessions
+	// it owned when it died — after every engine had finished.
+	Killed         string
+	KilledSessions int
+	ProbeRounds    int
+	// FailoverMS spans kill → death detected → replicas promoted and
+	// the placement table flipped (in-process probe rounds, no ticker).
+	FailoverMS float64
+	Promoted   int
+	// Recovered/Lost count sessions whose post-failover merged state
+	// does / does not match the flat reference. With the engines gone
+	// nothing can re-baseline, so recovery is exactly what the replicas
+	// preserved; norepl documents the seed behavior (state gone).
+	Recovered int
+	Lost      int
+	WallMS    int64
+}
+
+// ReplicationAblation publishes `rounds` rounds across `sessions`
+// sessions on a sharded fabric, stops the engines, kills the
+// most-loaded shard, and measures detection-to-promotion time and how
+// much merged state survives — replication on vs off.
+func ReplicationAblation(shards, sessions, rounds int) ([]ReplicationAblationRow, error) {
+	var out []ReplicationAblationRow
+	for _, mode := range []string{"repl", "norepl"} {
+		router := shard.NewRouter(0)
+		router.Replicate = mode == "repl"
+		faults := map[string]*faultShard{}
+		for i := 0; i < shards; i++ {
+			name := fmt.Sprintf("shard%02d", i)
+			fs := &faultShard{inner: merge.NewManager()}
+			faults[name] = fs
+			if err := router.AddShard(name, fs); err != nil {
+				return nil, err
+			}
+		}
+		flat := merge.NewManager()
+		var workers []*ablationWorker
+		for s := 0; s < sessions; s++ {
+			w, err := newAblationWorker(fmt.Sprintf("sess-%02d", s), router, flat)
+			if err != nil {
+				return nil, err
+			}
+			workers = append(workers, w)
+		}
+		start := time.Now()
+		var fabricNS int64
+		var publishes int64
+		for r := 0; r < rounds; r++ {
+			for _, w := range workers {
+				w.h.Fill(float64(r % 10))
+				w.refH.Fill(float64(r % 10))
+				t0 := time.Now()
+				if err := sendSnapshot(w.tr, w.tree); err != nil {
+					return nil, err
+				}
+				fabricNS += time.Since(t0).Nanoseconds()
+				publishes++
+				if err := sendSnapshot(w.refTr, w.ref); err != nil {
+					return nil, err
+				}
+			}
+		}
+		row := ReplicationAblationRow{
+			Mode: mode, Shards: shards, Sessions: sessions, Rounds: rounds,
+			Publishes: publishes,
+		}
+		if fabricNS > 0 {
+			row.PublishPerSec = float64(publishes) / (float64(fabricNS) / 1e9)
+		}
+		// The engines are done: no more publishes, so nothing can
+		// re-baseline lost state. Kill the shard owning the most
+		// sessions.
+		owned := map[string]int{}
+		for _, w := range workers {
+			owned[router.Placement(w.sid)]++
+		}
+		victim, max := "", -1
+		for name, n := range owned {
+			if n > max {
+				victim, max = name, n
+			}
+		}
+		row.Killed, row.KilledSessions = victim, max
+		faults[victim].dead.Store(true)
+		killAt := time.Now()
+		h := shard.NewHealth(router)
+		h.Threshold = 2
+		for len(router.DeadShards()) == 0 {
+			h.RunOnce()
+			row.ProbeRounds++
+			if row.ProbeRounds > 10 {
+				return nil, fmt.Errorf("perf: health prober never detected the killed shard")
+			}
+		}
+		row.FailoverMS = float64(time.Since(killAt).Nanoseconds()) / 1e6
+		row.Promoted = int(router.Promotions())
+		// Counted after failover: its drain barrier has flushed the
+		// asynchronous mirror stream by now.
+		row.Mirrored = router.Mirrored()
+		for _, w := range workers {
+			same, err := statesMatch(router, flat, w.sid)
+			if err != nil {
+				return nil, err
+			}
+			if same {
+				row.Recovered++
+			} else {
+				row.Lost++
+			}
+		}
+		row.WallMS = time.Since(start).Milliseconds()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WALAblationRow reports the crash-restart durability micro: publish
+// with a fsync-per-record WAL, reopen the log into a cold manager, and
+// compare merged state byte-for-byte.
+type WALAblationRow struct {
+	Sessions int
+	Rounds   int
+	// LogBytes is the WAL size on disk at the simulated crash.
+	LogBytes int64
+	// Replayed is the record count applied on restart; ReplayMS the
+	// open+replay wall time.
+	Replayed int
+	ReplayMS float64
+	// Intact: every session's merged state after replay is byte-identical
+	// to the pre-crash manager's.
+	Intact bool
+}
+
+// WALAblation runs the restart experiment in a temp dir.
+func WALAblation(sessions, rounds int) (WALAblationRow, error) {
+	row := WALAblationRow{Sessions: sessions, Rounds: rounds}
+	dir, err := os.MkdirTemp("", "ipa-wal-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "manager.wal")
+	w, err := merge.OpenWAL(path, merge.WALOptions{SyncEvery: 1})
+	if err != nil {
+		return row, err
+	}
+	m1 := merge.NewManager()
+	m1.SetWAL(w)
+	type driver struct {
+		sid  string
+		tree *aida.Tree
+		h    *aida.Histogram1D
+		tr   *merge.Transport
+	}
+	var drivers []*driver
+	for s := 0; s < sessions; s++ {
+		d := &driver{sid: fmt.Sprintf("wal-%02d", s), tree: aida.NewTree()}
+		if d.h, err = d.tree.H1D("/h", "x", "", 10, 0, 10); err != nil {
+			return row, err
+		}
+		d.tr = merge.NewTransport(d.sid, "w0", m1)
+		drivers = append(drivers, d)
+	}
+	for r := 0; r < rounds; r++ {
+		for _, d := range drivers {
+			d.h.Fill(float64(r % 10))
+			if err := sendSnapshot(d.tr, d.tree); err != nil {
+				return row, err
+			}
+		}
+	}
+	// Crash: drop the manager on the floor, keeping only the log. Close
+	// flushes nothing new (SyncEvery=1 already fsync'd every record).
+	if err := w.Close(); err != nil {
+		return row, err
+	}
+	if st, err := os.Stat(path); err == nil {
+		row.LogBytes = st.Size()
+	}
+	m2 := merge.NewManager()
+	t0 := time.Now()
+	w2, err := merge.OpenWAL(path, merge.WALOptions{})
+	if err != nil {
+		return row, err
+	}
+	defer w2.Close()
+	n, err := w2.Replay(m2)
+	if err != nil {
+		return row, err
+	}
+	row.Replayed = n
+	row.ReplayMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+	row.Intact = true
+	for _, d := range drivers {
+		same, err := statesMatch(m1, m2, d.sid)
+		if err != nil {
+			return row, err
+		}
+		if !same {
+			row.Intact = false
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,185 @@
+package rmi
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reserveAddr grabs a free loopback port and releases it, so a test can
+// start a server there *after* a client has begun dialing it.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestRetryDialSucceedsWhenServerStartsLate: the retry policy must ride
+// out a connect window where the server is not up yet — the restarting-
+// shard case the policy exists for.
+func TestRetryDialSucceedsWhenServerStartsLate(t *testing.T) {
+	addr := reserveAddr(t)
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		s := NewServer(nil)
+		if err := s.Register("Calc", &calcService{}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := s.ListenAndServe(addr); err != nil {
+			t.Error(err)
+			return
+		}
+		t.Cleanup(s.Close)
+	}()
+	c, err := Dial(addr, "tok", WithRetry(RetryPolicy{Attempts: 30, Base: 20 * time.Millisecond, Max: 100 * time.Millisecond}))
+	if err != nil {
+		t.Fatalf("retrying dial never reached the late server: %v", err)
+	}
+	defer c.Close()
+	var sum float64
+	if err := c.Call("Calc.Add", addArgs{2, 3}, &sum); err != nil || sum != 5 {
+		t.Fatalf("call after retried dial: %v %v", sum, err)
+	}
+}
+
+// TestRetryGivesUpAfterAttempts: a bounded policy must fail fast when
+// the target stays down, not spin forever.
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	addr := reserveAddr(t)
+	start := time.Now()
+	_, err := Dial(addr, "tok", WithRetry(RetryPolicy{Attempts: 3, Base: 5 * time.Millisecond, Max: 20 * time.Millisecond}))
+	if err == nil {
+		t.Fatal("dial of a dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("3-attempt dial took %v", elapsed)
+	}
+}
+
+// TestDialContextCancelCutsBackoff: cancellation must interrupt the
+// retry loop mid-backoff, not wait out the remaining attempts.
+func TestDialContextCancelCutsBackoff(t *testing.T) {
+	addr := reserveAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := DialContext(ctx, addr, "tok", WithRetry(RetryPolicy{Attempts: 100, Base: 50 * time.Millisecond, Max: 2 * time.Second}))
+	if err == nil {
+		t.Fatal("canceled dial succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled dial returned after %v", elapsed)
+	}
+}
+
+// TestFaultInjectionError: ErrorFrac 1 answers every call with the
+// injected remote error, and clearing the faults restores service on
+// the same connection.
+func TestFaultInjectionError(t *testing.T) {
+	s, addr := startServer(t, nil)
+	s.SetFaults(&Faults{Seed: 7, ErrorFrac: 1})
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sum float64
+	callErr := c.Call("Calc.Add", addArgs{1, 2}, &sum)
+	if callErr == nil || !strings.Contains(callErr.Error(), ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", callErr)
+	}
+	if _, ok := callErr.(RemoteError); !ok {
+		t.Fatalf("injected error surfaced as %T, want RemoteError", callErr)
+	}
+	s.SetFaults(nil)
+	if err := c.Call("Calc.Add", addArgs{1, 2}, &sum); err != nil || sum != 3 {
+		t.Fatalf("call after clearing faults: %v %v", sum, err)
+	}
+}
+
+// TestFaultInjectionErrorFraction: a partial ErrorFrac injects roughly
+// that fraction, deterministically — some calls fail, the rest answer
+// correctly on the same connection.
+func TestFaultInjectionErrorFraction(t *testing.T) {
+	s, addr := startServer(t, nil)
+	s.SetFaults(&Faults{Seed: 42, ErrorFrac: 0.5})
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	injected := 0
+	for i := 0; i < 100; i++ {
+		var sum float64
+		err := c.Call("Calc.Add", addArgs{float64(i), 1}, &sum)
+		switch {
+		case err == nil:
+			if sum != float64(i)+1 {
+				t.Fatalf("call %d answered %v", i, sum)
+			}
+		case strings.Contains(err.Error(), ErrInjected):
+			injected++
+		default:
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	if injected < 25 || injected > 75 {
+		t.Fatalf("ErrorFrac 0.5 injected %d/100", injected)
+	}
+}
+
+// TestFaultInjectionDropBreaksTransport: a dropped call severs the
+// connection like a mid-call crash; a retrying client then re-dials and
+// recovers once the faults clear.
+func TestFaultInjectionDropBreaksTransport(t *testing.T) {
+	s, addr := startServer(t, nil)
+	c, err := Dial(addr, "tok", WithRetry(RetryPolicy{Attempts: 10, Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sum float64
+	if err := c.Call("Calc.Add", addArgs{1, 1}, &sum); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaults(&Faults{Seed: 3, DropFrac: 1})
+	dropErr := c.Call("Calc.Add", addArgs{1, 1}, &sum)
+	if dropErr == nil {
+		t.Fatal("dropped call answered")
+	}
+	if _, ok := dropErr.(RemoteError); ok {
+		t.Fatalf("drop surfaced as a remote error (%v), want a transport failure", dropErr)
+	}
+	s.SetFaults(nil)
+	if err := c.Call("Calc.Add", addArgs{2, 2}, &sum); err != nil || sum != 4 {
+		t.Fatalf("reconnect after drop: %v %v", sum, err)
+	}
+}
+
+// TestFaultInjectionDelayStallsCall: DelayFrac stalls the dispatch for
+// the configured duration before the call proceeds.
+func TestFaultInjectionDelayStallsCall(t *testing.T) {
+	s, addr := startServer(t, nil)
+	s.SetFaults(&Faults{Seed: 9, DelayFrac: 1, Delay: 80 * time.Millisecond})
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	var sum float64
+	if err := c.Call("Calc.Add", addArgs{3, 4}, &sum); err != nil || sum != 7 {
+		t.Fatalf("delayed call: %v %v", sum, err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delayed call returned in %v, want >= 80ms", elapsed)
+	}
+}

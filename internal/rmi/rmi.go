@@ -34,6 +34,8 @@ import (
 	"net"
 	"reflect"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // writerPool recycles per-connection write buffers: gob emits several
@@ -82,6 +84,9 @@ type Server struct {
 	mu       sync.RWMutex
 	objects  map[string]*objectInfo
 	validate TokenValidator
+
+	// faults, when set, injects failures into dispatch (see SetFaults).
+	faults atomic.Pointer[faultState]
 
 	lnMu     sync.Mutex
 	listener net.Listener
@@ -305,6 +310,18 @@ func (s *Server) dispatch(req *request, dec *gob.Decoder, w *connWriter, handler
 			return fail(err.Error())
 		}
 	}
+	if fs := s.faults.Load(); fs != nil {
+		switch fs.decide() {
+		case faultError:
+			return fail(ErrInjected)
+		case faultDrop:
+			// Sever without answering: the caller sees a broken
+			// transport, like a crash mid-call.
+			return false
+		case faultDelay:
+			time.Sleep(fs.f.Delay)
+		}
+	}
 	argp := reflect.New(m.argType)
 	if err := dec.DecodeValue(argp); err != nil {
 		w.writeError(req.Seq, "rmi: decoding argument: "+err.Error())
@@ -415,6 +432,11 @@ type Client struct {
 	// serialized is the ablation baseline: one in-flight call at a time.
 	serialized bool
 	callMu     sync.Mutex // held per-call in serialized mode
+
+	// retry bounds dial attempts (see WithRetry); jrand is the jitter
+	// stream, lazily seeded from the address.
+	retry RetryPolicy
+	jrand uint64
 }
 
 // Option configures a client connection at Dial time.
@@ -454,18 +476,14 @@ func Dial(addr, token string, opts ...Option) (*Client, error) {
 }
 
 // connLocked returns the live connection, dialing a fresh one if
-// needed. Caller holds c.mu.
+// needed (honoring the client's retry policy). Caller holds c.mu.
 func (c *Client) connLocked() (*clientConn, error) {
-	if c.closed {
-		return nil, ErrClientClosed
-	}
-	if c.cc != nil {
-		return c.cc, nil
-	}
-	conn, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		return nil, fmt.Errorf("rmi: dialing %s: %w", c.addr, err)
-	}
+	return c.connRetryLocked(nil)
+}
+
+// adoptConnLocked wraps a freshly dialed conn as the client's live
+// connection and starts its read loop. Caller holds c.mu.
+func (c *Client) adoptConnLocked(conn net.Conn) *clientConn {
 	bw := bufio.NewWriterSize(conn, 8192)
 	cc := &clientConn{
 		conn: conn, bw: bw,
@@ -475,7 +493,7 @@ func (c *Client) connLocked() (*clientConn, error) {
 	}
 	c.cc = cc
 	go c.readLoop(cc)
-	return cc, nil
+	return cc
 }
 
 // drop forgets cc if it is still the client's current connection, so

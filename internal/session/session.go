@@ -510,6 +510,15 @@ type Status struct {
 	// DeadShards lists fabric shards the health prober currently marks
 	// unreachable (nil when unsharded or all healthy).
 	DeadShards []string
+	// ResultEpoch is the session's merge-state incarnation stamp (0 when
+	// the fabric does not expose one). It changes when the state is
+	// rebuilt — a failover promotion or a post-fault re-baseline — so a
+	// client can tell "same state, newer version" from "new incarnation,
+	// discard the mirror".
+	ResultEpoch int64
+	// Replica names the shard holding this session's standby copy (""
+	// when replication is off or no replica is assigned).
+	Replica string
 }
 
 // Status reports the session and per-engine state — the client's "hosts
@@ -562,6 +571,14 @@ func (s *Service) Status(sessionID string) (Status, error) {
 		st.Shard, st.ShardAddr = p.PlacementInfo(sess.ID)
 	case interface{ Placement(string) string }:
 		st.Shard = p.Placement(sess.ID)
+	}
+	// Replication surfaces are capability probes too: any fabric that
+	// stamps incarnations or assigns standbys reports them.
+	if p, ok := s.cfg.Merge.(interface{ Epoch(string) int64 }); ok {
+		st.ResultEpoch = p.Epoch(sess.ID)
+	}
+	if p, ok := s.cfg.Merge.(interface{ ReplicaOf(string) string }); ok {
+		st.Replica = p.ReplicaOf(sess.ID)
 	}
 	return st, nil
 }

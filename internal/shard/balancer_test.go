@@ -279,6 +279,15 @@ func (f *flakyBackend) DropSession(a merge.DropArgs, r *merge.DropReply) error {
 func (f *flakyBackend) SessionList(a merge.SessionsArgs, r *merge.SessionsReply) error {
 	return f.call(func() error { return f.inner.SessionList(a, r) })
 }
+func (f *flakyBackend) Mirror(a merge.MirrorArgs, r *merge.MirrorReply) error {
+	return f.call(func() error { return f.inner.Mirror(a, r) })
+}
+func (f *flakyBackend) Promote(a merge.PromoteArgs, r *merge.PromoteReply) error {
+	return f.call(func() error { return f.inner.Promote(a, r) })
+}
+func (f *flakyBackend) Fence(a merge.FenceArgs, r *merge.FenceReply) error {
+	return f.call(func() error { return f.inner.Fence(a, r) })
+}
 
 // TestKillShardRehome kills a shard under live sessions: the health
 // prober must mark it dead after Threshold failed probes, its sessions

@@ -1,0 +1,317 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ipa-grid/ipa/internal/merge"
+)
+
+// newReplicatedFabric builds a Replicate=true router over n flaky-
+// wrapped managers plus the flat single-manager reference.
+func newReplicatedFabric(t *testing.T, n int) (*Router, map[string]*flakyBackend, *merge.Manager) {
+	t.Helper()
+	router := NewRouter(0)
+	router.Replicate = true
+	flaky := make(map[string]*flakyBackend, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("shard%02d", i)
+		fb := &flakyBackend{inner: merge.NewManager()}
+		flaky[name] = fb
+		if err := router.AddShard(name, fb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return router, flaky, merge.NewManager()
+}
+
+// killAndFail kills the named shard and drives the health prober to the
+// failover (Threshold 2: the first probe round must not yet react).
+func killAndFail(t *testing.T, router *Router, flaky map[string]*flakyBackend, victim string) (promoted []string) {
+	t.Helper()
+	flaky[victim].dead.Store(true)
+	h := NewHealth(router)
+	h.Threshold = 2
+	h.OnFailover = func(shard string, sids []string) { promoted = sids }
+	if died, _ := h.RunOnce(); len(died) != 0 {
+		t.Fatalf("one failed probe already killed %v (threshold 2)", died)
+	}
+	if died, _ := h.RunOnce(); !reflect.DeepEqual(died, []string{victim}) {
+		t.Fatalf("died = %v, want [%s]", died, victim)
+	}
+	return promoted
+}
+
+// TestFailoverRecoversFinishedSessions is the headline regression test:
+// engines publish, FINISH, and only then does the owning shard die. The
+// engines' re-baseline path cannot save anyone (nobody will publish
+// again) — with replication on, every byte of merged state must come
+// back from the promoted replicas, under a bumped epoch, and the
+// sessions must be re-protected with fresh standbys.
+func TestFailoverRecoversFinishedSessions(t *testing.T) {
+	router, flaky, flat := newReplicatedFabric(t, 3)
+
+	const victim = "shard00"
+	var workers []*loadWorker
+	victims := map[string]bool{}
+	for _, sid := range sessionsHomedOn(t, router, victim, 3, "fin") {
+		workers = append(workers, newLoadWorker(t, router, flat, sid))
+		victims[sid] = true
+	}
+	for i, n := 0, 0; n < 3; i++ {
+		sid := fmt.Sprintf("fin-safe-%d", i)
+		if router.Placement(sid) == victim {
+			continue
+		}
+		workers = append(workers, newLoadWorker(t, router, flat, sid))
+		n++
+	}
+	for r := 0; r < 5; r++ {
+		for _, w := range workers {
+			w.publish(t, float64(r%10))
+		}
+	}
+	// All engines are now finished: not another publish for the rest of
+	// the test. Record the pre-kill incarnation of one victim session.
+	victimSid := workers[0].sid
+	var preKill merge.PollReply
+	if err := router.Poll(merge.PollArgs{SessionID: victimSid}, &preKill); err != nil {
+		t.Fatal(err)
+	}
+	if preKill.Epoch == 0 {
+		t.Fatal("live session reported epoch 0")
+	}
+
+	promoted := killAndFail(t, router, flaky, victim)
+	want := make([]string, 0, len(victims))
+	for sid := range victims {
+		want = append(want, sid)
+	}
+	sort.Strings(want)
+	if !reflect.DeepEqual(promoted, want) {
+		t.Fatalf("promoted %v, want all victim sessions %v", promoted, want)
+	}
+	if got := router.Promotions(); got != int64(len(victims)) {
+		t.Fatalf("Promotions() = %d, want %d", got, len(victims))
+	}
+
+	// Zero merged-state loss: every session — including the ones whose
+	// engines will never publish again — matches the flat reference.
+	for _, w := range workers {
+		got, want := fullState(t, router, w.sid), fullState(t, flat, w.sid)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("session %s lost merged state across the failover (got %d paths, want %d)",
+				w.sid, len(got), len(want))
+		}
+	}
+	// The promoted incarnation announces itself through the epoch stamp.
+	var postKill merge.PollReply
+	if err := router.Poll(merge.PollArgs{SessionID: victimSid}, &postKill); err != nil {
+		t.Fatal(err)
+	}
+	if postKill.Epoch <= preKill.Epoch {
+		t.Fatalf("post-failover epoch %d not above pre-kill epoch %d", postKill.Epoch, preKill.Epoch)
+	}
+	// Failed-over sessions moved off the dead shard and are re-protected:
+	// a fresh replica on a live shard, seeded eagerly (a finished session
+	// never publishes again, so lazy assignment would never run).
+	for sid := range victims {
+		home := router.Placement(sid)
+		if home == victim || home == "" {
+			t.Fatalf("session %s still homed on the dead shard (%q)", sid, home)
+		}
+		rep := router.ReplicaOf(sid)
+		if rep == "" || rep == victim || rep == home {
+			t.Fatalf("session %s re-replicated to %q (home %q, dead %q)", sid, rep, home, victim)
+		}
+	}
+}
+
+// TestFailoverAblationWithoutReplicationLosesState documents what the
+// DisableReplication baseline costs: the same finished-engines kill
+// evicts the victim sessions and their merged state is simply gone.
+func TestFailoverAblationWithoutReplicationLosesState(t *testing.T) {
+	router, flaky, flat := newReplicatedFabric(t, 3)
+	router.Replicate = false
+
+	const victim = "shard00"
+	var workers []*loadWorker
+	for _, sid := range sessionsHomedOn(t, router, victim, 3, "lossy") {
+		workers = append(workers, newLoadWorker(t, router, flat, sid))
+	}
+	for r := 0; r < 5; r++ {
+		for _, w := range workers {
+			w.publish(t, float64(r%10))
+		}
+	}
+	promoted := killAndFail(t, router, flaky, victim)
+	if len(promoted) != 0 || router.Promotions() != 0 {
+		t.Fatalf("unreplicated router promoted %v", promoted)
+	}
+	for _, w := range workers {
+		if got := fullState(t, router, w.sid); len(got) != 0 {
+			t.Fatalf("evicted session %s still answers %d paths without a replica", w.sid, len(got))
+		}
+		if want := fullState(t, flat, w.sid); len(want) == 0 {
+			t.Fatalf("flat reference for %s is empty — the test measured nothing", w.sid)
+		}
+	}
+}
+
+// zombieBackend models a partitioned-but-alive shard: health probes
+// (Stats) fail, so the prober declares it dead, but every other call
+// still lands — the straggler-write scenario epoch fencing exists for.
+type zombieBackend struct {
+	Backend
+	inner     *merge.Manager
+	partition atomic.Bool
+}
+
+func (z *zombieBackend) Stats(a merge.StatsArgs, r *merge.StatsReply) error {
+	if z.partition.Load() {
+		return errShardDown
+	}
+	return z.inner.Stats(a, r)
+}
+
+// TestFailoverFencesZombiePrimary: when the "dead" primary is actually
+// a zombie the prober can't reach, failover must fence its copies —
+// straggler publishes draw NeedFull instead of landing on deposed
+// state, and polls against it answer like an unknown session.
+func TestFailoverFencesZombiePrimary(t *testing.T) {
+	router := NewRouter(0)
+	router.Replicate = true
+	zombies := make(map[string]*zombieBackend, 3)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("shard%02d", i)
+		m := merge.NewManager()
+		z := &zombieBackend{Backend: m, inner: m}
+		zombies[name] = z
+		if err := router.AddShard(name, z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flat := merge.NewManager()
+
+	const victim = "shard00"
+	sid := sessionsHomedOn(t, router, victim, 1, "zombie")[0]
+	w := newLoadWorker(t, router, flat, sid)
+	for r := 0; r < 4; r++ {
+		w.publish(t, float64(r))
+	}
+
+	zombies[victim].partition.Store(true)
+	h := NewHealth(router)
+	h.Threshold = 2
+	h.RunOnce()
+	if died, _ := h.RunOnce(); !reflect.DeepEqual(died, []string{victim}) {
+		t.Fatalf("died = %v, want [%s]", died, victim)
+	}
+	if router.Promotions() != 1 {
+		t.Fatalf("Promotions() = %d, want 1", router.Promotions())
+	}
+
+	// A straggler engine with a stale routing table writes straight at
+	// the zombie. The fence must refuse it — incremental or baseline.
+	deposed := zombies[victim].inner
+	w.hist.Fill(9) // a fill the reference never sees: it must not land
+	d, err := w.tree.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep merge.PublishReply
+	if err := deposed.Publish(merge.PublishArgs{SessionID: sid, WorkerID: "w0", Seq: 99, Delta: d}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted || !rep.NeedFull {
+		t.Fatalf("straggler publish on the zombie = %+v, want refused with NeedFull", rep)
+	}
+	full, err := w.tree.FullDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deposed.Publish(merge.PublishArgs{SessionID: sid, WorkerID: "w0", Seq: 100, Delta: full}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("straggler re-baseline landed on the fenced zombie copy")
+	}
+	// Direct polls against the zombie answer like an unknown session, so
+	// a direct-polling client re-resolves placement and finds the
+	// promoted owner.
+	var poll merge.PollReply
+	if err := deposed.Poll(merge.PollArgs{SessionID: sid, Full: true}, &poll); err != nil {
+		t.Fatal(err)
+	}
+	if poll.Version != 0 || len(poll.Entries) != 0 {
+		t.Fatalf("zombie poll = version %d, %d entries; want fenced-empty", poll.Version, len(poll.Entries))
+	}
+	// The promoted copy, reached through the router, holds the true state —
+	// everything accepted before the kill, nothing from the straggler.
+	got, want := fullState(t, router, sid), fullState(t, flat, sid)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("promoted state diverged from the flat reference")
+	}
+}
+
+// TestRevivalReapsDeposedCopies: a failed-over shard that comes back
+// must not serve (or later resurrect) the state it was deposed from —
+// revival tombstones those copies while the promoted owners keep the
+// sessions, and the fabric still matches the flat reference.
+func TestRevivalReapsDeposedCopies(t *testing.T) {
+	router, flaky, flat := newReplicatedFabric(t, 3)
+
+	const victim = "shard00"
+	var workers []*loadWorker
+	victims := map[string]bool{}
+	for _, sid := range sessionsHomedOn(t, router, victim, 2, "rev") {
+		workers = append(workers, newLoadWorker(t, router, flat, sid))
+		victims[sid] = true
+	}
+	for r := 0; r < 4; r++ {
+		for _, w := range workers {
+			w.publish(t, float64(r))
+		}
+	}
+	killAndFail(t, router, flaky, victim)
+	homes := map[string]string{}
+	for sid := range victims {
+		homes[sid] = router.Placement(sid)
+	}
+
+	// The shard comes back with its pre-failover copies intact.
+	flaky[victim].dead.Store(false)
+	h := NewHealth(router)
+	h.Threshold = 2
+	if _, revived := h.RunOnce(); !reflect.DeepEqual(revived, []string{victim}) {
+		t.Fatalf("revived = %v, want [%s]", revived, victim)
+	}
+	// Promoted sessions stay on their new homes (pinned across revival).
+	for sid, home := range homes {
+		if got := router.Placement(sid); got != home {
+			t.Fatalf("revival moved session %s from %s to %s", sid, home, got)
+		}
+	}
+	// The revived shard's deposed copies are reaped: a direct poll (a
+	// straggler client that never re-resolved) finds nothing to trust.
+	for sid := range victims {
+		var poll merge.PollReply
+		if err := flaky[victim].inner.Poll(merge.PollArgs{SessionID: sid, Full: true}, &poll); err != nil {
+			t.Fatal(err)
+		}
+		if poll.Version != 0 || len(poll.Entries) != 0 {
+			t.Fatalf("revived shard still serves deposed session %s (version %d, %d entries)",
+				sid, poll.Version, len(poll.Entries))
+		}
+	}
+	// And nothing was lost anywhere in the shuffle.
+	for _, w := range workers {
+		got, want := fullState(t, router, w.sid), fullState(t, flat, w.sid)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("session %s diverged across kill + revival", w.sid)
+		}
+	}
+}

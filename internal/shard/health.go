@@ -37,6 +37,10 @@ type Health struct {
 	// OnDead, if set, is called after a shard is marked dead with the
 	// sessions that were evicted (operator logging).
 	OnDead func(shard string, evicted []string)
+	// OnFailover, if set, is called after a shard is marked dead with
+	// the sessions whose replicas were promoted in its place (only
+	// non-empty when the router replicates).
+	OnFailover func(shard string, promoted []string)
 
 	router *Router
 
@@ -119,10 +123,13 @@ func (h *Health) RunOnce() (died, revived []string) {
 				continue
 			}
 			h.fails[name] = 0
-			evicted := h.router.MarkDead(name)
+			evicted, promoted := h.router.MarkDead(name)
 			died = append(died, name)
 			if h.OnDead != nil {
 				h.OnDead(name, evicted)
+			}
+			if h.OnFailover != nil && len(promoted) > 0 {
+				h.OnFailover(name, promoted)
 			}
 		}
 	}

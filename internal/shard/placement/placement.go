@@ -32,6 +32,9 @@ type Entry struct {
 	// re-homes it), so a deliberate hot-session move is not silently
 	// undone by the next topology change.
 	Pinned bool
+	// Replica names the shard holding the session's standby copy when
+	// replication is on ("" = none assigned). Never equal to Shard.
+	Replica string
 }
 
 // Table is one immutable placement snapshot, parameterized by the
@@ -107,6 +110,23 @@ func (t *Table[B]) Home(sessionID string) string {
 	return t.ring.OwnerFunc(sessionID, func(s string) bool {
 		_, d := t.dead[s]
 		return !d
+	})
+}
+
+// ReplicaHome is the ring's choice of replica shard for a session: the
+// first ring successor that is not the primary, not dead, and has a
+// backend ("" when the fabric has no such shard — a one-shard fabric
+// cannot replicate).
+func (t *Table[B]) ReplicaHome(sessionID, primary string) string {
+	return t.ring.OwnerFunc(sessionID, func(s string) bool {
+		if s == primary {
+			return false
+		}
+		if _, dead := t.dead[s]; dead {
+			return false
+		}
+		_, ok := t.backends[s]
+		return ok
 	})
 }
 
@@ -194,9 +214,28 @@ func (t *Table[B]) EachBackend(f func(shard string, b B)) {
 // Valid only on the cloned table passed to a Store.Update edit
 // function; calling them on a table obtained from Load is a data race.
 
-// Place records a session's owner.
+// Place records a session's owner, preserving any recorded replica
+// (unless the session just moved onto it — a replica must never double
+// as the owner).
 func (t *Table[B]) Place(sessionID, shard string, pinned bool) {
-	t.sessions[sessionID] = Entry{Shard: shard, Pinned: pinned}
+	e := t.sessions[sessionID]
+	e.Shard, e.Pinned = shard, pinned
+	if e.Replica == shard {
+		e.Replica = ""
+	}
+	t.sessions[sessionID] = e
+}
+
+// SetReplica records the shard holding a session's standby copy (""
+// clears it). No-op for unplaced sessions or when the named shard is
+// the session's owner.
+func (t *Table[B]) SetReplica(sessionID, shard string) {
+	e, ok := t.sessions[sessionID]
+	if !ok || shard == e.Shard {
+		return
+	}
+	e.Replica = shard
+	t.sessions[sessionID] = e
 }
 
 // Evict forgets a session's placement (teardown, or a fault eviction —

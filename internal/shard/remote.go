@@ -88,4 +88,23 @@ func (r *Remote) SessionList(args merge.SessionsArgs, reply *merge.SessionsReply
 	return r.client.Call(r.object+".SessionList", args, reply)
 }
 
+// Mirror implements Backend over the wire. The mirrored delta honors
+// the connection's compression preference exactly like a publish.
+func (r *Remote) Mirror(args merge.MirrorArgs, reply *merge.MirrorReply) error {
+	if args.Delta != nil && r.client.Compressed() {
+		args.Delta.SetWireCompression(true)
+	}
+	return r.client.Call(r.object+".Mirror", args, reply)
+}
+
+// Promote implements Backend over the wire.
+func (r *Remote) Promote(args merge.PromoteArgs, reply *merge.PromoteReply) error {
+	return r.client.Call(r.object+".Promote", args, reply)
+}
+
+// Fence implements Backend over the wire.
+func (r *Remote) Fence(args merge.FenceArgs, reply *merge.FenceReply) error {
+	return r.client.Call(r.object+".Fence", args, reply)
+}
+
 var _ Backend = (*Remote)(nil)

@@ -1,0 +1,384 @@
+// Replication: per-session primary→replica chaining over the machinery
+// the fabric already has. The router mirrors every accepted publish —
+// the same generation-stamped delta, seq and all — to a replica shard
+// chosen from the placement ring, so the replica holds an
+// Export/Import-compatible standby copy that re-baselines on NeedFull
+// exactly like any transport. When the health prober declares the
+// primary dead, the replica is promoted under a bumped session epoch,
+// the placement table flips atomically, and both the deposed primary
+// and the promoted copy are fenced against the dead incarnation's
+// epoch: a zombie shard can neither accept straggler publishes (they
+// draw NeedFull until routing flips) nor resurrect stale state through
+// a racing re-baseline. Clients full-resync on the epoch stamp they
+// already honor.
+
+package shard
+
+import (
+	"sort"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/shard/placement"
+)
+
+// mirrorJob is one queued mirror: an accepted publish (with the epoch
+// and version its accept carried) bound for the session's replica. A
+// job with a non-nil barrier is a drain sentinel instead.
+type mirrorJob struct {
+	primary string
+	args    merge.PublishArgs
+	epoch   int64
+	version int64
+	barrier chan struct{}
+}
+
+// mirrorQueueDepth bounds the in-flight mirror backlog; a full queue
+// blocks publishes (backpressure) rather than dropping or reordering.
+const mirrorQueueDepth = 256
+
+// enqueueMirror hands an accepted publish to the mirror worker. The
+// mirror stream is asynchronous — the publish path pays one channel
+// send, not a second apply — but strictly ordered: one worker drains
+// the queue FIFO, so per-session seq order is preserved, and failover
+// flushes the queue (drainMirrors) before promoting, so a quiesced
+// session's replica has every accepted delta by the time it is asked
+// to take over.
+func (r *Router) enqueueMirror(primary string, args merge.PublishArgs, reply *merge.PublishReply) {
+	r.mirrorQueue() <- mirrorJob{
+		primary: primary, args: args, epoch: reply.Epoch, version: reply.Version,
+	}
+}
+
+// mirrorQueue lazily starts the mirror worker (replicating routers
+// only; it lives for the router's lifetime).
+func (r *Router) mirrorQueue() chan mirrorJob {
+	r.mirrorMu.Lock()
+	defer r.mirrorMu.Unlock()
+	if r.mirrorQ == nil {
+		r.mirrorQ = make(chan mirrorJob, mirrorQueueDepth)
+		go r.mirrorLoop(r.mirrorQ)
+	}
+	return r.mirrorQ
+}
+
+func (r *Router) mirrorLoop(q chan mirrorJob) {
+	for job := range q {
+		if job.barrier != nil {
+			close(job.barrier)
+			continue
+		}
+		r.mirror(job.primary, job.args, job.epoch, job.version)
+	}
+}
+
+// drainMirrors blocks until every mirror enqueued before the call has
+// been applied — the barrier failover takes before promoting replicas.
+func (r *Router) drainMirrors() {
+	r.mirrorMu.Lock()
+	q := r.mirrorQ
+	r.mirrorMu.Unlock()
+	if q == nil {
+		return
+	}
+	done := make(chan struct{})
+	q <- mirrorJob{barrier: done}
+	<-done
+}
+
+// mirror forwards one accepted publish to the session's replica,
+// assigning (and baselining) a replica first if the session has none
+// usable. Mirror failures are absorbed: a missed delta leaves a seq gap
+// the next mirror detects, and NeedFull answers trigger a full
+// re-baseline — replication self-heals through the same resync contract
+// the publish path uses, and the primary's accept is never rolled back.
+func (r *Router) mirror(primary string, args merge.PublishArgs, epoch, version int64) {
+	t := r.table.Load()
+	e, ok := t.Lookup(args.SessionID)
+	if !ok || e.Shard != primary {
+		return
+	}
+	replica := e.Replica
+	if replica == "" || replica == primary || !t.HasBackend(replica) || t.IsDead(replica) {
+		// First touch (or the old replica is gone): assign one, then
+		// fall through and mirror this delta to it. The delta stream
+		// must not be dropped on assignment — a session's first delta
+		// is its full baseline, so the stream alone can bootstrap the
+		// standby even when the primary dies before the seeding
+		// Export/Import ever succeeds.
+		if replica = r.assignReplica(args.SessionID, primary); replica == "" {
+			return
+		}
+		t = r.table.Load()
+	}
+	rb, ok := t.Backend(replica)
+	if !ok {
+		return
+	}
+	margs := merge.MirrorArgs{
+		SessionID: args.SessionID, WorkerID: args.WorkerID, Seq: args.Seq,
+		Epoch: epoch, Version: version, Delta: args.Delta,
+		EventsDone: args.EventsDone, EventsTotal: args.EventsTotal, Log: args.Log,
+	}
+	if margs.Delta == nil {
+		// Legacy whole-tree publish (the ablation baseline): forward it
+		// as the full baseline it is.
+		margs.Delta = &aida.DeltaState{Full: true, Entries: args.Tree.Entries}
+	}
+	var mr merge.MirrorReply
+	if err := rb.Mirror(margs, &mr); err != nil || mr.NeedFull {
+		r.rebaseline(args.SessionID, primary, replica)
+		return
+	}
+	if mr.Accepted {
+		r.mirrored.Add(1)
+	}
+}
+
+// assignReplica picks a replica shard for a session (its ring successor
+// skipping the primary and the dead) records it, and seeds it with a
+// full baseline (best-effort: a failed seed is healed by the mirror
+// stream's own NeedFull re-baseline, or by the stream itself when it
+// starts with a full delta). Returns the chosen shard, "" when the
+// fabric has no second live shard.
+func (r *Router) assignReplica(sessionID, primary string) string {
+	var replica string
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		e, ok := m.Lookup(sessionID)
+		if !ok || e.Shard != primary {
+			return false
+		}
+		replica = m.ReplicaHome(sessionID, primary)
+		if replica == "" || replica == e.Replica {
+			replica = ""
+			return false
+		}
+		m.SetReplica(sessionID, replica)
+		return true
+	})
+	if replica != "" {
+		r.rebaseline(sessionID, primary, replica)
+	}
+	return replica
+}
+
+// rebaseline copies a session's full state from one shard to another
+// (Export without seal → Import) — how a replica catches up after a
+// miss, a gap, or first assignment. Serialized so NeedFull bursts
+// cannot storm a shard with concurrent exports; mirrors racing the copy
+// resolve through the seq machinery (a delta the export already covers
+// is dropped as stale, a delta it misses gaps and re-baselines again).
+func (r *Router) rebaseline(sessionID, from, to string) error {
+	r.replMu.Lock()
+	defer r.replMu.Unlock()
+	t := r.table.Load()
+	fb, okF := t.Backend(from)
+	tb, okT := t.Backend(to)
+	if !okF || !okT {
+		return nil
+	}
+	var exp merge.ExportReply
+	if err := fb.Export(merge.ExportArgs{SessionID: sessionID}, &exp); err != nil {
+		return err
+	}
+	if !exp.Found {
+		return nil
+	}
+	var ir merge.ImportReply
+	return tb.Import(merge.ImportArgs{
+		SessionID: sessionID, Version: exp.Version, Epoch: exp.Epoch,
+		Workers: exp.Workers, Removed: exp.Removed, Logs: exp.Logs,
+	}, &ir)
+}
+
+// failover handles a shard death with replication on: every session the
+// dead shard owned is promoted on its replica (fencing the dead
+// incarnation first) or, with no usable replica, evicted as before.
+// Caller holds topoMu; t is the table that recorded the death.
+func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, promoted []string) {
+	// Flush the asynchronous mirror stream first: every delta the dead
+	// primary accepted before it died is on the replicas before any of
+	// them is promoted. (A publish racing the flip enqueues later, with
+	// the dead incarnation's epoch — the replica answers NeedFull and
+	// the stream re-baselines; nothing stale sticks.) The table is
+	// re-read after the barrier: replica assignments recorded by the
+	// drained mirrors must be visible to the promotion scan.
+	r.drainMirrors()
+	t = r.table.Load()
+	type flip struct {
+		sid string
+		to  string
+	}
+	var flips []flip
+	var lost, reReplica []string
+	deadB, deadReachable := t.Backend(dead)
+	t.EachSession(func(sid string, e placement.Entry) {
+		if e.Replica == dead {
+			// The session's standby died; survivors need a new one.
+			reReplica = append(reReplica, sid)
+		}
+		if e.Shard != dead {
+			return
+		}
+		replica := e.Replica
+		usable := replica != "" && replica != dead && t.HasBackend(replica) && !t.IsDead(replica)
+		if usable {
+			if deadReachable {
+				// Best-effort self-fence of the (probably gone, possibly
+				// zombie) primary: if it still answers, its copy refuses
+				// every straggler publish from here on, so nothing lands
+				// there during the promotion window.
+				var fr merge.FenceReply
+				deadB.Fence(merge.FenceArgs{SessionID: sid}, &fr)
+			}
+			rb, _ := t.Backend(replica)
+			var pr merge.PromoteReply
+			if err := rb.Promote(merge.PromoteArgs{SessionID: sid}, &pr); err == nil && pr.Found {
+				flips = append(flips, flip{sid: sid, to: replica})
+				promoted = append(promoted, sid)
+				return
+			}
+		}
+		lost = append(lost, sid)
+	})
+	sort.Strings(promoted)
+	sort.Strings(lost)
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		did := false
+		for _, f := range flips {
+			if e, ok := m.Lookup(f.sid); ok && e.Shard == dead {
+				// Pinned like a balancer move: ring edits must not bounce
+				// a failed-over session around while its old home is down.
+				m.Place(f.sid, f.to, true)
+				m.SetReplica(f.sid, "")
+				did = true
+			}
+		}
+		for _, sid := range lost {
+			if e, ok := m.Lookup(sid); ok && e.Shard == dead {
+				m.Evict(sid)
+				did = true
+			}
+		}
+		for _, sid := range reReplica {
+			if e, ok := m.Lookup(sid); ok && e.Replica == dead {
+				m.SetReplica(sid, "")
+				did = true
+			}
+		}
+		return did
+	})
+	r.promotions.Add(int64(len(promoted)))
+	// Re-protect: promoted sessions and survivors whose replica died get
+	// a fresh replica, seeded now rather than on their next publish —
+	// a finished session never publishes again, and it must not ride out
+	// the next failure unreplicated.
+	reseed := append(append([]string(nil), promoted...), reReplica...)
+	for _, sid := range reseed {
+		cur := r.table.Load()
+		if e, ok := cur.Lookup(sid); ok && e.Shard != dead && !cur.IsDead(e.Shard) && e.Replica == "" {
+			r.assignReplica(sid, e.Shard)
+		}
+	}
+	return lost, promoted
+}
+
+// reapRevived reconciles a revived shard's leftover session copies
+// against current placement. Copies of sessions now owned elsewhere are
+// tombstoned (deposed state must neither serve nor resurrect); copies
+// backing a session as its recorded replica are re-baselined from the
+// live primary (they went stale while the shard was down); sessions the
+// table no longer places at all — evicted at death with no replica, and
+// untouched since — are re-adopted, recovering their state. Caller
+// holds topoMu.
+func (r *Router) reapRevived(name string) {
+	t := r.table.Load()
+	b, ok := t.Backend(name)
+	if !ok {
+		return
+	}
+	var sl merge.SessionsReply
+	if err := b.SessionList(merge.SessionsArgs{}, &sl); err != nil {
+		return
+	}
+	var adopt []string
+	for _, l := range sl.Loads {
+		if l.Version == 0 {
+			continue // tombstones and empty shells
+		}
+		e, placed := t.Lookup(l.SessionID)
+		switch {
+		case !placed:
+			adopt = append(adopt, l.SessionID)
+		case e.Shard == name:
+			// Still the recorded owner — nothing re-homed it.
+		case e.Replica == name:
+			r.rebaseline(l.SessionID, e.Shard, name)
+		default:
+			var dr merge.DropReply
+			b.DropSession(merge.DropArgs{SessionID: l.SessionID, Tombstone: true}, &dr)
+		}
+	}
+	for _, sid := range adopt {
+		readopted := false
+		r.table.Update(func(m *placement.Table[Backend]) bool {
+			if _, ok := m.Lookup(sid); ok {
+				return false
+			}
+			m.Place(sid, name, false)
+			readopted = true
+			return true
+		})
+		if readopted {
+			r.assignReplica(sid, name)
+		}
+	}
+}
+
+// Mirror routes a replication mirror to the session's owner — present
+// so a Router satisfies the Backend interface and fabrics can stack.
+func (r *Router) Mirror(args merge.MirrorArgs, reply *merge.MirrorReply) error {
+	_, b, err := r.owner(args.SessionID, true)
+	if err != nil {
+		return err
+	}
+	return b.Mirror(args, reply)
+}
+
+// Promote routes a promotion to the session's owner (Backend surface).
+func (r *Router) Promote(args merge.PromoteArgs, reply *merge.PromoteReply) error {
+	_, b, err := r.owner(args.SessionID, false)
+	if err != nil {
+		return err
+	}
+	return b.Promote(args, reply)
+}
+
+// Fence routes a fence to the session's owner (Backend surface).
+func (r *Router) Fence(args merge.FenceArgs, reply *merge.FenceReply) error {
+	_, b, err := r.owner(args.SessionID, false)
+	if err != nil {
+		return err
+	}
+	return b.Fence(args, reply)
+}
+
+// ReplicaOf names the shard holding a session's standby copy ("" when
+// none is assigned) — surfaced through session status.
+func (r *Router) ReplicaOf(sessionID string) string {
+	if e, ok := r.table.Load().Lookup(sessionID); ok {
+		return e.Replica
+	}
+	return ""
+}
+
+// Epoch reports a session's incarnation stamp from its owning shard (0
+// when unknown) — surfaced through session status so operators can see
+// a failover happened.
+func (r *Router) Epoch(sessionID string) int64 {
+	var reply merge.StatsReply
+	if _, b, err := r.owner(sessionID, false); err == nil {
+		b.Stats(merge.StatsArgs{SessionID: sessionID}, &reply)
+	}
+	return reply.Epoch
+}

@@ -51,6 +51,12 @@ type Backend interface {
 	Seal(args merge.SealArgs, reply *merge.SealReply) error
 	DropSession(args merge.DropArgs, reply *merge.DropReply) error
 	SessionList(args merge.SessionsArgs, reply *merge.SessionsReply) error
+	// Replication surface (PR 6): Mirror feeds a standby copy, Promote
+	// makes it live under a bumped epoch, Fence refuses a deposed
+	// incarnation's stragglers.
+	Mirror(args merge.MirrorArgs, reply *merge.MirrorReply) error
+	Promote(args merge.PromoteArgs, reply *merge.PromoteReply) error
+	Fence(args merge.FenceArgs, reply *merge.FenceReply) error
 }
 
 // ErrNoShards rejects routing on an empty fabric (or one whose every
@@ -86,8 +92,24 @@ type Router struct {
 	LockedRouting bool
 	lockedMu      sync.Mutex
 
-	table    *placement.Store[Backend]
-	handoffs atomic.Int64
+	// Replicate mirrors every accepted publish to a per-session replica
+	// shard and turns shard-death handling from lossy eviction into
+	// epoch-fenced promotion of the replica. Off by default — the
+	// DisableReplication baseline is exactly the PR 5 behavior. Set
+	// before first use.
+	Replicate bool
+	// replMu serializes replica re-baselines (Export→Import copies) so
+	// a burst of NeedFull answers cannot storm a shard.
+	replMu sync.Mutex
+	// mirrorMu guards the lazy start of the mirror worker; the queue
+	// itself orders the asynchronous mirror stream (see enqueueMirror).
+	mirrorMu sync.Mutex
+	mirrorQ  chan mirrorJob
+
+	table      *placement.Store[Backend]
+	handoffs   atomic.Int64
+	promotions atomic.Int64
+	mirrored   atomic.Int64
 
 	// topoMu serializes topology edits (and their handoffs) against each
 	// other without blocking routing.
@@ -166,11 +188,17 @@ func backendOf(t *placement.Table[Backend], sessionID, shard string) (string, Ba
 // Publish routes an engine/SubMerger snapshot to the session's shard
 // (RMI-compatible).
 func (r *Router) Publish(args merge.PublishArgs, reply *merge.PublishReply) error {
-	_, b, err := r.owner(args.SessionID, true)
+	name, b, err := r.owner(args.SessionID, true)
 	if err != nil {
 		return err
 	}
-	return b.Publish(args, reply)
+	if err := b.Publish(args, reply); err != nil {
+		return err
+	}
+	if r.Replicate && reply.Accepted {
+		r.enqueueMirror(name, args, reply)
+	}
+	return nil
 }
 
 // Poll routes a client update request (RMI-compatible).
@@ -318,6 +346,14 @@ func (r *Router) DeadShards() []string { return r.table.Load().DeadShards() }
 // completed across all ring edits and rebalance moves.
 func (r *Router) Handoffs() int64 { return r.handoffs.Load() }
 
+// Promotions reports how many replica promotions (epoch-fenced
+// failovers) the router has completed.
+func (r *Router) Promotions() int64 { return r.promotions.Load() }
+
+// Mirrored reports how many publishes were successfully mirrored to a
+// replica shard.
+func (r *Router) Mirrored() int64 { return r.mirrored.Load() }
+
 // Sessions enumerates every session the router has placed, sorted.
 func (r *Router) Sessions() []string { return r.table.Load().Sessions() }
 
@@ -416,31 +452,43 @@ func (r *Router) MoveSession(sessionID, to string) error {
 }
 
 // MarkDead declares a shard unreachable: it stays on the ring (so a
-// revival needs no re-add) but stops receiving routes, and every
-// session placed on it is evicted from the table. Evicted sessions
-// re-home lazily on their next touch — the ring's successor semantics
-// pick their new owner, the new shard answers their first delta with
-// NeedFull, and the engines' full re-baseline rebuilds the state (their
-// trees hold everything, so no durable store is needed). Returns the
-// evicted session IDs.
-func (r *Router) MarkDead(name string) []string {
+// revival needs no re-add) but stops receiving routes. What happens to
+// its sessions depends on Replicate. Off (the DisableReplication
+// baseline), every session placed on it is evicted from the table and
+// re-homes lazily on its next touch — the new shard answers the first
+// delta with NeedFull and the engines' full re-baseline rebuilds the
+// state, which loses everything a finished engine will never republish.
+// On, each session with a live replica is instead promoted there under
+// a bumped, fenced epoch (see failover); only sessions with no usable
+// replica fall back to eviction. Returns the evicted and promoted
+// session IDs, both sorted.
+func (r *Router) MarkDead(name string) (evicted, promoted []string) {
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
-	var evicted []string
-	r.table.Update(func(m *placement.Table[Backend]) bool {
+	changed := false
+	t := r.table.Update(func(m *placement.Table[Backend]) bool {
 		if !m.HasBackend(name) || m.IsDead(name) {
 			return false
 		}
 		m.SetDead(name, true)
-		evicted = m.EvictSessionsOn(name)
+		changed = true
+		if !r.Replicate {
+			evicted = m.EvictSessionsOn(name)
+		}
 		return true
 	})
-	return evicted
+	if !changed || !r.Replicate {
+		return evicted, nil
+	}
+	return r.failover(t, name)
 }
 
 // MarkAlive lifts a shard's dead mark (a recovered probe). Sessions do
 // not move back — the revived shard simply rejoins the routing pool for
-// ring-position resolution. Reports whether anything changed.
+// ring-position resolution. With replication on, the revived shard's
+// leftover session copies are reconciled against current placement
+// (see reapRevived) so deposed state can never serve or resurrect.
+// Reports whether anything changed.
 func (r *Router) MarkAlive(name string) bool {
 	r.topoMu.Lock()
 	defer r.topoMu.Unlock()
@@ -453,6 +501,9 @@ func (r *Router) MarkAlive(name string) bool {
 		changed = true
 		return true
 	})
+	if changed && r.Replicate {
+		r.reapRevived(name)
+	}
 	return changed
 }
 

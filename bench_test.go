@@ -412,3 +412,49 @@ func BenchmarkShardRouterPublishPoll(b *testing.B) {
 		since = reply.Version
 	}
 }
+
+// BenchmarkWarmPollFrameDecode measures the client-side decode of a warm
+// poll's changed-object frame — the per-poll allocation source the frame
+// free list eliminates. The pooled path decodes into a recycled buffer
+// and must report 0 allocs/op; the unpooled sub-benchmark is the
+// retained ablation baseline (one allocation per frame).
+func BenchmarkWarmPollFrameDecode(b *testing.B) {
+	h := aida.NewHistogram1D("h", "", 100, 0, 100)
+	for i := 0; i < 1000; i++ {
+		h.Fill(float64(i % 100))
+	}
+	st, err := aida.StateOf(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := aida.EncodeObjectFrame(&st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := append([]byte(nil), frame...)
+	for _, mode := range []struct {
+		name    string
+		pooling bool
+	}{{"pooled", true}, {"unpooled", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			aida.SetFramePooling(mode.pooling)
+			defer aida.SetFramePooling(true)
+			var f aida.ObjectFrame
+			// Warm the free list so the timed region sees steady state.
+			for i := 0; i < 8; i++ {
+				if err := f.GobDecode(raw); err != nil {
+					b.Fatal(err)
+				}
+				f.Release()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.GobDecode(raw); err != nil {
+					b.Fatal(err)
+				}
+				f.Release()
+			}
+		})
+	}
+}

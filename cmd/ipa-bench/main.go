@@ -1,12 +1,14 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_6.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1…BENCH_5 baselines.
+// (default BENCH_7.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1…BENCH_6 baselines. The baseline carries
+// an "env" block (Go version, CPU count, GOMAXPROCS) so trajectory
+// comparisons are hardware-aware.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|all] [-out DIR] [-json FILE] [-tiny]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|all] [-out DIR] [-json FILE] [-tiny] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,10 +27,17 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain exists so the profile-stopping defers run before exit.
+func realMain() int {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_6.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_7.json", "metrics baseline file (\"\" disables)")
 	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	// A partial run writes a partial metrics map; never let it silently
 	// clobber the committed full baseline unless -json was given
@@ -40,10 +51,38 @@ func main() {
 	if *exp != "all" && !jsonSet {
 		*jsonPath = ""
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipa-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ipa-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipa-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ipa-bench:", err)
+			}
+		}()
+	}
 	if err := run(*exp, *out, *jsonPath, *tiny); err != nil {
 		fmt.Fprintln(os.Stderr, "ipa-bench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func run(exp, outDir, jsonPath string, tiny bool) error {
@@ -51,9 +90,9 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl", "mcore":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -439,8 +478,68 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 			return fmt.Errorf("session-log replay diverged from the pre-crash state")
 		}
 	}
+	if all || exp == "mcore" {
+		// A13 — multicore raw-speed sweep: the four rebuilt hot paths
+		// (bulk fills, coalesced publishes, binary envelope, pooled
+		// frame decodes) against their retained baselines, per
+		// GOMAXPROCS setting. Settings above runtime.NumCPU are capped:
+		// an oversubscribed scheduler must not masquerade as scaling.
+		procs := []int{1, 2, 4, runtime.NumCPU()}
+		fills, sessions, rounds, objects, calls := 1<<20, 8, 120, 16, 2000
+		if tiny {
+			procs = []int{1, runtime.NumCPU()}
+			// Keep 8 sessions even in tiny mode: group-commit coalescing
+			// needs concurrent producers to have anything to coalesce.
+			fills, sessions, rounds, objects, calls = 1<<14, 8, 12, 4, 40
+		}
+		rows, err := perf.MulticoreSweep(procs, fills, sessions, rounds, objects, calls)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A13 — multicore raw speed (host has %d CPUs), new path vs retained baseline",
+			runtime.NumCPU()),
+			Columns: []string{"Procs", "FillN/s", "Fill/s", "Batched ops/s", "Unbatched", "Coalesce", "v2 calls/s", "gob calls/s", "Pooled allocs", "Unpooled"}}
+		for _, r := range rows {
+			t.AddRow(fmt.Sprintf("%d", r.Procs),
+				fmt.Sprintf("%.1fM", r.FillNPerSec/1e6), fmt.Sprintf("%.1fM", r.ScalarPerSec/1e6),
+				fmt.Sprintf("%.0f", r.BatchedOpsPerSec), fmt.Sprintf("%.0f", r.UnbatchedOpsPerSec),
+				fmt.Sprintf("%.1fx", r.CoalesceFactor),
+				fmt.Sprintf("%.0f", r.V2CallsPerSec), fmt.Sprintf("%.0f", r.GobCallsPerSec),
+				fmt.Sprintf("%.2f", r.PooledAllocsPerDecode), fmt.Sprintf("%.2f", r.UnpooledAllocsPerDecode))
+			key := fmt.Sprintf("mcore_p%d", r.Procs)
+			metrics[key+"_filln_per_s"] = r.FillNPerSec
+			metrics[key+"_fill_per_s"] = r.ScalarPerSec
+			metrics[key+"_batched_ops_per_s"] = r.BatchedOpsPerSec
+			metrics[key+"_unbatched_ops_per_s"] = r.UnbatchedOpsPerSec
+			metrics[key+"_coalesce_factor"] = r.CoalesceFactor
+			metrics[key+"_rmi_v2_calls_per_s"] = r.V2CallsPerSec
+			metrics[key+"_rmi_gob_calls_per_s"] = r.GobCallsPerSec
+			metrics[key+"_pooled_allocs_per_decode"] = r.PooledAllocsPerDecode
+			metrics[key+"_unpooled_allocs_per_decode"] = r.UnpooledAllocsPerDecode
+		}
+		fmt.Fprintln(w, t.String())
+		if n := len(rows); n > 1 && rows[0].BatchedOpsPerSec > 0 {
+			scale := rows[n-1].BatchedOpsPerSec / rows[0].BatchedOpsPerSec
+			metrics["mcore_pubpoll_scale"] = scale
+			fmt.Fprintf(w, "publish+poll scaling %d→%d procs: %.2fx\n\n", rows[0].Procs, rows[n-1].Procs, scale)
+		} else if n == 1 {
+			fmt.Fprintf(w, "single-CPU host: no scaling row possible (env block records num_cpu=%d)\n\n", runtime.NumCPU())
+		}
+	}
 	if jsonPath != "" {
-		blob, err := json.MarshalIndent(metrics, "", "  ")
+		blob, err := json.MarshalIndent(struct {
+			Env     map[string]any     `json:"env"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{
+			Env: map[string]any{
+				"go_version": runtime.Version(),
+				"goos":       runtime.GOOS,
+				"goarch":     runtime.GOARCH,
+				"num_cpu":    runtime.NumCPU(),
+				"gomaxprocs": runtime.GOMAXPROCS(0),
+			},
+			Metrics: metrics,
+		}, "", "  ")
 		if err != nil {
 			return err
 		}

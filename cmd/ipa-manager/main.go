@@ -6,7 +6,7 @@
 //
 //	ipa-manager [-nodes 8] [-events 20000] [-insecure] [-shards N]
 //	            [-rebalance 5s] [-rebalance-moves 2] [-rebalance-band 0.25]
-//	            [-health 2s] [-health-fails 3]
+//	            [-health 2s] [-health-fails 3] [-pprof 127.0.0.1:6060]
 //
 // On startup it prints the endpoints and, with -events > 0, publishes a
 // generated LC dataset ("ds-zh") so a client can run immediately. In
@@ -21,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,7 +47,23 @@ func main() {
 	replicate := flag.Bool("replicate", false, "mirror each session to a replica shard; shard death promotes the replica instead of losing the session (needs -shards > 1)")
 	wal := flag.String("wal", "", "directory for per-manager append-only session logs, replayed on restart (\"\" = no durability)")
 	walSync := flag.Int("wal-sync", 64, "fsync the session log every N records (0 = every record)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; \"\" = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank
+			// import above.
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof:         http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	grid, err := ipa.NewLocalGrid(ipa.GridOptions{
 		Nodes: *nodes, Insecure: *insecure, Shards: *shards,

@@ -1,0 +1,158 @@
+// Bulk fill loops: FillN on the fillable AIDA objects. A high-rate
+// analysis (the all-pairs mass loop of the Higgs search, the event
+// generator's QA spectrum) calls Fill millions of times per second;
+// FillN amortizes the per-call overhead — dirty-bit store, axis method
+// call, NaN test, flow-bin switch — across a whole batch by hoisting
+// the axis bounds into registers and branching once per sample.
+//
+// Every arithmetic expression here matches the scalar path operation
+// for operation, in the same order (Go never re-associates float
+// expressions), so FillN is bit-for-bit identical to the equivalent
+// sequence of FillW calls — the property fill_test.go pins down. That
+// exactness is what lets bulk-filling workers merge against
+// scalar-filling workers without last-ulp divergence.
+package aida
+
+// FillN adds every xs[i] with weight ws[i]; a nil ws fills with weight
+// 1. It panics when ws is non-nil with a different length, like a
+// mismatched slice index would. Equivalent to calling FillW per
+// sample (including the NaN-counts-as-overflow rule), one bounds
+// computation per sample, no per-call overhead.
+func (h *Histogram1D) FillN(xs, ws []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	if ws != nil && len(ws) != len(xs) {
+		panic("aida: FillN weight slice length mismatch")
+	}
+	h.dirty = true
+	n := h.axis.nBins
+	lo, hi := h.axis.lo, h.axis.hi
+	bins := h.bins
+	over := len(bins) - 1
+	for i, x := range xs {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		var slot int
+		// NaN fails both comparisons and lands in overflow — the same
+		// outcome FillW reaches via its explicit IsNaN test.
+		if x >= lo && x < hi {
+			idx := int(float64(n) * (x - lo) / (hi - lo))
+			if idx >= n { // guard float rounding at the upper edge
+				idx = n - 1
+			}
+			slot = idx + 1
+			h.sumW += w
+			h.sumWX += w * x
+			h.sumWX2 += w * x * x
+		} else if x < lo {
+			slot = 0
+		} else {
+			slot = over
+		}
+		b := &bins[slot]
+		b.entries++
+		b.sumW += w
+		b.sumW2 += w * w
+		b.sumWX += w * x
+	}
+}
+
+// FillN adds every (xs[i], ys[i]) with weight ws[i]; a nil ws fills
+// with weight 1. Panics on mismatched slice lengths. Equivalent to
+// calling FillW per sample with one bounds pass per axis.
+func (h *Histogram2D) FillN(xs, ys, ws []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	if len(ys) != len(xs) || (ws != nil && len(ws) != len(xs)) {
+		panic("aida: FillN slice length mismatch")
+	}
+	h.dirty = true
+	nx, ny := h.xAxis.nBins, h.yAxis.nBins
+	xlo, xhi := h.xAxis.lo, h.xAxis.hi
+	ylo, yhi := h.yAxis.lo, h.yAxis.hi
+	stride := ny + 2
+	cells := h.cells
+	for i, x := range xs {
+		y := ys[i]
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		sx, inX := 0, false
+		if x >= xlo && x < xhi {
+			ix := int(float64(nx) * (x - xlo) / (xhi - xlo))
+			if ix >= nx {
+				ix = nx - 1
+			}
+			sx, inX = ix+1, true
+		} else if !(x < xlo) { // overflow or NaN
+			sx = nx + 1
+		}
+		sy, inY := 0, false
+		if y >= ylo && y < yhi {
+			iy := int(float64(ny) * (y - ylo) / (yhi - ylo))
+			if iy >= ny {
+				iy = ny - 1
+			}
+			sy, inY = iy+1, true
+		} else if !(y < ylo) {
+			sy = ny + 1
+		}
+		c := &cells[sx*stride+sy]
+		c.entries++
+		c.sumW += w
+		c.sumW2 += w * w
+		c.sumWX += w * x
+		c.sumWY += w * y
+		if inX && inY {
+			h.sumW += w
+			h.sumWX += w * x
+			h.sumWY += w * y
+			h.sumWX2 += w * x * x
+			h.sumWY2 += w * y * y
+		}
+	}
+}
+
+// FillN adds every sample (xs[i], ys[i]) with weight ws[i]; a nil ws
+// fills with weight 1. Panics on mismatched slice lengths. Equivalent
+// to calling FillW per sample.
+func (p *Profile1D) FillN(xs, ys, ws []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	if len(ys) != len(xs) || (ws != nil && len(ws) != len(xs)) {
+		panic("aida: FillN slice length mismatch")
+	}
+	p.dirty = true
+	n := p.axis.nBins
+	lo, hi := p.axis.lo, p.axis.hi
+	bins := p.bins
+	over := len(bins) - 1
+	for i, x := range xs {
+		y := ys[i]
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		var slot int
+		if x >= lo && x < hi {
+			idx := int(float64(n) * (x - lo) / (hi - lo))
+			if idx >= n {
+				idx = n - 1
+			}
+			slot = idx + 1
+		} else if !(x < lo) { // overflow or NaN
+			slot = over
+		}
+		b := &bins[slot]
+		b.entries++
+		b.sumW += w
+		b.sumWY += w * y
+		b.sumWY2 += w * y * y
+	}
+}

@@ -1,0 +1,177 @@
+// Property tests pinning FillN's contract: bit-for-bit identical state
+// to the equivalent sequence of scalar fills, for every edge the scalar
+// path handles — NaN, ±Inf, exact bin edges, out-of-range traffic,
+// zero and negative weights. Bit-exactness (not approximate equality)
+// is what lets bulk-filling and scalar-filling workers merge without
+// last-ulp divergence, so the comparison is on gob-encoded state, which
+// preserves float bit patterns and treats NaN as equal to itself.
+package aida
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gobBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fillSamples yields n coordinates for an axis [lo,hi): every edge the
+// binning logic branches on, then random traffic straddling the range.
+func fillSamples(n int, lo, hi float64, rng *rand.Rand) []float64 {
+	xs := []float64{
+		lo, hi, math.Nextafter(hi, lo), lo - 1, hi + 1,
+		math.NaN(), math.Inf(1), math.Inf(-1), (lo + hi) / 2, -0.0,
+	}
+	for len(xs) < n {
+		// ~20% under/overflow.
+		xs = append(xs, lo+(hi-lo)*(1.4*rng.Float64()-0.2))
+	}
+	return xs
+}
+
+func fillWeights(n int, rng *rand.Rand) []float64 {
+	ws := make([]float64, n)
+	for i := range ws {
+		switch i % 7 {
+		case 0:
+			ws[i] = 0
+		case 1:
+			ws[i] = -1.5
+		default:
+			ws[i] = 3 * rng.Float64()
+		}
+	}
+	return ws
+}
+
+func TestFillNMatchesScalarHistogram1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := fillSamples(500, -5, 5, rng)
+	ws := fillWeights(len(xs), rng)
+
+	bulk := NewHistogram1D("h", "", 64, -5, 5)
+	scalar := NewHistogram1D("h", "", 64, -5, 5)
+	bulk.FillN(xs, ws)
+	for i := range xs {
+		scalar.FillW(xs[i], ws[i])
+	}
+	if !bytes.Equal(gobBytes(t, bulk.State()), gobBytes(t, scalar.State())) {
+		t.Fatal("weighted FillN state diverges from scalar FillW sequence")
+	}
+
+	bulk = NewHistogram1D("h", "", 64, -5, 5)
+	scalar = NewHistogram1D("h", "", 64, -5, 5)
+	bulk.FillN(xs, nil)
+	for _, x := range xs {
+		scalar.Fill(x)
+	}
+	if !bytes.Equal(gobBytes(t, bulk.State()), gobBytes(t, scalar.State())) {
+		t.Fatal("unweighted FillN state diverges from scalar Fill sequence")
+	}
+}
+
+func TestFillNMatchesScalarHistogram2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := fillSamples(400, 0, 10, rng)
+	ys := fillSamples(len(xs), -1, 1, rng)
+	ws := fillWeights(len(xs), rng)
+
+	bulk := NewHistogram2D("h2", "", 16, 0, 10, 12, -1, 1)
+	scalar := NewHistogram2D("h2", "", 16, 0, 10, 12, -1, 1)
+	bulk.FillN(xs, ys, ws)
+	for i := range xs {
+		scalar.FillW(xs[i], ys[i], ws[i])
+	}
+	if !bytes.Equal(gobBytes(t, bulk.State()), gobBytes(t, scalar.State())) {
+		t.Fatal("weighted FillN state diverges from scalar FillW sequence")
+	}
+
+	bulk = NewHistogram2D("h2", "", 16, 0, 10, 12, -1, 1)
+	scalar = NewHistogram2D("h2", "", 16, 0, 10, 12, -1, 1)
+	bulk.FillN(xs, ys, nil)
+	for i := range xs {
+		scalar.Fill(xs[i], ys[i])
+	}
+	if !bytes.Equal(gobBytes(t, bulk.State()), gobBytes(t, scalar.State())) {
+		t.Fatal("unweighted FillN state diverges from scalar Fill sequence")
+	}
+}
+
+func TestFillNMatchesScalarProfile1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := fillSamples(400, 0, 100, rng)
+	ys := fillSamples(len(xs), -50, 50, rng)
+	ws := fillWeights(len(xs), rng)
+
+	bulk := NewProfile1D("p", "", 25, 0, 100)
+	scalar := NewProfile1D("p", "", 25, 0, 100)
+	bulk.FillN(xs, ys, ws)
+	for i := range xs {
+		scalar.FillW(xs[i], ys[i], ws[i])
+	}
+	if !bytes.Equal(gobBytes(t, bulk.State()), gobBytes(t, scalar.State())) {
+		t.Fatal("weighted FillN state diverges from scalar FillW sequence")
+	}
+
+	bulk = NewProfile1D("p", "", 25, 0, 100)
+	scalar = NewProfile1D("p", "", 25, 0, 100)
+	bulk.FillN(xs, ys, nil)
+	for i := range xs {
+		scalar.Fill(xs[i], ys[i])
+	}
+	if !bytes.Equal(gobBytes(t, bulk.State()), gobBytes(t, scalar.State())) {
+		t.Fatal("unweighted FillN state diverges from scalar Fill sequence")
+	}
+}
+
+// TestFillNSplitInvariance: filling one big batch equals filling the
+// same samples as many small batches — FillN holds no cross-batch
+// state.
+func TestFillNSplitInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := fillSamples(600, -5, 5, rng)
+	ws := fillWeights(len(xs), rng)
+
+	whole := NewHistogram1D("h", "", 40, -5, 5)
+	whole.FillN(xs, ws)
+	split := NewHistogram1D("h", "", 40, -5, 5)
+	for i := 0; i < len(xs); i += 37 {
+		end := i + 37
+		if end > len(xs) {
+			end = len(xs)
+		}
+		split.FillN(xs[i:end], ws[i:end])
+	}
+	if !bytes.Equal(gobBytes(t, whole.State()), gobBytes(t, split.State())) {
+		t.Fatal("batch splitting changed the filled state")
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic on slice length mismatch", what)
+		}
+	}()
+	fn()
+}
+
+func TestFillNLengthMismatchPanics(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	short := []float64{1}
+	mustPanic(t, "H1D ws", func() { NewHistogram1D("h", "", 4, 0, 1).FillN(xs, short) })
+	mustPanic(t, "H2D ys", func() { NewHistogram2D("h", "", 4, 0, 1, 4, 0, 1).FillN(xs, short, nil) })
+	mustPanic(t, "H2D ws", func() { NewHistogram2D("h", "", 4, 0, 1, 4, 0, 1).FillN(xs, xs, short) })
+	mustPanic(t, "P1D ys", func() { NewProfile1D("p", "", 4, 0, 1).FillN(xs, short, nil) })
+	mustPanic(t, "P1D ws", func() { NewProfile1D("p", "", 4, 0, 1).FillN(xs, xs, short) })
+}

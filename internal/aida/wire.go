@@ -998,13 +998,13 @@ func appendFlateFrame(dst []byte, body func([]byte) ([]byte, error)) ([]byte, er
 	bp := encPool.Get().(*[]byte)
 	raw, err := body((*bp)[:0])
 	if err != nil {
-		*bp = raw[:0]
-		encPool.Put(bp)
+		*bp = raw
+		putEncBuf(bp)
 		return dst, err
 	}
 	dst, err = appendFlateRaw(dst, raw)
-	*bp = raw[:0]
-	encPool.Put(bp)
+	*bp = raw
+	putEncBuf(bp)
 	return dst, err
 }
 
@@ -1028,8 +1028,8 @@ func appendPolicyFrame(dst []byte, p *CompressionPolicy, body func([]byte) ([]by
 	bp := encPool.Get().(*[]byte)
 	scratch := append((*bp)[:0], raw...)
 	dst, err = appendFlateRaw(dst[:mark], scratch)
-	*bp = scratch[:0]
-	encPool.Put(bp)
+	*bp = scratch
+	putEncBuf(bp)
 	if err != nil {
 		return dst, err
 	}
@@ -1090,12 +1090,12 @@ func encodePooled(fn func([]byte) ([]byte, error)) ([]byte, error) {
 	if err == nil {
 		out := make([]byte, len(buf))
 		copy(out, buf)
-		*bp = buf[:0]
-		encPool.Put(bp)
+		*bp = buf
+		putEncBuf(bp)
 		return out, nil
 	}
-	*bp = buf[:0]
-	encPool.Put(bp)
+	*bp = buf
+	putEncBuf(bp)
 	return nil, err
 }
 
@@ -1214,9 +1214,20 @@ func (f ObjectFrame) Restore() (Object, error) {
 // encoded, which is the whole point of caching it.
 func (f ObjectFrame) GobEncode() ([]byte, error) { return f, nil }
 
-// GobDecode copies the received frame.
+// GobDecode copies the received frame. With frame pooling on (the
+// default) the copy lands in a recycled buffer from the decode free
+// list — the receiver owns it and hands it back via Release once the
+// frame is restored, making warm poll decodes allocation-free. The
+// unpooled ablation baseline (SetFramePooling(false)) allocates per
+// frame, as before.
 func (f *ObjectFrame) GobDecode(b []byte) error {
-	*f = append(ObjectFrame(nil), b...)
+	if !framePooling {
+		*f = append(ObjectFrame(nil), b...)
+		return nil
+	}
+	buf := frameBufs.get(len(b))
+	copy(buf, b)
+	*f = ObjectFrame(buf)
 	return nil
 }
 

@@ -332,6 +332,7 @@ func (c *Client) pollReply(args merge.PollArgs) (merge.PollReply, error) {
 		// the router (authoritative either way) but keep the direct
 		// connection: once data flows the client's version rises and a
 		// tombstone's regressed version becomes detectable.
+		reply.Release()
 		reply = merge.PollReply{}
 	}
 	err := c.rmi.Call("AIDAManager.Poll", args, &reply)
@@ -365,6 +366,7 @@ func (c *Client) Poll() (Update, error) {
 	if resync {
 		// Our mirror may hold state the new owner never saw, so rebuild
 		// it from a full poll instead of patching.
+		reply.Release()
 		reply = merge.PollReply{}
 		if err := c.rmi.Call("AIDAManager.Poll", merge.PollArgs{
 			SessionID: c.sessionID, Full: true,
@@ -400,6 +402,9 @@ func (c *Client) Poll() (Update, error) {
 		}
 		up.ChangedPaths = append(up.ChangedPaths, ent.Path)
 	}
+	// Every frame in this reply was decoded off the wire and is now
+	// consumed; recycle the buffers for the next poll.
+	reply.Release()
 	return up, nil
 }
 

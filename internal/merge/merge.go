@@ -62,7 +62,7 @@ import (
 // single Manager and the sharded shard.Router implement it, so one
 // configuration field selects a bare manager or a multi-shard fabric.
 type Service interface {
-	Publisher
+	BatchPublisher
 	Poll(args PollArgs, reply *PollReply) error
 	Reset(args ResetArgs, reply *ResetReply) error
 	// Version returns a session's current merged-result version (0 for
@@ -177,6 +177,20 @@ func (e PollEntry) State() (aida.ObjectState, error) { return e.Frame.Decode() }
 
 // Restore decodes the frame and rebuilds the live object.
 func (e PollEntry) Restore() (aida.Object, error) { return e.Frame.Restore() }
+
+// Release recycles every entry's frame buffer into the decode free
+// list and clears the entries, so the next poll's wire decode reuses
+// the memory instead of allocating. Call it only on replies that
+// crossed the wire (core.Client does, after restoring the objects):
+// an in-process reply's frames are shared with the manager's encode
+// cache, and releasing those would corrupt later polls.
+func (r *PollReply) Release() {
+	for i := range r.Entries {
+		r.Entries[i].Frame.Release()
+		r.Entries[i].Frame = nil
+	}
+	r.Entries = r.Entries[:0]
+}
 
 type workerState struct {
 	seq   int64

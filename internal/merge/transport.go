@@ -149,6 +149,7 @@ func (t *Transport) Send(build func(full bool) (Snapshot, error)) (PublishReply,
 // any per-call plumbing.
 type RemotePublisher struct {
 	client *rmi.Client
+	object string
 	target string
 }
 
@@ -162,7 +163,7 @@ func NewRemotePublisher(client *rmi.Client, object string) *RemotePublisher {
 	if object == "" {
 		object = RMIObjectName
 	}
-	return &RemotePublisher{client: client, target: object + ".Publish"}
+	return &RemotePublisher{client: client, object: object, target: object + ".Publish"}
 }
 
 // Publish implements Publisher over the wire.

@@ -1385,6 +1385,9 @@ func (f *faultShard) call(do func() error) error {
 func (f *faultShard) Publish(a merge.PublishArgs, r *merge.PublishReply) error {
 	return f.call(func() error { return f.inner.Publish(a, r) })
 }
+func (f *faultShard) PublishBatch(a merge.PublishBatchArgs, r *merge.PublishBatchReply) error {
+	return f.call(func() error { return f.inner.PublishBatch(a, r) })
+}
 func (f *faultShard) Poll(a merge.PollArgs, r *merge.PollReply) error {
 	return f.call(func() error { return f.inner.Poll(a, r) })
 }

@@ -1,0 +1,407 @@
+// Envelope v2: a hand-rolled length-prefixed binary header replacing
+// the reflection-gob request/response framing. The payloads (args and
+// replies) still ride a persistent per-connection gob stream — the big
+// states inside them already use the aida binary codec via their
+// GobEncode hooks — but the per-call header shrinks from a reflected
+// struct encode to a dozen appended bytes, and every payload is length
+// prefixed, so error responses need no placeholder body and a receiver
+// can skip a frame without decoding it.
+//
+// Negotiation: a dialing client sends the 4-byte magic "IPA2" before
+// anything else; a v2-capable server peeks it, echoes it back, and
+// both sides switch to binary framing. An old peer chokes on the magic
+// (its gob decoder kills the connection) or never acks, so the client
+// falls back: it redials speaking plain gob and remembers the
+// downgrade for later reconnects. WithGobEnvelope skips negotiation
+// entirely — the retained ablation baseline (A13).
+//
+// v2 frame layout (uvarint = unsigned varint, str = uvarint len + bytes):
+//
+//	request:  'Q' seq(uvarint) object(str) method(str) token(str) n(uvarint) payload(n)
+//	response: 'S' seq(uvarint) status(1B; 0=ok 1=err)
+//	          status 1: msg(str)          — no payload
+//	          status 0: n(uvarint) payload(n)
+package rmi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+)
+
+var v2Magic = [4]byte{'I', 'P', 'A', '2'}
+
+const (
+	frameRequest = 'Q'
+	frameReply   = 'S'
+
+	// maxHeaderString bounds object/method/token/error strings; a
+	// corrupt length must not drive an allocation.
+	maxHeaderString = 1 << 16
+	// maxPayloadBytes bounds one call's payload.
+	maxPayloadBytes = 1 << 30
+	// maxPooledWire caps the per-connection reusable payload read
+	// buffer: a one-off giant frame must not pin memory for the
+	// connection's lifetime (same rule as the aida encode pools).
+	maxPooledWire = 1 << 20
+)
+
+// v2AckTimeout bounds the wait for the server's negotiation ack. An
+// old gob peer usually kills the connection instead (instant error);
+// the deadline covers peers that merely go silent.
+var v2AckTimeout = 3 * time.Second
+
+// clientNegotiateV2 runs the dial-time handshake on a fresh
+// connection. Any failure means "old peer" to the caller.
+func clientNegotiateV2(conn net.Conn) error {
+	if _, err := conn.Write(v2Magic[:]); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(v2AckTimeout))
+	var ack [4]byte
+	_, err := io.ReadFull(conn, ack[:])
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		return err
+	}
+	if ack != v2Magic {
+		return errors.New("rmi: bad envelope ack")
+	}
+	return nil
+}
+
+// byteFeeder hands a persistent gob decoder exactly one frame's
+// payload at a time. It implements io.ByteReader so gob does not wrap
+// it in a bufio.Reader (which could hoard bytes across frames).
+type byteFeeder struct{ b []byte }
+
+func (f *byteFeeder) set(b []byte) { f.b = b }
+
+func (f *byteFeeder) remaining() int { return len(f.b) }
+
+func (f *byteFeeder) Read(p []byte) (int, error) {
+	if len(f.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, f.b)
+	f.b = f.b[n:]
+	return n, nil
+}
+
+func (f *byteFeeder) ReadByte() (byte, error) {
+	if len(f.b) == 0 {
+		return 0, io.EOF
+	}
+	c := f.b[0]
+	f.b = f.b[1:]
+	return c, nil
+}
+
+func appendWireString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readWireString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxHeaderString {
+		return "", fmt.Errorf("rmi: header string of %d bytes", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// readPayload reads one length-prefixed payload into a reusable
+// buffer, growing (and retaining, up to maxPooledWire) as needed.
+func readPayload(br *bufio.Reader, buf *[]byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxPayloadBytes {
+		return nil, fmt.Errorf("rmi: payload of %d bytes", n)
+	}
+	var b []byte
+	if int(n) <= cap(*buf) {
+		b = (*buf)[:n]
+	} else {
+		b = make([]byte, n)
+		if n <= maxPooledWire {
+			*buf = b
+		}
+	}
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// --- server side ---
+
+// serveV2 is the binary-envelope read loop: the v2 counterpart of the
+// gob loop in serveConn. Argument decode stays inline (the loop owns
+// the payload gob stream); handlers run in their own goroutines
+// exactly like the gob path.
+func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, w *connWriter, handlers *sync.WaitGroup) {
+	slots := make(chan struct{}, maxInFlightPerConn)
+	feed := &byteFeeder{}
+	pdec := gob.NewDecoder(feed)
+	var payload []byte
+	for {
+		t, err := br.ReadByte()
+		if err != nil || t != frameRequest {
+			return
+		}
+		seq, err := binary.ReadUvarint(br)
+		if err != nil {
+			return
+		}
+		object, err := readWireString(br)
+		if err != nil {
+			return
+		}
+		method, err := readWireString(br)
+		if err != nil {
+			return
+		}
+		token, err := readWireString(br)
+		if err != nil {
+			return
+		}
+		body, err := readPayload(br, &payload)
+		if err != nil {
+			return
+		}
+		if !s.dispatchV2(seq, object, method, token, body, feed, pdec, w, handlers, slots) {
+			return
+		}
+	}
+}
+
+// dispatchV2 resolves and launches one v2 request. The payload is
+// already consumed off the wire, so unlike the gob path a rejected
+// call needs no drain and cannot desynchronize the stream. Returns
+// false when the connection must drop (payload gob state poisoned, or
+// an injected crash).
+func (s *Server) dispatchV2(seq uint64, object, method, token string, payload []byte,
+	feed *byteFeeder, pdec *gob.Decoder, w *connWriter, handlers *sync.WaitGroup, slots chan struct{}) bool {
+	fail := func(msg string) bool {
+		// The payload still carries this call's share of the persistent
+		// gob stream's type definitions; run it through the decoder (into
+		// a throwaway, like the gob path's drain) so later calls reusing
+		// those types still decode.
+		feed.set(payload)
+		var discard any
+		pdec.Decode(&discard)
+		ok := feed.remaining() == 0
+		feed.set(nil)
+		w.writeError(seq, msg)
+		return ok
+	}
+	s.mu.RLock()
+	obj := s.objects[object]
+	s.mu.RUnlock()
+	if obj == nil {
+		return fail(fmt.Sprintf("rmi: no object %q", object))
+	}
+	m := obj.methods[method]
+	if m == nil {
+		return fail(fmt.Sprintf("rmi: %s has no method %q", object, method))
+	}
+	if s.validate != nil {
+		if err := s.validate(token, object, method); err != nil {
+			return fail(err.Error())
+		}
+	}
+	if fs := s.faults.Load(); fs != nil {
+		switch fs.decide() {
+		case faultError:
+			return fail(ErrInjected)
+		case faultDrop:
+			return false
+		case faultDelay:
+			time.Sleep(fs.f.Delay)
+		}
+	}
+	feed.set(payload)
+	argp := reflect.New(m.argType)
+	if err := pdec.DecodeValue(argp); err != nil || feed.remaining() != 0 {
+		// The persistent payload gob stream may hold partial type state;
+		// drop the connection rather than trust it (same rule as gob
+		// envelope desync).
+		w.writeError(seq, "rmi: decoding argument")
+		return false
+	}
+	slots <- struct{}{} // blocks past maxInFlightPerConn
+	handlers.Add(1)
+	go func() {
+		defer func() {
+			<-slots
+			handlers.Done()
+		}()
+		reply := reflect.New(m.replyType)
+		out := m.fn.Call([]reflect.Value{argp.Elem(), reply})
+		if errv := out[0].Interface(); errv != nil {
+			w.writeError(seq, errv.(error).Error())
+			return
+		}
+		w.writeReply(seq, reply)
+	}()
+	return true
+}
+
+// writeErrorV2 emits an error response frame. Caller holds w.mu.
+func (w *connWriter) writeErrorV2(seq uint64, msg string) {
+	hdr := w.scratch[:0]
+	hdr = append(hdr, frameReply)
+	hdr = binary.AppendUvarint(hdr, seq)
+	hdr = append(hdr, 1)
+	hdr = appendWireString(hdr, msg)
+	w.scratch = hdr
+	if _, err := w.bw.Write(hdr); err != nil {
+		w.fail()
+		return
+	}
+	if w.bw.Flush() != nil {
+		w.fail()
+	}
+}
+
+// writeReplyV2 emits a success response frame: the reply value is gob
+// encoded into the connection's persistent payload stream (scratch
+// buffer), then shipped behind a binary header with its length.
+// Caller holds w.mu.
+func (w *connWriter) writeReplyV2(seq uint64, reply reflect.Value) {
+	w.pbuf.Reset()
+	if w.penc.EncodeValue(reply) != nil {
+		w.fail()
+		return
+	}
+	hdr := w.scratch[:0]
+	hdr = append(hdr, frameReply)
+	hdr = binary.AppendUvarint(hdr, seq)
+	hdr = append(hdr, 0)
+	hdr = binary.AppendUvarint(hdr, uint64(w.pbuf.Len()))
+	w.scratch = hdr
+	if _, err := w.bw.Write(hdr); err != nil {
+		w.fail()
+		return
+	}
+	if _, err := w.bw.Write(w.pbuf.Bytes()); err != nil {
+		w.fail()
+		return
+	}
+	if w.bw.Flush() != nil {
+		w.fail()
+	}
+}
+
+// --- client side ---
+
+// writeRequestV2 encodes args into the connection's persistent payload
+// gob stream and ships them behind a binary request header. Caller
+// holds cc.wmu.
+func (cc *clientConn) writeRequestV2(seq uint64, object, method, token string, args any) error {
+	cc.pbuf.Reset()
+	if err := cc.penc.Encode(args); err != nil {
+		return err
+	}
+	hdr := cc.hdr[:0]
+	hdr = append(hdr, frameRequest)
+	hdr = binary.AppendUvarint(hdr, seq)
+	hdr = appendWireString(hdr, object)
+	hdr = appendWireString(hdr, method)
+	hdr = appendWireString(hdr, token)
+	hdr = binary.AppendUvarint(hdr, uint64(cc.pbuf.Len()))
+	cc.hdr = hdr
+	if _, err := cc.bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := cc.bw.Write(cc.pbuf.Bytes()); err != nil {
+		return err
+	}
+	return cc.bw.Flush()
+}
+
+// readLoopV2 is the binary-envelope response loop: headers are
+// hand-parsed, reply payloads decode through the connection's
+// persistent gob stream straight into the caller's reply value — same
+// matching and poisoning discipline as the gob read loop.
+func (c *Client) readLoopV2(cc *clientConn) {
+	feed := &byteFeeder{}
+	pdec := gob.NewDecoder(feed)
+	var payload []byte
+	die := func(err error) {
+		c.drop(cc)
+		cc.fail(err)
+	}
+	for {
+		t, err := cc.br.ReadByte()
+		if err != nil {
+			die(fmt.Errorf("rmi: reading response: %w", err))
+			return
+		}
+		if t != frameReply {
+			die(fmt.Errorf("rmi: bad response frame 0x%02x", t))
+			return
+		}
+		seq, err := binary.ReadUvarint(cc.br)
+		if err != nil {
+			die(fmt.Errorf("rmi: reading response: %w", err))
+			return
+		}
+		status, err := cc.br.ReadByte()
+		if err != nil {
+			die(fmt.Errorf("rmi: reading response: %w", err))
+			return
+		}
+		if status != 0 {
+			msg, err := readWireString(cc.br)
+			if err != nil {
+				die(fmt.Errorf("rmi: reading response: %w", err))
+				return
+			}
+			pc := cc.take(seq)
+			if pc == nil {
+				die(fmt.Errorf("rmi: unmatched response seq %d", seq))
+				return
+			}
+			pc.done <- RemoteError(msg)
+			continue
+		}
+		body, err := readPayload(cc.br, &payload)
+		if err != nil {
+			die(fmt.Errorf("rmi: reading response: %w", err))
+			return
+		}
+		pc := cc.take(seq)
+		if pc == nil {
+			die(fmt.Errorf("rmi: unmatched response seq %d", seq))
+			return
+		}
+		feed.set(body)
+		if err := pdec.Decode(pc.reply); err != nil || feed.remaining() != 0 {
+			if err == nil {
+				err = errors.New("rmi: reply payload not fully consumed")
+			}
+			err = fmt.Errorf("rmi: reading reply: %w", err)
+			pc.done <- err
+			die(err)
+			return
+		}
+		pc.done <- nil
+	}
+}

@@ -1,0 +1,170 @@
+// Envelope v2 coverage: the binary header negotiated at dial must be
+// transparent to callers — same results, same error surface, same
+// pipelining — and the gob fallback must keep a v2 client talking to a
+// v1-only server (and vice versa via WithGobEnvelope).
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestV2IsTheNegotiatedDefault(t *testing.T) {
+	_, addr := startServer(t, nil)
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.BinaryEnvelope() {
+		t.Fatal("fresh dial against a current server should negotiate the v2 envelope")
+	}
+	var sum float64
+	if err := c.Call("Calc.Add", addArgs{A: 2, B: 3}, &sum); err != nil || sum != 5 {
+		t.Fatalf("Add over v2 = %v, %v", sum, err)
+	}
+}
+
+func TestWithGobEnvelopePinsV1(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	defer srv.Close()
+	c, err := Dial(addr, "tok", WithGobEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.BinaryEnvelope() {
+		t.Fatal("WithGobEnvelope client reports the binary envelope")
+	}
+	var sum float64
+	if err := c.Call("Calc.Add", addArgs{A: 2, B: 3}, &sum); err != nil || sum != 5 {
+		t.Fatalf("Add over pinned gob = %v, %v", sum, err)
+	}
+}
+
+func TestGobFallbackAgainstOldServer(t *testing.T) {
+	// A v1-only peer never acks the magic; after the negotiation timeout
+	// the client must redial in gob mode and work normally.
+	s := NewServer(nil)
+	s.gobOnly = true
+	if err := s.Register("Calc", &calcService{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	prev := v2AckTimeout
+	v2AckTimeout = 200 * time.Millisecond
+	defer func() { v2AckTimeout = prev }()
+
+	c, err := Dial(addr.String(), "tok")
+	if err != nil {
+		t.Fatalf("dial against v1-only server: %v", err)
+	}
+	defer c.Close()
+	if c.BinaryEnvelope() {
+		t.Fatal("client claims v2 against a server that never acked it")
+	}
+	for i := 0; i < 5; i++ {
+		var sum float64
+		if err := c.Call("Calc.Add", addArgs{A: float64(i), B: 1}, &sum); err != nil || sum != float64(i)+1 {
+			t.Fatalf("call %d over fallback = %v, %v", i, sum, err)
+		}
+	}
+}
+
+func TestV2ErrorSurfaceMatchesGob(t *testing.T) {
+	for _, gob := range []bool{false, true} {
+		_, addr := startServer(t, nil)
+		var opts []Option
+		if gob {
+			opts = append(opts, WithGobEnvelope())
+		}
+		c, err := Dial(addr, "tok", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var out string
+		err = c.Call("Calc.Fail", struct{}{}, &out)
+		var re RemoteError
+		if !errors.As(err, &re) || !strings.Contains(err.Error(), "deliberate failure") {
+			t.Fatalf("gob=%v: Fail error = %v, want RemoteError with message", gob, err)
+		}
+		if err := c.Call("NoSuch.Method", struct{}{}, &out); err == nil || !strings.Contains(err.Error(), "no object") {
+			t.Fatalf("gob=%v: unknown object error = %v", gob, err)
+		}
+		if err := c.Call("Calc.NoSuch", struct{}{}, &out); err == nil || !strings.Contains(err.Error(), "no method") {
+			t.Fatalf("gob=%v: unknown method error = %v", gob, err)
+		}
+		// The connection must stay usable after every rejection — the
+		// persistent payload codec may not desync.
+		var sum float64
+		if err := c.Call("Calc.Add", addArgs{A: 1, B: 2}, &sum); err != nil || sum != 3 {
+			t.Fatalf("gob=%v: Add after rejections = %v, %v", gob, sum, err)
+		}
+		c.Close()
+	}
+}
+
+func TestV2ConcurrentPipelinedCalls(t *testing.T) {
+	_, addr := startServer(t, nil)
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.BinaryEnvelope() {
+		t.Fatal("expected v2")
+	}
+	const callers, calls = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				var sum float64
+				a, b := float64(g), float64(i)
+				if err := c.Call("Calc.Add", addArgs{A: a, B: b}, &sum); err != nil {
+					errs <- err
+					return
+				}
+				if sum != a+b {
+					errs <- fmt.Errorf("caller %d call %d: reply %v, want %v", g, i, sum, a+b)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestV2ComplexPayloadRoundTrip(t *testing.T) {
+	_, addr := startServer(t, nil)
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in := echoArgs{Msg: strings.Repeat("x", 4096), Nums: []int{1, 2, 3}, Map: map[string]string{"k": "v"}}
+	var out echoArgs
+	if err := c.Call("Echo.Echo", in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Msg != in.Msg || len(out.Nums) != 3 || out.Map["k"] != "v" {
+		t.Fatalf("echo mangled the payload: %+v", out)
+	}
+}

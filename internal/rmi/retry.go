@@ -103,7 +103,13 @@ func (c *Client) connRetryLocked(ctx context.Context) (*clientConn, error) {
 			conn, err = net.Dial("tcp", c.addr)
 		}
 		if err == nil {
-			return c.adoptConnLocked(conn), nil
+			cc, aerr := c.adoptConnLocked(conn)
+			if aerr == nil {
+				return cc, nil
+			}
+			// Adoption only fails on the gob-fallback redial; retry it
+			// like any other dial failure.
+			err = aerr
 		}
 		lastErr = err
 		if ctx != nil && ctx.Err() != nil {

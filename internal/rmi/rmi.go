@@ -27,6 +27,7 @@ package rmi
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -87,6 +88,10 @@ type Server struct {
 
 	// faults, when set, injects failures into dispatch (see SetFaults).
 	faults atomic.Pointer[faultState]
+
+	// gobOnly disables envelope v2 negotiation, simulating an old peer
+	// so tests can exercise the client's gob fallback.
+	gobOnly bool
 
 	lnMu     sync.Mutex
 	listener net.Listener
@@ -204,13 +209,26 @@ type connWriter struct {
 	mu   sync.Mutex
 	conn net.Conn
 	bw   *bufio.Writer
-	enc  *gob.Encoder
+	enc  *gob.Encoder // gob envelope
+
+	// v2 envelope state: reusable header scratch plus the connection's
+	// persistent payload gob stream (penc writes into pbuf, which ships
+	// length-prefixed behind the binary header).
+	v2      bool
+	scratch []byte
+	pbuf    bytes.Buffer
+	penc    *gob.Encoder
 }
 
-// writeError sends an error response with the placeholder body.
+// writeError sends an error response (with the placeholder body the
+// gob envelope requires; the v2 envelope sends none).
 func (w *connWriter) writeError(seq uint64, msg string) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.v2 {
+		w.writeErrorV2(seq, msg)
+		return
+	}
 	if w.enc.Encode(&response{Seq: seq, Err: msg}) != nil {
 		w.fail()
 		return
@@ -228,6 +246,10 @@ func (w *connWriter) writeError(seq uint64, msg string) {
 func (w *connWriter) writeReply(seq uint64, reply reflect.Value) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.v2 {
+		w.writeReplyV2(seq, reply)
+		return
+	}
 	if w.enc.Encode(&response{Seq: seq}) != nil {
 		w.fail()
 		return
@@ -256,7 +278,7 @@ const maxInFlightPerConn = 256
 func (s *Server) serveConn(conn net.Conn) {
 	bw := writerPool.Get().(*bufio.Writer)
 	bw.Reset(conn)
-	w := &connWriter{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+	w := &connWriter{conn: conn, bw: bw}
 	var handlers sync.WaitGroup
 	defer func() {
 		conn.Close()
@@ -269,7 +291,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.lnMu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	// Envelope negotiation: a v2 client leads with the magic before any
+	// gob bytes; a gob client's first request header never matches it
+	// (and is always ≥4 bytes, so the peek cannot stall a legacy peer).
+	br := bufio.NewReaderSize(conn, 8192)
+	if first, err := br.Peek(4); err == nil && !s.gobOnly && bytes.Equal(first, v2Magic[:]) {
+		br.Discard(4)
+		if _, err := conn.Write(v2Magic[:]); err != nil {
+			return
+		}
+		w.v2 = true
+		w.penc = gob.NewEncoder(&w.pbuf)
+		s.serveV2(conn, br, w, &handlers)
+		return
+	}
+	w.enc = gob.NewEncoder(bw)
+	dec := gob.NewDecoder(br)
 	slots := make(chan struct{}, maxInFlightPerConn)
 	for {
 		var req request
@@ -366,9 +403,17 @@ type clientConn struct {
 
 	wmu sync.Mutex // serializes request writes (header+args+flush)
 	bw  *bufio.Writer
-	enc *gob.Encoder
+	enc *gob.Encoder // gob envelope
 
-	dec *gob.Decoder // owned by the read loop
+	// v2 envelope write state (guarded by wmu): reusable header scratch
+	// and the persistent payload gob stream.
+	v2   bool
+	hdr  []byte
+	pbuf bytes.Buffer
+	penc *gob.Encoder
+
+	br  *bufio.Reader // owned by the read loop (v2 envelope)
+	dec *gob.Decoder  // owned by the read loop (gob envelope)
 
 	pmu     sync.Mutex
 	seq     uint64
@@ -433,6 +478,11 @@ type Client struct {
 	serialized bool
 	callMu     sync.Mutex // held per-call in serialized mode
 
+	// gobEnv pins the gob envelope (ablation); v2Fallback records a
+	// failed v2 negotiation so reconnects stop re-probing an old peer.
+	gobEnv     bool
+	v2Fallback bool
+
 	// retry bounds dial attempts (see WithRetry); jrand is the jitter
 	// stream, lazily seeded from the address.
 	retry RetryPolicy
@@ -458,8 +508,23 @@ func WithSerializedCalls() Option {
 	return func(c *Client) { c.serialized = true }
 }
 
+// WithGobEnvelope pins the connection to the original reflection-gob
+// request/response framing instead of negotiating the binary v2
+// envelope — the retained A13 ablation baseline.
+func WithGobEnvelope() Option {
+	return func(c *Client) { c.gobEnv = true }
+}
+
 // Compressed reports whether this connection prefers compressed frames.
 func (c *Client) Compressed() bool { return c.compressed }
+
+// BinaryEnvelope reports whether the live connection speaks the binary
+// v2 envelope (false after a gob fallback or under WithGobEnvelope).
+func (c *Client) BinaryEnvelope() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cc != nil && c.cc.v2
+}
 
 // Dial connects to an RMI server. token rides along on every call.
 func Dial(addr, token string, opts ...Option) (*Client, error) {
@@ -482,18 +547,46 @@ func (c *Client) connLocked() (*clientConn, error) {
 }
 
 // adoptConnLocked wraps a freshly dialed conn as the client's live
-// connection and starts its read loop. Caller holds c.mu.
-func (c *Client) adoptConnLocked(conn net.Conn) *clientConn {
+// connection — negotiating the v2 envelope unless pinned to gob, and
+// redialing in gob mode when the peer turns out to be old — and starts
+// its read loop. Caller holds c.mu.
+func (c *Client) adoptConnLocked(conn net.Conn) (*clientConn, error) {
+	useV2 := !c.gobEnv && !c.v2Fallback
+	if useV2 {
+		if err := clientNegotiateV2(conn); err != nil {
+			// Old peer (or it died mid-handshake): remember the
+			// downgrade — later reconnects skip the probe — and redial
+			// speaking plain gob.
+			conn.Close()
+			c.v2Fallback = true
+			conn2, derr := net.Dial("tcp", c.addr)
+			if derr != nil {
+				return nil, fmt.Errorf("rmi: gob fallback redial: %w", derr)
+			}
+			conn = conn2
+			useV2 = false
+		}
+	}
 	bw := bufio.NewWriterSize(conn, 8192)
 	cc := &clientConn{
 		conn: conn, bw: bw,
-		enc:     gob.NewEncoder(bw),
-		dec:     gob.NewDecoder(conn),
 		pending: make(map[uint64]*pendingCall),
 	}
+	if useV2 {
+		cc.v2 = true
+		cc.penc = gob.NewEncoder(&cc.pbuf)
+		cc.br = bufio.NewReaderSize(conn, 8192)
+	} else {
+		cc.enc = gob.NewEncoder(bw)
+		cc.dec = gob.NewDecoder(conn)
+	}
 	c.cc = cc
-	go c.readLoop(cc)
-	return cc
+	if cc.v2 {
+		go c.readLoopV2(cc)
+	} else {
+		go c.readLoop(cc)
+	}
+	return cc, nil
 }
 
 // drop forgets cc if it is still the client's current connection, so
@@ -593,14 +686,18 @@ func (c *Client) Call(objectDotMethod string, args any, reply any) error {
 	if err != nil {
 		return err
 	}
-	req := request{Seq: seq, Object: obj, Method: method, Token: token}
 	cc.wmu.Lock()
-	err = cc.enc.Encode(&req)
-	if err == nil {
-		err = cc.enc.Encode(args)
-	}
-	if err == nil {
-		err = cc.bw.Flush()
+	if cc.v2 {
+		err = cc.writeRequestV2(seq, obj, method, token, args)
+	} else {
+		req := request{Seq: seq, Object: obj, Method: method, Token: token}
+		err = cc.enc.Encode(&req)
+		if err == nil {
+			err = cc.enc.Encode(args)
+		}
+		if err == nil {
+			err = cc.bw.Flush()
+		}
 	}
 	cc.wmu.Unlock()
 	if err != nil {

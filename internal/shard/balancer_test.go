@@ -252,6 +252,9 @@ func (f *flakyBackend) call(do func() error) error {
 func (f *flakyBackend) Publish(a merge.PublishArgs, r *merge.PublishReply) error {
 	return f.call(func() error { return f.inner.Publish(a, r) })
 }
+func (f *flakyBackend) PublishBatch(a merge.PublishBatchArgs, r *merge.PublishBatchReply) error {
+	return f.call(func() error { return f.inner.PublishBatch(a, r) })
+}
 func (f *flakyBackend) Poll(a merge.PollArgs, r *merge.PollReply) error {
 	return f.call(func() error { return f.inner.Poll(a, r) })
 }

@@ -1,0 +1,94 @@
+// Batched publish routing: one coalesced PublishBatch fans out to the
+// home shards of the sessions it carries. Items for the same session
+// share a shard (and stay in order, so per-producer seq ordering
+// survives batching); disjoint shards are scattered concurrently,
+// which is where a batch on a multicore fabric beats the same
+// publishes issued one call at a time.
+package shard
+
+import (
+	"sync"
+
+	"github.com/ipa-grid/ipa/internal/merge"
+)
+
+// PublishBatch routes each item to its session's home shard and applies
+// per-shard sub-batches concurrently. Per-item failures (routing or
+// publish) land in reply.Errs at the item's position; the call itself
+// only fails on malformed input, mirroring Manager.PublishBatch.
+func (r *Router) PublishBatch(args merge.PublishBatchArgs, reply *merge.PublishBatchReply) error {
+	n := len(args.Items)
+	reply.Replies = make([]merge.PublishReply, n)
+	reply.Errs = make([]string, n)
+	names := make([]string, n)
+	type group struct {
+		backend Backend
+		idx     []int
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	for i := range args.Items {
+		name, b, err := r.owner(args.Items[i].SessionID, true)
+		if err != nil {
+			reply.Errs[i] = err.Error()
+			continue
+		}
+		names[i] = name
+		g := groups[name]
+		if g == nil {
+			g = &group{backend: b}
+			groups[name] = g
+			order = append(order, g)
+		}
+		g.idx = append(g.idx, i)
+	}
+	apply := func(g *group) {
+		sub := merge.PublishBatchArgs{Items: make([]merge.PublishArgs, len(g.idx))}
+		for k, i := range g.idx {
+			sub.Items[k] = args.Items[i]
+		}
+		var sr merge.PublishBatchReply
+		if err := g.backend.PublishBatch(sub, &sr); err != nil {
+			for _, i := range g.idx {
+				reply.Errs[i] = err.Error()
+			}
+			return
+		}
+		for k, i := range g.idx {
+			switch {
+			case k < len(sr.Errs) && sr.Errs[k] != "":
+				reply.Errs[i] = sr.Errs[k]
+			case k < len(sr.Replies):
+				reply.Replies[i] = sr.Replies[k]
+			}
+		}
+	}
+	if len(order) == 1 {
+		apply(order[0])
+	} else {
+		// Each group writes disjoint positions of the reply slices, so
+		// the scatter needs no further coordination.
+		var wg sync.WaitGroup
+		for _, g := range order {
+			wg.Add(1)
+			go func(g *group) {
+				defer wg.Done()
+				apply(g)
+			}(g)
+		}
+		wg.Wait()
+	}
+	if r.Replicate {
+		for i := range args.Items {
+			if reply.Errs[i] == "" && reply.Replies[i].Accepted {
+				r.enqueueMirror(names[i], args.Items[i], &reply.Replies[i])
+			}
+		}
+	}
+	return nil
+}
+
+// PublishBatch ships the whole batch to the remote shard as one call.
+func (r *Remote) PublishBatch(args merge.PublishBatchArgs, reply *merge.PublishBatchReply) error {
+	return r.pub.PublishBatch(args, reply)
+}

@@ -42,6 +42,7 @@ import (
 // over an rmi.Client for shards on other nodes.
 type Backend interface {
 	Publish(args merge.PublishArgs, reply *merge.PublishReply) error
+	PublishBatch(args merge.PublishBatchArgs, reply *merge.PublishBatchReply) error
 	Poll(args merge.PollArgs, reply *merge.PollReply) error
 	Reset(args merge.ResetArgs, reply *merge.ResetReply) error
 	Flush(args merge.FlushArgs, reply *merge.FlushReply) error

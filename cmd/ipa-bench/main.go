@@ -1,14 +1,14 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_7.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1…BENCH_6 baselines. The baseline carries
+// (default BENCH_8.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1…BENCH_7 baselines. The baseline carries
 // an "env" block (Go version, CPU count, GOMAXPROCS) so trajectory
 // comparisons are hardware-aware.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|all] [-out DIR] [-json FILE] [-tiny] [-cpuprofile FILE] [-memprofile FILE]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|all] [-out DIR] [-json FILE] [-tiny] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -34,7 +34,7 @@ func main() {
 func realMain() int {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_7.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_8.json", "metrics baseline file (\"\" disables)")
 	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -90,9 +90,9 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl", "mcore":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl", "mcore", "obs":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -525,6 +525,33 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 		} else if n == 1 {
 			fmt.Fprintf(w, "single-CPU host: no scaling row possible (env block records num_cpu=%d)\n\n", runtime.NumCPU())
 		}
+	}
+	if all || exp == "obs" {
+		// A14 — telemetry overhead: the instrumented publish+poll fabric
+		// vs the obs.Disabled ablation, interleaved reps, per-mode
+		// medians. The acceptance bar is overhead within the noise of the
+		// loopback round trip.
+		// Rounds are sized so each measured window is hundreds of ms:
+		// shorter windows swing ±15% on a shared host, which would
+		// drown the few-percent effect this ablation is after.
+		oSessions, oRounds, oObjects := 8, 400, 16
+		if tiny {
+			oSessions, oRounds, oObjects = 4, 12, 4
+		}
+		orow, err := perf.ObsOverheadAblation(oSessions, oRounds, oObjects)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A14 — telemetry overhead, %d sessions x %d rounds x %d objects (medians of %d interleaved reps)",
+			oSessions, oRounds, oObjects, perf.ObsReps),
+			Columns: []string{"Mode", "Ops/s"}}
+		t.AddRow("instrumented", fmt.Sprintf("%.0f", orow.InstrumentedOpsPerSec))
+		t.AddRow("obs.Disabled", fmt.Sprintf("%.0f", orow.DisabledOpsPerSec))
+		fmt.Fprintln(w, t.String())
+		fmt.Fprintf(w, "telemetry overhead: %.1f%% (negative = noise in the instrumented run's favor)\n\n", 100*orow.OverheadFrac)
+		metrics["obs_instrumented_ops_per_s"] = orow.InstrumentedOpsPerSec
+		metrics["obs_disabled_ops_per_s"] = orow.DisabledOpsPerSec
+		metrics["obs_overhead_frac"] = orow.OverheadFrac
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(struct {

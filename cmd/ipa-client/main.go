@@ -8,16 +8,25 @@
 //	ipa-client -addr HOST:PORT -creddir ipa-creds \
 //	    [-query 'detector == "sid"'] [-dataset ds-zh] [-script file.pnut]
 //	    [-native higgs-search] [-insecure]
+//
+// Watch mode polls a manager's /fabric/status endpoint (the -http
+// listener of ipa-manager) and renders a live per-shard load table plus
+// the recent fabric events — no session or credential needed:
+//
+//	ipa-client -watch 127.0.0.1:6060 [-watch-interval 2s] [-once]
 package main
 
 import (
 	"crypto/x509"
+	"encoding/json"
 	"encoding/pem"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/ipa-grid/ipa"
@@ -34,7 +43,17 @@ func main() {
 	scriptPath := flag.String("script", "", "analysis script file")
 	native := flag.String("native", "", "native analysis name (e.g. higgs-search)")
 	decoder := flag.String("decoder", ipa.EventDecoderName, "record decoder for scripts")
+	watch := flag.String("watch", "", "poll this manager status endpoint (ipa-manager's -http address) and render a per-shard load table")
+	watchEvery := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
+	once := flag.Bool("once", false, "with -watch: print one snapshot and exit")
 	flag.Parse()
+
+	if *watch != "" {
+		if err := watchFabric(*watch, *watchEvery, *once); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var client *core.Client
 	var err error
@@ -119,6 +138,14 @@ func main() {
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
+	if st, err := client.Status(); err == nil && st.Polls > 0 {
+		fmt.Printf("merge traffic: %d publishes, %d polls (%.0f%% fast-path)",
+			st.Publishes, st.Polls, 100*float64(st.FastPolls)/float64(st.Polls))
+		if st.Replica != "" {
+			fmt.Printf(", replica %s lag %d", st.Replica, st.ReplicaLag)
+		}
+		fmt.Println()
+	}
 	fmt.Println()
 	fmt.Print(ipa.RenderTree(client.Tree()))
 	// Render every 1D histogram.
@@ -127,6 +154,70 @@ func main() {
 			fmt.Println()
 			fmt.Print(ipa.RenderH1D(h, ipa.RenderOptions{Width: 50, MaxRow: 40}))
 		}
+	}
+}
+
+// watchFabric polls /fabric/status and renders the per-shard load
+// table, publish/poll deltas between rounds, and the event tail.
+func watchFabric(addr string, every time.Duration, once bool) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := strings.TrimSuffix(addr, "/") + "/fabric/status"
+	prevPub := map[string]int64{}
+	prevPoll := map[string]int64{}
+	var lastSeq uint64
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		var st ipa.FabricStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding %s: %w", url, err)
+		}
+
+		fmt.Printf("— fabric @ %s  gen %d  %d shard(s), %d session(s)\n",
+			time.Now().Format("15:04:05"), st.PlacementGen, len(st.Shards), len(st.Placements))
+		fmt.Printf("%-10s %-5s %8s %12s %12s %10s\n", "SHARD", "STATE", "SESSIONS", "PUBLISHES", "POLLS", "RATE/POLL")
+		for _, sh := range st.Shards {
+			state := "up"
+			if sh.Dead {
+				state = "dead"
+			}
+			dPub := sh.Publishes - prevPub[sh.Name]
+			dPoll := sh.Polls - prevPoll[sh.Name]
+			prevPub[sh.Name], prevPoll[sh.Name] = sh.Publishes, sh.Polls
+			fmt.Printf("%-10s %-5s %8d %12d %12d %+5d/%+4d\n",
+				sh.Name, state, sh.Sessions, sh.Publishes, sh.Polls, dPub, dPoll)
+		}
+		for _, p := range st.Placements {
+			if p.Replica != "" {
+				fmt.Printf("  session %-10.10s %s → replica %s (epoch %d, lag %d)\n",
+					p.SessionID, p.Shard, p.Replica, p.Epoch, p.ReplicaLag)
+			}
+		}
+		for _, ev := range st.Events {
+			if ev.Seq < lastSeq {
+				continue // already shown last round
+			}
+			detail := ev.Detail
+			if ev.TraceID != 0 {
+				detail = fmt.Sprintf("%s trace=%016x", detail, ev.TraceID)
+			}
+			if ev.DurNanos > 0 {
+				detail = fmt.Sprintf("%s (%s)", detail, time.Duration(ev.DurNanos))
+			}
+			fmt.Printf("  %s %-9s shard=%s session=%.10s %s\n",
+				ev.At.Format("15:04:05"), ev.Kind, ev.Shard, ev.Session, detail)
+		}
+		lastSeq = st.NextEventSeq
+		if once {
+			return nil
+		}
+		time.Sleep(every)
 	}
 }
 

@@ -6,7 +6,12 @@
 //
 //	ipa-manager [-nodes 8] [-events 20000] [-insecure] [-shards N]
 //	            [-rebalance 5s] [-rebalance-moves 2] [-rebalance-band 0.25]
-//	            [-health 2s] [-health-fails 3] [-pprof 127.0.0.1:6060]
+//	            [-health 2s] [-health-fails 3] [-http 127.0.0.1:6060]
+//
+// -http serves the operational plane on one listener: Prometheus-text
+// telemetry at /metrics, the live fabric snapshot (placements, epochs,
+// replicas, recent events) as JSON at /fabric/status, and net/http/pprof
+// under /debug/pprof/. -pprof is a deprecated alias for -http.
 //
 // On startup it prints the endpoints and, with -events > 0, publishes a
 // generated LC dataset ("ds-zh") so a client can run immediately. In
@@ -17,20 +22,23 @@ package main
 import (
 	"crypto/ecdsa"
 	"crypto/x509"
+	"encoding/json"
 	"encoding/pem"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // -pprof registers the profiling handlers
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 
 	"github.com/ipa-grid/ipa"
 	"github.com/ipa-grid/ipa/internal/gsi"
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 func main() {
@@ -47,22 +55,12 @@ func main() {
 	replicate := flag.Bool("replicate", false, "mirror each session to a replica shard; shard death promotes the replica instead of losing the session (needs -shards > 1)")
 	wal := flag.String("wal", "", "directory for per-manager append-only session logs, replayed on restart (\"\" = no durability)")
 	walSync := flag.Int("wal-sync", 64, "fsync the session log every N records (0 = every record)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; \"\" = off)")
+	httpAddr := flag.String("http", "", "serve /metrics, /fabric/status and /debug/pprof/ on this address (e.g. 127.0.0.1:6060; \"\" = off)")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -http")
 	flag.Parse()
-
-	if *pprofAddr != "" {
-		ln, err := net.Listen("tcp", *pprofAddr)
-		if err != nil {
-			log.Fatalf("pprof listen: %v", err)
-		}
-		go func() {
-			// DefaultServeMux carries the pprof handlers via the blank
-			// import above.
-			if err := http.Serve(ln, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
-		fmt.Printf("pprof:         http://%s/debug/pprof/\n", ln.Addr())
+	if *httpAddr == "" && *pprofAddr != "" {
+		log.Printf("-pprof is deprecated; use -http")
+		*httpAddr = *pprofAddr
 	}
 
 	grid, err := ipa.NewLocalGrid(ipa.GridOptions{
@@ -75,6 +73,21 @@ func main() {
 		log.Fatal(err)
 	}
 	defer grid.Close()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("http listen: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, opsMux(grid)); err != nil {
+				log.Printf("http server: %v", err)
+			}
+		}()
+		fmt.Printf("metrics:       http://%s/metrics\n", ln.Addr())
+		fmt.Printf("fabric status: http://%s/fabric/status\n", ln.Addr())
+		fmt.Printf("pprof:         http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	if _, err := grid.AddUser("analyst", ipa.RoleAnalyst); err != nil {
 		log.Fatal(err)
@@ -117,6 +130,31 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+}
+
+// opsMux assembles the shared operational mux — Prometheus telemetry,
+// the JSON fabric snapshot, and net/http/pprof on one listener.
+func opsMux(grid *ipa.LocalGrid) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler())
+	mux.HandleFunc("/fabric/status", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // 0 selects the default event tail
+		if s := r.URL.Query().Get("events"); s != "" {
+			n, _ = strconv.Atoi(s)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(grid.FabricStatus(n)); err != nil {
+			log.Printf("fabric status encode: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func writeCreds(grid *ipa.LocalGrid, dir string) error {

@@ -8,6 +8,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/codeloader"
 	"github.com/ipa-grid/ipa/internal/gsi"
 	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
 	"github.com/ipa-grid/ipa/internal/rmi"
 	"github.com/ipa-grid/ipa/internal/session"
 	"github.com/ipa-grid/ipa/internal/shard"
@@ -96,6 +97,12 @@ func NewManager(cfg ManagerConfig, wsrfAddr, rmiAddr string) (*Manager, error) {
 		return cfg.Sessions.ValidateToken(token)
 	})
 	if err := m.RMI.Register("AIDAManager", cfg.Merge); err != nil {
+		m.Container.Close()
+		return nil, err
+	}
+	// Telemetry: the global span/fabric-event ring, readable over RMI
+	// with any live session token.
+	if err := m.RMI.Register(obs.RMIObjectName, obs.NewService()); err != nil {
 		m.Container.Close()
 		return nil, err
 	}
@@ -248,6 +255,8 @@ func (m *Manager) register() {
 			Shard: st.Shard, ShardAddr: st.ShardAddr,
 			PlacementGen: st.PlacementGen, DeadShards: st.DeadShards,
 			ResultEpoch: st.ResultEpoch, Replica: st.Replica,
+			Publishes: st.Publishes, Polls: st.Polls, FastPolls: st.FastPolls,
+			ReplicaLag: st.ReplicaLag,
 		}
 		for _, e := range st.Engines {
 			resp.Engines = append(resp.Engines, EngineStatusXML{

@@ -146,8 +146,17 @@ type StatusResponse struct {
 	ResultEpoch int64 `xml:"resultEpoch,omitempty"`
 	// Replica names the shard holding the session's standby copy (empty
 	// when replication is off).
-	Replica string            `xml:"replica,omitempty"`
-	Engines []EngineStatusXML `xml:"engine"`
+	Replica string `xml:"replica,omitempty"`
+	// Publishes / Polls are the session's cumulative merge-traffic
+	// counters; FastPolls is the subset of polls served on the lock-free
+	// quiescent path (fast-path poll ratio = fastPolls/polls).
+	Publishes int64 `xml:"publishes,omitempty"`
+	Polls     int64 `xml:"polls,omitempty"`
+	FastPolls int64 `xml:"fastPolls,omitempty"`
+	// ReplicaLag is how many merged-result versions the standby trails
+	// the owner (0 when unreplicated or caught up).
+	ReplicaLag int64             `xml:"replicaLag,omitempty"`
+	Engines    []EngineStatusXML `xml:"engine"`
 }
 
 // CloseRequest tears the session down (Session.Close).

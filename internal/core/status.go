@@ -1,0 +1,144 @@
+// Fabric status: the JSON document behind ipa-manager's /fabric/status
+// endpoint (and ipa-client -watch). It is a read-only snapshot stitched
+// from the same lock-free surfaces the fabric's own policy loops use —
+// the placement table, the per-shard Stats atomics, and the global
+// telemetry event ring — so serving it never blocks a publish.
+
+package core
+
+import (
+	"sort"
+
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
+)
+
+// ShardStatus is one fabric member in a FabricStatus report.
+type ShardStatus struct {
+	Name string `json:"name"`
+	// Dead marks a shard the health prober currently considers
+	// unreachable.
+	Dead bool `json:"dead,omitempty"`
+	// Sessions counts the sessions the placement table routes here.
+	Sessions int `json:"sessions"`
+	// Publishes / Polls aggregate the cumulative traffic counters of the
+	// sessions placed on this shard — the same load signal the balancer
+	// ranks by.
+	Publishes int64 `json:"publishes"`
+	Polls     int64 `json:"polls"`
+}
+
+// SessionPlacement is one session's placement row in a FabricStatus.
+type SessionPlacement struct {
+	SessionID string `json:"sessionID"`
+	Shard     string `json:"shard,omitempty"`
+	Replica   string `json:"replica,omitempty"`
+	// Epoch is the merge-state incarnation stamp (bumps on failover
+	// promotion); Version the merged-result version clients poll against.
+	Epoch   int64 `json:"epoch,omitempty"`
+	Version int64 `json:"version"`
+	// Publishes / Polls / FastPolls are the cumulative traffic counters;
+	// ReplicaLag is how many versions the standby trails the owner.
+	Publishes  int64 `json:"publishes"`
+	Polls      int64 `json:"polls"`
+	FastPolls  int64 `json:"fastPolls"`
+	ReplicaLag int64 `json:"replicaLag,omitempty"`
+}
+
+// FabricStatus is the live fabric snapshot served as JSON at
+// /fabric/status.
+type FabricStatus struct {
+	// Sharded is false when results are served by a single unsharded
+	// manager (Shards then holds one synthetic "manager" row).
+	Sharded bool `json:"sharded"`
+	// PlacementGen is the placement-table generation (0 when unsharded).
+	PlacementGen uint64             `json:"placementGen,omitempty"`
+	Shards       []ShardStatus      `json:"shards"`
+	Placements   []SessionPlacement `json:"placements"`
+	// Events are the most recent structured fabric events (handoffs,
+	// promotions, fences, rebalance moves, evictions, dead marks,
+	// revivals, spans) from the in-memory telemetry ring.
+	Events []obs.Event `json:"events"`
+	// NextEventSeq resumes the ring: pass it to the telemetry RPC (or
+	// compare across polls) to read only newer events.
+	NextEventSeq uint64 `json:"nextEventSeq"`
+}
+
+// FabricStatus snapshots the merge fabric for the status endpoint. The
+// event tail is capped at maxEvents (<= 0 selects 64).
+func (g *LocalGrid) FabricStatus(maxEvents int) FabricStatus {
+	if maxEvents <= 0 {
+		maxEvents = 64
+	}
+	st := FabricStatus{}
+	next := obs.Events.NextSeq()
+	var since uint64
+	if n := uint64(maxEvents); next > n {
+		since = next - n
+	}
+	st.Events = obs.Events.Since(since, maxEvents)
+	st.NextEventSeq = next
+
+	if g.Router == nil {
+		// Unsharded: one synthetic shard row covering every live session.
+		row := ShardStatus{Name: "manager"}
+		for _, sid := range sortedSessions(g.Session.Sessions()) {
+			var sr merge.StatsReply
+			if p, ok := g.Merge.(interface {
+				Stats(merge.StatsArgs, *merge.StatsReply) error
+			}); ok {
+				p.Stats(merge.StatsArgs{SessionID: sid}, &sr)
+			}
+			row.Sessions++
+			row.Publishes += sr.Publishes
+			row.Polls += sr.Polls
+			st.Placements = append(st.Placements, SessionPlacement{
+				SessionID: sid, Epoch: sr.Epoch, Version: sr.Version,
+				Publishes: sr.Publishes, Polls: sr.Polls, FastPolls: sr.FastPolls,
+			})
+		}
+		st.Shards = []ShardStatus{row}
+		return st
+	}
+
+	st.Sharded = true
+	st.PlacementGen = g.Router.Generation()
+	dead := make(map[string]bool)
+	for _, name := range g.Router.DeadShards() {
+		dead[name] = true
+	}
+	rows := make(map[string]*ShardStatus)
+	names := g.Router.Shards()
+	sort.Strings(names)
+	for _, name := range names {
+		rows[name] = &ShardStatus{Name: name, Dead: dead[name]}
+	}
+	for _, sid := range sortedSessions(g.Router.Sessions()) {
+		shard := g.Router.Placement(sid)
+		var sr merge.StatsReply
+		g.Router.Stats(merge.StatsArgs{SessionID: sid}, &sr)
+		p := SessionPlacement{
+			SessionID: sid, Shard: shard,
+			Replica: g.Router.ReplicaOf(sid),
+			Epoch:   sr.Epoch, Version: sr.Version,
+			Publishes: sr.Publishes, Polls: sr.Polls, FastPolls: sr.FastPolls,
+			ReplicaLag: g.Router.ReplicaLag(sid),
+		}
+		st.Placements = append(st.Placements, p)
+		if row := rows[shard]; row != nil {
+			row.Sessions++
+			row.Publishes += sr.Publishes
+			row.Polls += sr.Polls
+		}
+	}
+	for _, name := range names {
+		st.Shards = append(st.Shards, *rows[name])
+	}
+	return st
+}
+
+// sortedSessions orders session IDs for a stable status document.
+func sortedSessions(ids []string) []string {
+	sort.Strings(ids)
+	return ids
+}

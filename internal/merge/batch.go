@@ -241,6 +241,9 @@ func (b *Batcher) send(batch []*batchWaiter) {
 	b.flushes++
 	b.published += int64(len(batch))
 	b.mu.Unlock()
+	obsBatchSize.Observe(float64(len(batch)))
+	obsBatchFlushes.Inc()
+	obsBatchPublished.Add(int64(len(batch)))
 	if len(batch) == 1 {
 		w := batch[0]
 		w.done <- b.upstream.Publish(w.args, w.reply)

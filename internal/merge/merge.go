@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 // Service is the result-fabric surface the session service and the node
@@ -92,7 +93,21 @@ type PublishArgs struct {
 	EventsTotal int64
 	// Log carries accumulated script print() output (may be "").
 	Log string
+	// Trace is the publish's propagated trace context (zero = untraced).
+	// Injected by the snapshot Transport, lifted into the RMI envelope by
+	// the client, hop-advanced by the server, and forwarded into the
+	// mirror stream — so one engine publish is followable end to end.
+	// Old gob peers silently drop the field.
+	Trace obs.TraceContext
 }
+
+// TraceCtx implements obs.Carrier: rmi.Client lifts the context into
+// the wire envelope.
+func (a PublishArgs) TraceCtx() obs.TraceContext { return a.Trace }
+
+// SetTraceCtx implements obs.Setter: rmi.Server stores the recovered,
+// hop-advanced context back before dispatch.
+func (a *PublishArgs) SetTraceCtx(t obs.TraceContext) { a.Trace = t }
 
 // PublishReply acknowledges a snapshot.
 type PublishReply struct {
@@ -250,6 +265,11 @@ type sessionState struct {
 	// session moves by. Publishes counts every snapshot upload routed
 	// here, polls every client read (fast path included).
 	publishes, polls atomic.Int64
+	// lastTrace is the trace ID of the most recent traced publish or
+	// mirror applied to this state — the observable that lets a test (or
+	// an operator) confirm one traced publish reached the owner, its
+	// replica, and the post-failover promoted copy.
+	lastTrace atomic.Uint64
 	// pubWaiting counts publishes currently inside or queued for the
 	// write section; its excess over 1 is the backpressure hint carried
 	// on PublishReply/FlushReply.
@@ -523,16 +543,21 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	if args.Delta != nil {
 		return m.publishDelta(args, reply)
 	}
+	t0 := obs.Now()
+	defer obsPublishSeconds.ObserveSince(t0)
 	tree, err := args.Tree.Restore()
 	if err != nil {
 		return fmt.Errorf("merge: bad snapshot from %s: %w", args.WorkerID, err)
 	}
 	s := m.session(args.SessionID)
 	s.publishes.Add(1)
+	obsPublishes.Inc()
 	s.pubWaiting.Add(1)
+	obsPubWaiting.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.pubWaiting.Add(-1)
+	defer obsPubWaiting.Add(-1)
 	defer s.reportPressure(reply)
 	reply.Epoch = s.epoch.Load()
 	if s.sealed.Load() || s.fenced() {
@@ -559,9 +584,24 @@ func (m *Manager) Publish(args PublishArgs, reply *PublishReply) error {
 	s.dirty = true
 	s.appendLog(args.Log)
 	s.commitLocked()
+	s.recordTrace(args.Trace, t0)
 	reply.Accepted = true
 	reply.Version = s.version
 	return m.walAppend(&walRecord{Kind: walPublish, Publish: &args})
+}
+
+// recordTrace notes an accepted traced write on this state: the trace
+// ID becomes observable via Stats, and the apply is recorded as a span
+// (also covering in-process calls that never crossed RMI). Caller
+// holds s.mu; no-op for untraced writes.
+func (s *sessionState) recordTrace(t obs.TraceContext, t0 time.Time) {
+	if !t.Valid() {
+		return
+	}
+	s.lastTrace.Store(t.TraceID)
+	if !t0.IsZero() {
+		obs.RecordSpan(t, "merge.apply", time.Since(t0))
+	}
 }
 
 // publishDelta applies an incremental snapshot: patch the worker's
@@ -579,12 +619,17 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 		}
 		objs[i] = obj
 	}
+	t0 := obs.Now()
+	defer obsPublishSeconds.ObserveSince(t0)
 	s := m.session(args.SessionID)
 	s.publishes.Add(1)
+	obsPublishes.Inc()
 	s.pubWaiting.Add(1)
+	obsPubWaiting.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.pubWaiting.Add(-1)
+	defer obsPubWaiting.Add(-1)
 	defer s.reportPressure(reply)
 	reply.Version = s.version
 	reply.Epoch = s.epoch.Load()
@@ -674,6 +719,7 @@ func (m *Manager) publishDelta(args PublishArgs, reply *PublishReply) error {
 	}
 	s.appendLog(args.Log)
 	s.commitLocked()
+	s.recordTrace(args.Trace, t0)
 	reply.Accepted = true
 	reply.Version = s.version
 	return m.walAppend(&walRecord{Kind: walPublish, Publish: &args})
@@ -820,12 +866,15 @@ func (s *sessionState) rlockClean() error {
 // return on one atomic load; other polls share the session read lock,
 // so any number of clients poll concurrently with each other.
 func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
+	t0 := obs.Now()
+	defer obsPollSeconds.ObserveSince(t0)
 	defer m.lockCoarse()()
 	s := m.lookup(args.SessionID)
 	if s == nil {
 		return nil
 	}
 	s.polls.Add(1)
+	obsPolls.Inc()
 	if s.fenced() {
 		// A deposed post-failover copy answers like an unknown session:
 		// version 0 sends a direct-polling straggler back to placement
@@ -843,6 +892,7 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 			reply.Epoch = s.epoch.Load()
 			reply.Progress = ps.progress
 			s.fastPolls.Add(1)
+			obsFastPolls.Inc()
 			return nil
 		}
 	}
@@ -868,6 +918,7 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 			if v, ok := s.frames.Load(path); ok {
 				if cf := v.(cachedFrame); cf.version == ver {
 					s.cacheHits.Add(1)
+					obsCacheHits.Inc()
 					reply.Entries = append(reply.Entries, PollEntry{Path: path, Frame: cf.frame})
 					return
 				}
@@ -884,6 +935,7 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 			return
 		}
 		s.cacheMisses.Add(1)
+		obsCacheMisses.Inc()
 		if !m.DisableEncodeCache {
 			// Concurrent pollers may both miss and store; the entries are
 			// identical for a given (path, version), so last-write-wins
@@ -1151,6 +1203,9 @@ type ExportReply struct {
 	Workers []WorkerSnapshot
 	Removed []RemovedPath
 	Logs    []LogLine
+	// LastTraceID carries the most recent traced write's trace ID so a
+	// handoff or replica seed stays observable under the same trace.
+	LastTraceID uint64
 }
 
 // Export dumps a session's full state for migration (RMI-compatible).
@@ -1178,6 +1233,7 @@ func (m *Manager) Export(args ExportArgs, reply *ExportReply) error {
 	reply.Found = true
 	reply.Version = s.version
 	reply.Epoch = s.epoch.Load()
+	reply.LastTraceID = s.lastTrace.Load()
 	for _, id := range s.workerIDs {
 		w := s.workers[id]
 		ws := WorkerSnapshot{WorkerID: id, Seq: w.seq, Done: w.done, Total: w.total}
@@ -1213,6 +1269,9 @@ type ImportArgs struct {
 	Workers []WorkerSnapshot
 	Removed []RemovedPath
 	Logs    []LogLine
+	// LastTraceID restores the exported copy's most recent trace ID
+	// (zero = the source had seen no traced writes).
+	LastTraceID uint64
 }
 
 // ImportReply acknowledges an import.
@@ -1259,6 +1318,9 @@ func (m *Manager) Import(args ImportArgs, reply *ImportReply) error {
 	}
 	if args.Epoch != 0 {
 		s.epoch.Store(args.Epoch)
+	}
+	if args.LastTraceID != 0 {
+		s.lastTrace.Store(args.LastTraceID)
 	}
 	s.sealed.Store(false)
 	s.workers = make(map[string]*workerState)
@@ -1323,6 +1385,10 @@ type StatsReply struct {
 	// Publishes / Polls are the session's cumulative traffic counters —
 	// the load signal the shard balancer ranks migration candidates by.
 	Publishes, Polls int64
+	// LastTraceID is the trace ID of the most recent traced publish or
+	// mirror applied here (0 = none yet) — how trace propagation is
+	// observed on owners, replicas, and post-failover promoted copies.
+	LastTraceID uint64
 }
 
 // Stats reports a session's version and cache counters (RMI-compatible).
@@ -1345,6 +1411,7 @@ func (m *Manager) Stats(args StatsArgs, reply *StatsReply) error {
 	reply.FastPolls = s.fastPolls.Load()
 	reply.Publishes = s.publishes.Load()
 	reply.Polls = s.polls.Load()
+	reply.LastTraceID = s.lastTrace.Load()
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 // ErrFenced rejects writes against a session incarnation at or below
@@ -56,7 +57,18 @@ type MirrorArgs struct {
 	EventsDone  int64
 	EventsTotal int64
 	Log         string
+	// Trace is the mirrored publish's trace context, forwarded from the
+	// primary so the same trace ID is observable on the replica (and on
+	// whatever that replica is later promoted into). Old gob peers
+	// silently drop the field.
+	Trace obs.TraceContext
 }
+
+// TraceCtx implements obs.Carrier (see PublishArgs.TraceCtx).
+func (a MirrorArgs) TraceCtx() obs.TraceContext { return a.Trace }
+
+// SetTraceCtx implements obs.Setter (see PublishArgs.SetTraceCtx).
+func (a *MirrorArgs) SetTraceCtx(t obs.TraceContext) { a.Trace = t }
 
 // MirrorReply acknowledges a mirrored publish.
 type MirrorReply struct {
@@ -111,7 +123,12 @@ func (m *Manager) Mirror(args MirrorArgs, reply *MirrorReply) error {
 	hasBase := w.tree != nil || len(w.pending) > 0
 	if !d.Full {
 		if args.Seq <= w.seq && hasBase {
-			// Stale or duplicate mirror retry: already incorporated.
+			// Stale or duplicate mirror retry: already incorporated —
+			// including via a seeding Import that raced this mirror, so
+			// the traced publish is in this copy and its trace is noted.
+			if args.Trace.Valid() {
+				s.lastTrace.Store(args.Trace.TraceID)
+			}
 			return nil
 		}
 		if !hasBase || args.Seq != w.seq+1 {
@@ -119,6 +136,9 @@ func (m *Manager) Mirror(args MirrorArgs, reply *MirrorReply) error {
 			return nil
 		}
 	} else if hasBase && args.Seq <= w.seq && args.Seq != 0 {
+		if args.Trace.Valid() {
+			s.lastTrace.Store(args.Trace.TraceID)
+		}
 		return nil
 	}
 	if d.Full {
@@ -139,6 +159,9 @@ func (m *Manager) Mirror(args MirrorArgs, reply *MirrorReply) error {
 	}
 	s.appendLog(args.Log)
 	s.commitLocked()
+	if args.Trace.Valid() {
+		s.lastTrace.Store(args.Trace.TraceID)
+	}
 	reply.Accepted = true
 	reply.Version = s.version
 	return m.walAppend(&walRecord{Kind: walMirror, Mirror: &args})

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/obs"
 	"github.com/ipa-grid/ipa/internal/rmi"
 )
 
@@ -122,6 +123,11 @@ func (t *Transport) Send(build func(full bool) (Snapshot, error)) (PublishReply,
 	args := PublishArgs{
 		SessionID: t.session, WorkerID: t.worker, Seq: t.gen,
 		EventsDone: snap.Done, EventsTotal: snap.Total, Log: snap.Log,
+		// Every publish originates a trace here (free while obs is
+		// disabled: NewTrace returns the untraced zero context), so one
+		// engine snapshot is followable through router, owner shard,
+		// mirror replica, and WAL.
+		Trace: obs.NewTrace(),
 	}
 	switch {
 	case snap.Delta != nil:

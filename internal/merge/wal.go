@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 // walMagic heads every log file; a mismatch means the file is not ours.
@@ -156,11 +158,14 @@ func (w *WAL) append(rec *walRecord) (compact bool, err error) {
 	}
 	w.unsynced++
 	if w.opts.SyncEvery <= 1 || w.unsynced >= w.opts.SyncEvery {
+		t0 := obs.Now()
 		if err := w.f.Sync(); err != nil {
 			return false, err
 		}
+		obsWALFsyncSeconds.ObserveSince(t0)
 		w.unsynced = 0
 	}
+	obsWALUnsynced.Set(int64(w.unsynced))
 	switch rec.Kind {
 	case walSnapshot:
 	default:
@@ -422,7 +427,7 @@ func (m *Manager) logSnapshot(sessionID string, w *WAL) error {
 				return err
 			}
 		}
-		imp := &ImportArgs{SessionID: sessionID, Version: s.version, Epoch: s.epoch.Load()}
+		imp := &ImportArgs{SessionID: sessionID, Version: s.version, Epoch: s.epoch.Load(), LastTraceID: s.lastTrace.Load()}
 		for _, id := range s.workerIDs {
 			wk := s.workers[id]
 			ws := WorkerSnapshot{WorkerID: id, Seq: wk.seq, Done: wk.done, Total: wk.total}

@@ -1,0 +1,153 @@
+// Prometheus text exposition of the metrics registry (text format
+// version 0.0.4: # HELP / # TYPE headers, one sample per line,
+// histograms as cumulative _bucket/_sum/_count series). Families and
+// series are emitted in sorted order so output is deterministic —
+// golden-testable and diff-friendly.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered family to w in Prometheus
+// text format.
+func WritePrometheus(w io.Writer) error {
+	var fams []*family
+	families.Range(func(_, v any) bool {
+		fams = append(fams, v.(*family))
+		return true
+	})
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves WritePrometheus over HTTP (the /metrics endpoint).
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+		return err
+	}
+	var ss []*series
+	f.series.Range(func(_, v any) bool {
+		ss = append(ss, v.(*series))
+		return true
+	})
+	sort.Slice(ss, func(i, j int) bool { return ss[i].sig < ss[j].sig })
+	for _, s := range ss {
+		if err := s.write(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *series) write(w io.Writer, name string) error {
+	labels := labelPairs(s.sig)
+	switch m := s.m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(labels, "", ""), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(labels, "", ""), m.Value())
+		return err
+	case *Histogram:
+		buckets, count, sum := m.Snapshot()
+		var cum int64
+		for i, b := range m.bounds {
+			cum += buckets[i]
+			le := strconv.FormatFloat(b, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		cum += buckets[len(buckets)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels, "", ""), formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels, "", ""), count)
+		return err
+	}
+	return nil
+}
+
+// labelPairs splits a registry signature back into key,value pairs.
+func labelPairs(sig string) []string {
+	if sig == "" {
+		return nil
+	}
+	return strings.Split(sig, "\xff")
+}
+
+// renderLabels formats {k="v",...}, appending the optional extra pair
+// (the histogram le label); "" when there are no labels at all.
+func renderLabels(pairs []string, extraK, extraV string) string {
+	if len(pairs) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], escapeLabel(pairs[i+1]))
+	}
+	if extraK != "" {
+		if len(pairs) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value: integral values without a
+// decimal point, everything else in shortest-round-trip form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// %q in renderLabels already escapes quotes and backslashes; nothing
+	// further needed — this hook exists so value escaping stays in one
+	// place if the format grows.
+	return s
+}

@@ -1,0 +1,37 @@
+// RPC surface: the global event ring served over the fabric's own RMI
+// layer, so spans and fabric events are readable from any node with a
+// session token — no HTTP required. Registered by the manager under
+// RMIObjectName.
+
+package obs
+
+// RMIObjectName is the RMI registration name of the telemetry service.
+const RMIObjectName = "AIDAObs"
+
+// Service exposes the global event ring over RMI.
+type Service struct{}
+
+// NewService returns the RMI-registrable telemetry service.
+func NewService() *Service { return &Service{} }
+
+// EventsArgs asks for events at or after SinceSeq (0 = everything the
+// ring still holds). Max bounds the reply (<= 0 = no limit).
+type EventsArgs struct {
+	SinceSeq uint64
+	Max      int
+}
+
+// EventsReply returns the events and the sequence to resume from.
+type EventsReply struct {
+	Events []Event
+	// NextSeq is the ring's next sequence number: pass it as the next
+	// SinceSeq to read only newer events.
+	NextSeq uint64
+}
+
+// Events reads the global ring.
+func (s *Service) Events(args EventsArgs, reply *EventsReply) error {
+	reply.Events = Events.Since(args.SinceSeq, args.Max)
+	reply.NextSeq = Events.NextSeq()
+	return nil
+}

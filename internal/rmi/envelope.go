@@ -17,10 +17,18 @@
 //
 // v2 frame layout (uvarint = unsigned varint, str = uvarint len + bytes):
 //
-//	request:  'Q' seq(uvarint) object(str) method(str) token(str) n(uvarint) payload(n)
+//	request:  'Q' seq(uvarint) object(str) method(str) token(str)
+//	          tflag(1B; 0=untraced 1=traced)
+//	          tflag 1: traceID(8B BE) spanID(8B BE) hop(uvarint)
+//	          n(uvarint) payload(n)
 //	response: 'S' seq(uvarint) status(1B; 0=ok 1=err)
 //	          status 1: msg(str)          — no payload
 //	          status 0: n(uvarint) payload(n)
+//
+// The trace block is this repo's only v2 revision so far; both ends of
+// a v2 connection ship together, so no flag negotiation is needed (gob
+// peers never see v2 frames — they carry the trace as an optional gob
+// struct field instead).
 package rmi
 
 import (
@@ -34,6 +42,8 @@ import (
 	"reflect"
 	"sync"
 	"time"
+
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 var v2Magic = [4]byte{'I', 'P', 'A', '2'}
@@ -181,11 +191,15 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, w *connWriter, handler
 		if err != nil {
 			return
 		}
+		tc, err := readTraceBlock(br)
+		if err != nil {
+			return
+		}
 		body, err := readPayload(br, &payload)
 		if err != nil {
 			return
 		}
-		if !s.dispatchV2(seq, object, method, token, body, feed, pdec, w, handlers, slots) {
+		if !s.dispatchV2(seq, object, method, token, tc, body, feed, pdec, w, handlers, slots) {
 			return
 		}
 	}
@@ -196,7 +210,7 @@ func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, w *connWriter, handler
 // call needs no drain and cannot desynchronize the stream. Returns
 // false when the connection must drop (payload gob state poisoned, or
 // an injected crash).
-func (s *Server) dispatchV2(seq uint64, object, method, token string, payload []byte,
+func (s *Server) dispatchV2(seq uint64, object, method, token string, trace obs.TraceContext, payload []byte,
 	feed *byteFeeder, pdec *gob.Decoder, w *connWriter, handlers *sync.WaitGroup, slots chan struct{}) bool {
 	fail := func(msg string) bool {
 		// The payload still carries this call's share of the persistent
@@ -229,10 +243,13 @@ func (s *Server) dispatchV2(seq uint64, object, method, token string, payload []
 	if fs := s.faults.Load(); fs != nil {
 		switch fs.decide() {
 		case faultError:
+			faultErrors.Inc()
 			return fail(ErrInjected)
 		case faultDrop:
+			faultDrops.Inc()
 			return false
 		case faultDelay:
+			faultDelays.Inc()
 			time.Sleep(fs.f.Delay)
 		}
 	}
@@ -245,6 +262,9 @@ func (s *Server) dispatchV2(seq uint64, object, method, token string, payload []
 		w.writeError(seq, "rmi: decoding argument")
 		return false
 	}
+	tc := trace.NextHop()
+	recoverTrace(argp.Interface(), tc)
+	target := object + "." + method
 	slots <- struct{}{} // blocks past maxInFlightPerConn
 	handlers.Add(1)
 	go func() {
@@ -252,8 +272,14 @@ func (s *Server) dispatchV2(seq uint64, object, method, token string, payload []
 			<-slots
 			handlers.Done()
 		}()
+		t0 := obs.Now()
 		reply := reflect.New(m.replyType)
 		out := m.fn.Call([]reflect.Value{argp.Elem(), reply})
+		if !t0.IsZero() {
+			d := time.Since(t0)
+			m.hist.Observe(d.Seconds())
+			obs.RecordSpan(tc, target, d)
+		}
 		if errv := out[0].Interface(); errv != nil {
 			w.writeError(seq, errv.(error).Error())
 			return
@@ -261,6 +287,34 @@ func (s *Server) dispatchV2(seq uint64, object, method, token string, payload []
 		w.writeReply(seq, reply)
 	}()
 	return true
+}
+
+// readTraceBlock parses the optional request trace block: one flag
+// byte, then (when set) two big-endian 8-byte IDs and a hop uvarint.
+func readTraceBlock(br *bufio.Reader) (obs.TraceContext, error) {
+	var tc obs.TraceContext
+	flag, err := br.ReadByte()
+	if err != nil {
+		return tc, err
+	}
+	if flag == 0 {
+		return tc, nil
+	}
+	if flag != 1 {
+		return tc, fmt.Errorf("rmi: bad trace flag 0x%02x", flag)
+	}
+	var idb [16]byte
+	if _, err := io.ReadFull(br, idb[:]); err != nil {
+		return tc, err
+	}
+	tc.TraceID = binary.BigEndian.Uint64(idb[:8])
+	tc.SpanID = binary.BigEndian.Uint64(idb[8:])
+	hop, err := binary.ReadUvarint(br)
+	if err != nil {
+		return tc, err
+	}
+	tc.Hop = uint32(hop)
+	return tc, nil
 }
 
 // writeErrorV2 emits an error response frame. Caller holds w.mu.
@@ -314,7 +368,7 @@ func (w *connWriter) writeReplyV2(seq uint64, reply reflect.Value) {
 // writeRequestV2 encodes args into the connection's persistent payload
 // gob stream and ships them behind a binary request header. Caller
 // holds cc.wmu.
-func (cc *clientConn) writeRequestV2(seq uint64, object, method, token string, args any) error {
+func (cc *clientConn) writeRequestV2(seq uint64, object, method, token string, trace obs.TraceContext, args any) error {
 	cc.pbuf.Reset()
 	if err := cc.penc.Encode(args); err != nil {
 		return err
@@ -325,6 +379,14 @@ func (cc *clientConn) writeRequestV2(seq uint64, object, method, token string, a
 	hdr = appendWireString(hdr, object)
 	hdr = appendWireString(hdr, method)
 	hdr = appendWireString(hdr, token)
+	if trace.Valid() {
+		hdr = append(hdr, 1)
+		hdr = binary.BigEndian.AppendUint64(hdr, trace.TraceID)
+		hdr = binary.BigEndian.AppendUint64(hdr, trace.SpanID)
+		hdr = binary.AppendUvarint(hdr, uint64(trace.Hop))
+	} else {
+		hdr = append(hdr, 0)
+	}
 	hdr = binary.AppendUvarint(hdr, uint64(cc.pbuf.Len()))
 	cc.hdr = hdr
 	if _, err := cc.bw.Write(hdr); err != nil {

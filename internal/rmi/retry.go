@@ -76,6 +76,7 @@ func (c *Client) connRetryLocked(ctx context.Context) (*clientConn, error) {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			dialRetries.Inc()
 			delay := base << uint(attempt-1)
 			if delay > maxd {
 				delay = maxd

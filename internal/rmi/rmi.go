@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 // writerPool recycles per-connection write buffers: gob emits several
@@ -57,11 +59,15 @@ var ErrBadToken = errors.New("rmi: invalid or expired session token")
 var ErrClientClosed = errors.New("rmi: client closed")
 
 // request is the wire header preceding the gob-encoded argument.
+// Trace is optional: a zero context encodes to nothing extra, and old
+// gob decoders silently drop the field (gob struct evolution), so
+// traced clients interoperate with pre-trace servers.
 type request struct {
 	Seq    uint64
 	Object string
 	Method string
 	Token  string
+	Trace  obs.TraceContext
 }
 
 // response is the wire header preceding the gob-encoded reply.
@@ -74,6 +80,7 @@ type methodInfo struct {
 	fn        reflect.Value
 	argType   reflect.Type // value type
 	replyType reflect.Type // pointer element type
+	hist      *obs.Histogram
 }
 
 type objectInfo struct {
@@ -133,6 +140,7 @@ func (s *Server) Register(name string, obj any) error {
 			fn:        v.Method(i),
 			argType:   mt.In(1),
 			replyType: mt.In(2).Elem(),
+			hist:      serverCallHist(m.Name),
 		}
 	}
 	if len(info.methods) == 0 {
@@ -302,9 +310,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		w.v2 = true
 		w.penc = gob.NewEncoder(&w.pbuf)
+		serverConnsV2.Inc()
 		s.serveV2(conn, br, w, &handlers)
 		return
 	}
+	serverConnsGob.Inc()
 	w.enc = gob.NewEncoder(bw)
 	dec := gob.NewDecoder(br)
 	slots := make(chan struct{}, maxInFlightPerConn)
@@ -350,12 +360,15 @@ func (s *Server) dispatch(req *request, dec *gob.Decoder, w *connWriter, handler
 	if fs := s.faults.Load(); fs != nil {
 		switch fs.decide() {
 		case faultError:
+			faultErrors.Inc()
 			return fail(ErrInjected)
 		case faultDrop:
 			// Sever without answering: the caller sees a broken
 			// transport, like a crash mid-call.
+			faultDrops.Inc()
 			return false
 		case faultDelay:
+			faultDelays.Inc()
 			time.Sleep(fs.f.Delay)
 		}
 	}
@@ -365,7 +378,10 @@ func (s *Server) dispatch(req *request, dec *gob.Decoder, w *connWriter, handler
 		// The stream is desynchronized; drop the connection.
 		return false
 	}
+	tc := req.Trace.NextHop()
+	recoverTrace(argp.Interface(), tc)
 	seq := req.Seq
+	target := req.Object + "." + req.Method
 	slots <- struct{}{} // blocks past maxInFlightPerConn
 	handlers.Add(1)
 	go func() {
@@ -373,8 +389,14 @@ func (s *Server) dispatch(req *request, dec *gob.Decoder, w *connWriter, handler
 			<-slots
 			handlers.Done()
 		}()
+		t0 := obs.Now()
 		reply := reflect.New(m.replyType)
 		out := m.fn.Call([]reflect.Value{argp.Elem(), reply})
+		if !t0.IsZero() {
+			d := time.Since(t0)
+			m.hist.Observe(d.Seconds())
+			obs.RecordSpan(tc, target, d)
+		}
 		if errv := out[0].Interface(); errv != nil {
 			w.writeError(seq, errv.(error).Error())
 			return
@@ -582,8 +604,10 @@ func (c *Client) adoptConnLocked(conn net.Conn) (*clientConn, error) {
 	}
 	c.cc = cc
 	if cc.v2 {
+		clientConnsV2.Inc()
 		go c.readLoopV2(cc)
 	} else {
+		clientConnsGob.Inc()
 		go c.readLoop(cc)
 	}
 	return cc, nil
@@ -681,6 +705,8 @@ func (c *Client) Call(objectDotMethod string, args any, reply any) error {
 	if err != nil {
 		return err
 	}
+	t0 := obs.Now()
+	tc := traceOf(args)
 	pc := &pendingCall{reply: reply, done: make(chan error, 1)}
 	seq, err := cc.register(pc)
 	if err != nil {
@@ -688,9 +714,9 @@ func (c *Client) Call(objectDotMethod string, args any, reply any) error {
 	}
 	cc.wmu.Lock()
 	if cc.v2 {
-		err = cc.writeRequestV2(seq, obj, method, token, args)
+		err = cc.writeRequestV2(seq, obj, method, token, tc, args)
 	} else {
-		req := request{Seq: seq, Object: obj, Method: method, Token: token}
+		req := request{Seq: seq, Object: obj, Method: method, Token: token, Trace: tc}
 		err = cc.enc.Encode(&req)
 		if err == nil {
 			err = cc.enc.Encode(args)
@@ -709,7 +735,11 @@ func (c *Client) Call(objectDotMethod string, args any, reply any) error {
 		<-pc.done
 		return err
 	}
-	return <-pc.done
+	err = <-pc.done
+	if !t0.IsZero() {
+		callHist(objectDotMethod, method).ObserveSince(t0)
+	}
+	return err
 }
 
 func splitTarget(s string) (obj, method string, ok bool) {

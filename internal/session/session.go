@@ -519,6 +519,13 @@ type Status struct {
 	// Replica names the shard holding this session's standby copy (""
 	// when replication is off or no replica is assigned).
 	Replica string
+	// Publishes / Polls are the session's cumulative merge-traffic
+	// counters; FastPolls is the subset of polls answered on the
+	// lock-free quiescent path (fast-path poll ratio = FastPolls/Polls).
+	Publishes, Polls, FastPolls int64
+	// ReplicaLag is how many merged-result versions the standby copy
+	// trails the owner (0 when unreplicated, unreachable, or caught up).
+	ReplicaLag int64
 }
 
 // Status reports the session and per-engine state — the client's "hosts
@@ -579,6 +586,19 @@ func (s *Service) Status(sessionID string) (Status, error) {
 	}
 	if p, ok := s.cfg.Merge.(interface{ ReplicaOf(string) string }); ok {
 		st.Replica = p.ReplicaOf(sess.ID)
+	}
+	// Traffic counters ride the same lock-free Stats surface the health
+	// prober and balancer use; any fabric exposing it reports them.
+	if p, ok := s.cfg.Merge.(interface {
+		Stats(merge.StatsArgs, *merge.StatsReply) error
+	}); ok {
+		var sr merge.StatsReply
+		if err := p.Stats(merge.StatsArgs{SessionID: sess.ID}, &sr); err == nil && sr.Found {
+			st.Publishes, st.Polls, st.FastPolls = sr.Publishes, sr.Polls, sr.FastPolls
+		}
+	}
+	if p, ok := s.cfg.Merge.(interface{ ReplicaLag(string) int64 }); ok {
+		st.ReplicaLag = p.ReplicaLag(sess.ID)
 	}
 	return st, nil
 }

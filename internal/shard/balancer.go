@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 // Balancer is the load-weighted rebalancing policy on top of the
@@ -223,6 +225,8 @@ func (b *Balancer) RunOnce() (int, error) {
 			delete(b.prev, hot+"\x00"+c.sid)
 			b.mu.Unlock()
 			b.moves.Add(1)
+			obsMoves.Inc()
+			obs.Emit(obs.EventMove, cold, c.sid, 0, fmt.Sprintf("from %s, rate %d", hot, c.rate))
 			moved++
 			progressed = true
 			break

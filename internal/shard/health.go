@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
 )
 
 // Health is the shard fault prober: it calls every shard's lock-free
@@ -114,15 +115,21 @@ func (h *Health) RunOnce() (died, revived []string) {
 			h.fails[name] = 0
 			if t.IsDead(name) && h.router.MarkAlive(name) {
 				revived = append(revived, name)
+				obsRevivals.Inc()
+				obs.Emit(obs.EventRevival, name, "", 0, "probe answered, dead mark lifted")
 			}
 		case t.IsDead(name):
 			// Still down; nothing new to record.
 		default:
 			h.fails[name]++
+			obsProbeFails.Inc()
 			if h.fails[name] < threshold {
 				continue
 			}
 			h.fails[name] = 0
+			obsDeadMarks.Inc()
+			obs.Emit(obs.EventDeadMark, name, "", 0,
+				fmt.Sprintf("%d consecutive probe failures", threshold))
 			evicted, promoted := h.router.MarkDead(name)
 			died = append(died, name)
 			if h.OnDead != nil {

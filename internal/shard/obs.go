@@ -1,0 +1,86 @@
+// Telemetry hooks for the shard fabric: per-shard routed-call rates,
+// handoff / promotion / mirror counters, balancer moves, and health
+// probe outcomes. Per-shard series are cached in a sync.Map so the
+// routing hot path pays one lock-free load, not a label-signature
+// build; shard names are bounded by the fabric size, so cardinality
+// stays far under the registry cap.
+
+package shard
+
+import (
+	"sync"
+
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
+)
+
+var (
+	obsHandoffs = obs.GetCounter("ipa_shard_handoffs_total",
+		"Live-session migrations completed (ring edits + rebalance moves).")
+	obsPromotions = obs.GetCounter("ipa_shard_promotions_total",
+		"Replica promotions (epoch-fenced failovers) completed.")
+	obsMirrored = obs.GetCounter("ipa_shard_mirrored_total",
+		"Publishes successfully mirrored to a replica shard.")
+	obsMoves = obs.GetCounter("ipa_shard_rebalance_moves_total",
+		"Sessions moved by the load balancer.")
+	obsProbeFails = obs.GetCounter("ipa_shard_probe_failures_total",
+		"Health-probe failures (consecutive failures lead to a dead mark).")
+	obsDeadMarks = obs.GetCounter("ipa_shard_dead_marks_total",
+		"Shards declared unreachable by the health prober.")
+	obsRevivals = obs.GetCounter("ipa_shard_revivals_total",
+		"Dead marks lifted after a shard answered a probe again.")
+)
+
+// shardCalls caches the per-shard routed-call counters. Key is
+// shard + "\x00" + kind.
+var shardCalls sync.Map // string → *obs.Counter
+
+func shardCall(shard, kind string) *obs.Counter {
+	key := shard + "\x00" + kind
+	if c, ok := shardCalls.Load(key); ok {
+		return c.(*obs.Counter)
+	}
+	c := obs.GetCounter("ipa_shard_calls_total",
+		"Calls routed to a shard, by shard and kind.", "shard", shard, "kind", kind)
+	shardCalls.Store(key, c)
+	return c
+}
+
+// Stats routes a stats probe to the session's owning shard — the
+// status surface behind session.Status's traffic counters, and the
+// trace-propagation observable (StatsReply.LastTraceID).
+func (r *Router) Stats(args merge.StatsArgs, reply *merge.StatsReply) error {
+	_, b, err := r.owner(args.SessionID, false)
+	if err != nil {
+		return err
+	}
+	return b.Stats(args, reply)
+}
+
+// ReplicaLag reports how many versions a session's replica trails its
+// owner (0 when the session has no replica, either copy is unreachable,
+// or the standby has caught up). One Stats probe per side; cheap enough
+// for status surfaces, not meant for per-publish paths.
+func (r *Router) ReplicaLag(sessionID string) int64 {
+	t := r.table.Load()
+	e, ok := t.Lookup(sessionID)
+	if !ok || e.Replica == "" || e.Replica == e.Shard {
+		return 0
+	}
+	ob, okO := t.Backend(e.Shard)
+	rb, okR := t.Backend(e.Replica)
+	if !okO || !okR {
+		return 0
+	}
+	var owner, replica merge.StatsReply
+	if err := ob.Stats(merge.StatsArgs{SessionID: sessionID}, &owner); err != nil || !owner.Found {
+		return 0
+	}
+	if err := rb.Stats(merge.StatsArgs{SessionID: sessionID}, &replica); err != nil || !replica.Found {
+		return 0
+	}
+	if lag := owner.Version - replica.Version; lag > 0 {
+		return lag
+	}
+	return 0
+}

@@ -15,10 +15,12 @@
 package shard
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/ipa-grid/ipa/internal/aida"
 	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
 	"github.com/ipa-grid/ipa/internal/shard/placement"
 )
 
@@ -119,6 +121,9 @@ func (r *Router) mirror(primary string, args merge.PublishArgs, epoch, version i
 		SessionID: args.SessionID, WorkerID: args.WorkerID, Seq: args.Seq,
 		Epoch: epoch, Version: version, Delta: args.Delta,
 		EventsDone: args.EventsDone, EventsTotal: args.EventsTotal, Log: args.Log,
+		// Forward the publish's trace so the replica hop joins the same
+		// trace the engine started.
+		Trace: args.Trace.NextHop(),
 	}
 	if margs.Delta == nil {
 		// Legacy whole-tree publish (the ablation baseline): forward it
@@ -132,6 +137,7 @@ func (r *Router) mirror(primary string, args merge.PublishArgs, epoch, version i
 	}
 	if mr.Accepted {
 		r.mirrored.Add(1)
+		obsMirrored.Inc()
 	}
 }
 
@@ -188,6 +194,7 @@ func (r *Router) rebaseline(sessionID, from, to string) error {
 	return tb.Import(merge.ImportArgs{
 		SessionID: sessionID, Version: exp.Version, Epoch: exp.Epoch,
 		Workers: exp.Workers, Removed: exp.Removed, Logs: exp.Logs,
+		LastTraceID: exp.LastTraceID,
 	}, &ir)
 }
 
@@ -230,16 +237,20 @@ func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, pr
 				// there during the promotion window.
 				var fr merge.FenceReply
 				deadB.Fence(merge.FenceArgs{SessionID: sid}, &fr)
+				obs.Emit(obs.EventFence, dead, sid, 0, "self-fence deposed primary")
 			}
 			rb, _ := t.Backend(replica)
 			var pr merge.PromoteReply
 			if err := rb.Promote(merge.PromoteArgs{SessionID: sid}, &pr); err == nil && pr.Found {
 				flips = append(flips, flip{sid: sid, to: replica})
 				promoted = append(promoted, sid)
+				obs.Emit(obs.EventPromote, replica, sid, 0,
+					fmt.Sprintf("epoch %d fenced below %d", pr.Epoch, pr.PrevEpoch))
 				return
 			}
 		}
 		lost = append(lost, sid)
+		obs.Emit(obs.EventEviction, dead, sid, 0, "no usable replica; state lost")
 	})
 	sort.Strings(promoted)
 	sort.Strings(lost)
@@ -269,6 +280,7 @@ func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, pr
 		return did
 	})
 	r.promotions.Add(int64(len(promoted)))
+	obsPromotions.Add(int64(len(promoted)))
 	// Re-protect: promoted sessions and survivors whose replica died get
 	// a fresh replica, seeded now rather than on their next publish —
 	// a finished session never publishes again, and it must not ride out

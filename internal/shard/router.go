@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
 	"github.com/ipa-grid/ipa/internal/shard/placement"
 )
 
@@ -193,6 +194,9 @@ func (r *Router) Publish(args merge.PublishArgs, reply *merge.PublishReply) erro
 	if err != nil {
 		return err
 	}
+	if !obs.Disabled() {
+		shardCall(name, "publish").Inc()
+	}
 	if err := b.Publish(args, reply); err != nil {
 		return err
 	}
@@ -204,9 +208,12 @@ func (r *Router) Publish(args merge.PublishArgs, reply *merge.PublishReply) erro
 
 // Poll routes a client update request (RMI-compatible).
 func (r *Router) Poll(args merge.PollArgs, reply *merge.PollReply) error {
-	_, b, err := r.owner(args.SessionID, false)
+	name, b, err := r.owner(args.SessionID, false)
 	if err != nil {
 		return err
+	}
+	if !obs.Disabled() {
+		shardCall(name, "poll").Inc()
 	}
 	return b.Poll(args, reply)
 }
@@ -479,6 +486,9 @@ func (r *Router) MarkDead(name string) (evicted, promoted []string) {
 		return true
 	})
 	if !changed || !r.Replicate {
+		for _, sid := range evicted {
+			obs.Emit(obs.EventEviction, name, sid, 0, "shard dead, replication off")
+		}
 		return evicted, nil
 	}
 	return r.failover(t, name)
@@ -565,6 +575,7 @@ func (r *Router) handoff(mv move) error {
 		imp := merge.ImportArgs{
 			SessionID: mv.session, Version: exp.Version, Epoch: exp.Epoch,
 			Workers: exp.Workers, Removed: exp.Removed, Logs: exp.Logs,
+			LastTraceID: exp.LastTraceID,
 		}
 		var ir merge.ImportReply
 		if err := mv.toB.Import(imp, &ir); err != nil {
@@ -587,6 +598,8 @@ func (r *Router) handoff(mv move) error {
 		return false
 	})
 	r.handoffs.Add(1)
+	obsHandoffs.Inc()
+	obs.Emit(obs.EventHandoff, mv.to, mv.session, 0, "from "+mv.from)
 	// Tombstone, not delete: a racing publish that already resolved the
 	// old backend must keep drawing NeedFull there, never re-create an
 	// unsealed session whose accepted snapshots nobody polls. The shell

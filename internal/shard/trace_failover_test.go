@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
+)
+
+// TestTracePropagatesThroughFailover is the end-to-end trace test: a
+// span injected at engine publish must be observable — same trace ID —
+// on the owning shard, on the mirror replica, and on the promoted copy
+// after an epoch-fenced failover kills the owner.
+func TestTracePropagatesThroughFailover(t *testing.T) {
+	router, flaky, _ := newReplicatedFabric(t, 3)
+
+	const victim = "shard00"
+	sid := sessionsHomedOn(t, router, victim, 1, "trace")[0]
+
+	tree := aida.NewTree()
+	h, err := tree.H1D("/h", "x", "", 10, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Fill(3)
+	d, err := tree.FullDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := obs.NewTrace()
+	if !tc.Valid() {
+		t.Fatal("NewTrace returned an untraced context with recording enabled")
+	}
+	var rep merge.PublishReply
+	if err := router.Publish(merge.PublishArgs{
+		SessionID: sid, WorkerID: "w0", Seq: 1, Delta: d, Trace: tc,
+	}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	router.drainMirrors()
+
+	// Observed on the owning shard.
+	var owner merge.StatsReply
+	if err := router.Stats(merge.StatsArgs{SessionID: sid}, &owner); err != nil {
+		t.Fatal(err)
+	}
+	if !owner.Found || owner.LastTraceID != tc.TraceID {
+		t.Fatalf("owner LastTraceID = %x, want %x", owner.LastTraceID, tc.TraceID)
+	}
+
+	// Observed on the mirror replica (hop-advanced, same trace ID).
+	replica := router.ReplicaOf(sid)
+	if replica == "" {
+		t.Fatal("no replica assigned despite Replicate=true")
+	}
+	var standby merge.StatsReply
+	if err := flaky[replica].inner.Stats(merge.StatsArgs{SessionID: sid}, &standby); err != nil {
+		t.Fatal(err)
+	}
+	if !standby.Found || standby.LastTraceID != tc.TraceID {
+		t.Fatalf("replica LastTraceID = %x, want %x", standby.LastTraceID, tc.TraceID)
+	}
+
+	// The publish recorded a merge.apply span linked to the trace.
+	var spanSeen bool
+	for _, ev := range obs.Events.Since(0, 0) {
+		if ev.Kind == obs.EventSpan && ev.TraceID == tc.TraceID {
+			spanSeen = true
+			break
+		}
+	}
+	if !spanSeen {
+		t.Errorf("no span event recorded for trace %x", tc.TraceID)
+	}
+
+	// Kill the owner: the replica is promoted under a bumped epoch, and
+	// the recorded trace must survive the promotion.
+	promoted := killAndFail(t, router, flaky, victim)
+	if len(promoted) != 1 || promoted[0] != sid {
+		t.Fatalf("promoted %v, want [%s]", promoted, sid)
+	}
+	if got := router.Placement(sid); got != replica {
+		t.Fatalf("session re-homed to %s, want promoted replica %s", got, replica)
+	}
+	var after merge.StatsReply
+	if err := router.Stats(merge.StatsArgs{SessionID: sid}, &after); err != nil {
+		t.Fatal(err)
+	}
+	if !after.Found || after.LastTraceID != tc.TraceID {
+		t.Fatalf("post-failover LastTraceID = %x, want %x", after.LastTraceID, tc.TraceID)
+	}
+	if after.Epoch <= owner.Epoch {
+		t.Fatalf("promotion did not bump the epoch: %d → %d", owner.Epoch, after.Epoch)
+	}
+
+	// The failover itself landed in the event ring (promote + fence).
+	var sawPromote bool
+	for _, ev := range obs.Events.Since(0, 0) {
+		if ev.Kind == obs.EventPromote && ev.Session == sid && ev.Shard == replica {
+			sawPromote = true
+		}
+	}
+	if !sawPromote {
+		t.Errorf("no promote event recorded for session %s on %s", sid, replica)
+	}
+}

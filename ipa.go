@@ -34,6 +34,13 @@ type (
 	CatalogEntry = core.CatalogEntry
 	// Update is one result-poll outcome.
 	Update = core.Update
+	// FabricStatus is the live merge-fabric snapshot served as JSON at
+	// ipa-manager's /fabric/status endpoint.
+	FabricStatus = core.FabricStatus
+	// ShardStatus / SessionPlacement are FabricStatus rows.
+	ShardStatus = core.ShardStatus
+	// SessionPlacement is one session's placement row.
+	SessionPlacement = core.SessionPlacement
 	// GenConfig parameterizes the Linear Collider event generator.
 	GenConfig = events.GenConfig
 	// Role is a VO authorization role.

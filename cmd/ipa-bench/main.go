@@ -1,14 +1,14 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_8.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1…BENCH_7 baselines. The baseline carries
+// (default BENCH_9.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1…BENCH_8 baselines. The baseline carries
 // an "env" block (Go version, CPU count, GOMAXPROCS) so trajectory
 // comparisons are hardware-aware.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|all] [-out DIR] [-json FILE] [-tiny] [-cpuprofile FILE] [-memprofile FILE]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|chaos|all] [-out DIR] [-json FILE] [-tiny] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -34,7 +34,7 @@ func main() {
 func realMain() int {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_8.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_9.json", "metrics baseline file (\"\" disables)")
 	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -90,9 +90,9 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl", "mcore", "obs":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl", "mcore", "obs", "chaos":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|chaos|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -552,6 +552,70 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 		metrics["obs_instrumented_ops_per_s"] = orow.InstrumentedOpsPerSec
 		metrics["obs_disabled_ops_per_s"] = orow.DisabledOpsPerSec
 		metrics["obs_overhead_frac"] = orow.OverheadFrac
+	}
+	if all || exp == "chaos" {
+		// A15 — chaos schedule over the K-replica chain: seeded multi-kill
+		// (the second victim dies mid-failover) with a flaky replication
+		// plane, zero-loss assertion against the flat reference, and a
+		// silent-drift replica the anti-entropy loop must repair within
+		// two sweeps. The seed is fixed so CI reruns the same schedule.
+		cShards, cSessions, cRounds, cKills, cDepth := 5, 12, 24, 2, 2
+		if tiny {
+			cShards, cSessions, cRounds, cKills, cDepth = 4, 3, 6, 2, 2
+		}
+		const chaosSeed = 2006
+		cres, err := perf.ChaosAblation(cShards, cSessions, cRounds, cKills, cDepth, chaosSeed)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A15 — chain-depth publish overhead, %d shards x %d sessions x %d rounds",
+			cShards, cSessions, cRounds),
+			Columns: []string{"Chain depth", "Publish/s", "vs K=0"}}
+		base := cres.Overhead[0].PublishPerSec
+		for _, row := range cres.Overhead {
+			rel := "—"
+			if row.Depth > 0 && base > 0 {
+				rel = fmt.Sprintf("%.1f%%", 100*(1-row.PublishPerSec/base))
+			}
+			t.AddRow(fmt.Sprintf("K=%d", row.Depth), fmt.Sprintf("%.0f", row.PublishPerSec), rel)
+			metrics[fmt.Sprintf("chaos_k%d_publish_per_s", row.Depth)] = row.PublishPerSec
+		}
+		fmt.Fprintln(w, t.String())
+		t2 := &aida.Table{Title: fmt.Sprintf("A15 — seeded kill schedule (seed %d), K=%d chain, %d kills",
+			chaosSeed, cDepth, cKills),
+			Columns: []string{"Victim", "Owned sessions", "Death"}}
+		for _, v := range cres.Victims {
+			death := "killed outright"
+			if v.MidFailover {
+				death = fmt.Sprintf("armed: dies %d calls into the failover", v.Fuse)
+			}
+			t2.AddRow(v.Shard, fmt.Sprintf("%d", v.OwnedSessions), death)
+		}
+		fmt.Fprintln(w, t2.String())
+		t3 := &aida.Table{Title: "A15 — survival",
+			Columns: []string{"Probe rounds", "Failover ms", "Promoted", "Recovered", "Lost", "Drift repaired (sweeps)"}}
+		drift := "no chain to doctor"
+		if cres.DriftHop != "" {
+			drift = fmt.Sprintf("%v (%d)", cres.DriftRepaired, cres.DriftRounds)
+		}
+		t3.AddRow(fmt.Sprintf("%d", cres.ProbeRounds), fmt.Sprintf("%.2f", cres.FailoverMS),
+			fmt.Sprintf("%d", cres.Promoted), fmt.Sprintf("%d/%d", cres.Recovered, cSessions),
+			fmt.Sprintf("%d", cres.Lost), drift)
+		fmt.Fprintln(w, t3.String())
+		metrics["chaos_probe_rounds"] = float64(cres.ProbeRounds)
+		metrics["chaos_failover_ms"] = cres.FailoverMS
+		metrics["chaos_promoted"] = float64(cres.Promoted)
+		metrics["chaos_recovered"] = float64(cres.Recovered)
+		metrics["chaos_lost"] = float64(cres.Lost)
+		metrics["chaos_drift_rounds"] = float64(cres.DriftRounds)
+		if cres.Lost > 0 {
+			return fmt.Errorf("chaos schedule lost %d of %d sessions (%d shards killed, chain depth %d)",
+				cres.Lost, cSessions, cKills, cDepth)
+		}
+		if cres.DriftHop != "" && !cres.DriftRepaired {
+			return fmt.Errorf("anti-entropy failed to repair the injected drift at %s within %d sweeps",
+				cres.DriftHop, cres.DriftRounds)
+		}
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(struct {

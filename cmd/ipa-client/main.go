@@ -141,7 +141,9 @@ func main() {
 	if st, err := client.Status(); err == nil && st.Polls > 0 {
 		fmt.Printf("merge traffic: %d publishes, %d polls (%.0f%% fast-path)",
 			st.Publishes, st.Polls, 100*float64(st.FastPolls)/float64(st.Polls))
-		if st.Replica != "" {
+		if len(st.ReplicaChain) > 0 {
+			fmt.Printf(", replicas %s lag %d", strings.Join(st.ReplicaChain, " → "), st.ReplicaLag)
+		} else if st.Replica != "" {
 			fmt.Printf(", replica %s lag %d", st.Replica, st.ReplicaLag)
 		}
 		fmt.Println()
@@ -194,10 +196,24 @@ func watchFabric(addr string, every time.Duration, once bool) error {
 				sh.Name, state, sh.Sessions, sh.Publishes, sh.Polls, dPub, dPoll)
 		}
 		for _, p := range st.Placements {
-			if p.Replica != "" {
-				fmt.Printf("  session %-10.10s %s → replica %s (epoch %d, lag %d)\n",
-					p.SessionID, p.Shard, p.Replica, p.Epoch, p.ReplicaLag)
+			if len(p.Chain) == 0 && p.Replica == "" {
+				continue
 			}
+			// Render the whole replica chain hop by hop; a "!" marks a
+			// copy the anti-entropy loop considers drifted or stale.
+			hops := make([]string, 0, len(p.Chain))
+			for _, h := range p.Chain {
+				mark := ""
+				if h.Stale {
+					mark = "!"
+				}
+				hops = append(hops, fmt.Sprintf("%s%s(lag %d)", h.Shard, mark, h.Lag))
+			}
+			if len(hops) == 0 {
+				hops = append(hops, p.Replica)
+			}
+			fmt.Printf("  session %-10.10s %s → %s (epoch %d, worst lag %d)\n",
+				p.SessionID, p.Shard, strings.Join(hops, " → "), p.Epoch, p.ReplicaLag)
 		}
 		for _, ev := range st.Events {
 			if ev.Seq < lastSeq {

@@ -52,7 +52,9 @@ func main() {
 	rebalanceBand := flag.Float64("rebalance-band", 0.25, "rebalance hysteresis band (fraction over the fabric-mean load)")
 	health := flag.Duration("health", 0, "shard health probe interval (0 = off; needs -shards > 1)")
 	healthFails := flag.Int("health-fails", 3, "consecutive failed probes before a shard is marked dead")
-	replicate := flag.Bool("replicate", false, "mirror each session to a replica shard; shard death promotes the replica instead of losing the session (needs -shards > 1)")
+	replicate := flag.Bool("replicate", false, "mirror each session to a replica chain; shard death promotes the deepest caught-up replica instead of losing the session (needs -shards > 1)")
+	replicas := flag.Int("replicas", 1, "replica chain depth K per session (needs -replicate; capped at shards-1)")
+	antiEntropy := flag.Duration("anti-entropy", 0, "replica chain repair sweep interval: drifted or stalled copies are re-baselined (0 = off; needs -replicate)")
 	wal := flag.String("wal", "", "directory for per-manager append-only session logs, replayed on restart (\"\" = no durability)")
 	walSync := flag.Int("wal-sync", 64, "fsync the session log every N records (0 = every record)")
 	httpAddr := flag.String("http", "", "serve /metrics, /fabric/status and /debug/pprof/ on this address (e.g. 127.0.0.1:6060; \"\" = off)")
@@ -67,7 +69,8 @@ func main() {
 		Nodes: *nodes, Insecure: *insecure, Shards: *shards,
 		RebalanceInterval: *rebalance, RebalanceMaxMoves: *rebalanceMoves, RebalanceBand: *rebalanceBand,
 		HealthInterval: *health, HealthFails: *healthFails,
-		Replicate: *replicate, WALDir: *wal, WALSyncEvery: *walSync,
+		Replicate: *replicate, ReplicaDepth: *replicas, AntiEntropyInterval: *antiEntropy,
+		WALDir: *wal, WALSyncEvery: *walSync,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,7 +122,10 @@ func main() {
 			fmt.Printf("health prober: every %s, dead after %d failed probes\n", *health, *healthFails)
 		}
 		if *replicate {
-			fmt.Println("replication: each session mirrored to a standby shard (epoch-fenced failover)")
+			fmt.Printf("replication: each session mirrored down a chain of %d standby shard(s) (epoch-fenced failover, deepest caught-up wins)\n", *replicas)
+			if *antiEntropy > 0 {
+				fmt.Printf("anti-entropy: chain repair sweep every %s\n", *antiEntropy)
+			}
 		}
 	}
 	if *wal != "" {

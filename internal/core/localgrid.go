@@ -55,10 +55,19 @@ type GridOptions struct {
 	HealthInterval time.Duration
 	HealthFails    int
 	// Replicate mirrors every accepted publish to a per-session replica
-	// shard, so a shard death promotes the replica (epoch-fenced)
-	// instead of evicting the sessions to empty. Needs Shards > 1; off
-	// by default (the DisableReplication ablation baseline).
+	// chain, so a shard death promotes the deepest caught-up replica
+	// (epoch-fenced) instead of evicting the sessions to empty. Needs
+	// Shards > 1; off by default (the DisableReplication ablation
+	// baseline).
 	Replicate bool
+	// ReplicaDepth is the replica chain length K per session (0 = 1, the
+	// single-standby default). Ignored unless Replicate is on.
+	ReplicaDepth int
+	// AntiEntropyInterval starts the chain-repair loop: every interval
+	// each session's replica chain is compared against the owner by
+	// (epoch, version) and drifted or stalled copies are re-baselined
+	// (0 = no loop; ignored unless Replicate is on).
+	AntiEntropyInterval time.Duration
 	// WALDir, when set, gives every shard manager an append-only
 	// snapshot/delta log under this directory, replayed on startup — a
 	// restarted manager rejoins with its sessions intact. WALSyncEvery
@@ -84,10 +93,12 @@ type LocalGrid struct {
 	Merge merge.Service
 	// Router is non-nil on a sharded grid (== Merge).
 	Router *shard.Router
-	// Balancer / Health are the placement policy loops, non-nil when the
-	// corresponding interval option enabled them on a sharded grid.
-	Balancer *shard.Balancer
-	Health   *shard.Health
+	// Balancer / Health / AntiEntropy are the placement policy loops,
+	// non-nil when the corresponding interval option enabled them on a
+	// sharded grid.
+	Balancer    *shard.Balancer
+	Health      *shard.Health
+	AntiEntropy *shard.AntiEntropy
 	// ShardMgrs are the fabric's member managers by shard name.
 	ShardMgrs map[string]*merge.Manager
 	Reg       *registry.Registry
@@ -177,6 +188,7 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 		// consistent hashing; everything publishes/polls via the router.
 		g.Router = shard.NewRouter(0)
 		g.Router.Replicate = opts.Replicate
+		g.Router.ReplicaDepth = opts.ReplicaDepth
 		g.ShardMgrs = make(map[string]*merge.Manager, opts.Shards)
 		for i := 0; i < opts.Shards; i++ {
 			name := fmt.Sprintf("shard%02d", i)
@@ -206,6 +218,24 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 			g.Health.Interval = opts.HealthInterval
 			g.Health.Threshold = opts.HealthFails
 			g.Health.Start()
+		}
+		if opts.Replicate && opts.WALDir != "" {
+			// WAL-backed replica handoff: a promoted copy inherits the
+			// dead primary's durable log tail for its session before the
+			// promotion stamps the new epoch.
+			walDir := opts.WALDir
+			g.Router.WALTail = func(deadShard, sessionID, targetShard string) (int, error) {
+				target, ok := g.ShardMgrs[targetShard]
+				if !ok {
+					return 0, fmt.Errorf("core: no local manager for shard %q", targetShard)
+				}
+				return merge.ReplaySessionInto(filepath.Join(walDir, deadShard+".wal"), sessionID, target)
+			}
+		}
+		if opts.Replicate && opts.AntiEntropyInterval > 0 {
+			g.AntiEntropy = shard.NewAntiEntropy(g.Router)
+			g.AntiEntropy.Interval = opts.AntiEntropyInterval
+			g.AntiEntropy.Start()
 		}
 	} else {
 		mgr := merge.NewManager()
@@ -364,6 +394,9 @@ func (g *LocalGrid) Close() {
 	}
 	if g.Health != nil {
 		g.Health.Stop()
+	}
+	if g.AntiEntropy != nil {
+		g.AntiEntropy.Stop()
 	}
 	for _, id := range g.Session.Sessions() {
 		g.Session.Close(id)

@@ -254,7 +254,7 @@ func (m *Manager) register() {
 			State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle,
 			Shard: st.Shard, ShardAddr: st.ShardAddr,
 			PlacementGen: st.PlacementGen, DeadShards: st.DeadShards,
-			ResultEpoch: st.ResultEpoch, Replica: st.Replica,
+			ResultEpoch: st.ResultEpoch, Replica: st.Replica, ReplicaChain: st.ReplicaChain,
 			Publishes: st.Publishes, Polls: st.Polls, FastPolls: st.FastPolls,
 			ReplicaLag: st.ReplicaLag,
 		}

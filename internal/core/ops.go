@@ -144,9 +144,11 @@ type StatusResponse struct {
 	// post-fault re-baseline), telling incremental pollers to discard
 	// their mirror and full-resync.
 	ResultEpoch int64 `xml:"resultEpoch,omitempty"`
-	// Replica names the shard holding the session's standby copy (empty
-	// when replication is off).
-	Replica string `xml:"replica,omitempty"`
+	// Replica names the shard holding the session's first standby copy
+	// (empty when replication is off); ReplicaChain lists the whole
+	// replica chain in order for depth-K fabrics.
+	Replica      string   `xml:"replica,omitempty"`
+	ReplicaChain []string `xml:"replicaChain>shard,omitempty"`
 	// Publishes / Polls are the session's cumulative merge-traffic
 	// counters; FastPolls is the subset of polls served on the lock-free
 	// quiescent path (fast-path poll ratio = fastPolls/polls).

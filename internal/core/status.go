@@ -11,6 +11,7 @@ import (
 
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/obs"
+	"github.com/ipa-grid/ipa/internal/shard"
 )
 
 // ShardStatus is one fabric member in a FabricStatus report.
@@ -32,13 +33,18 @@ type ShardStatus struct {
 type SessionPlacement struct {
 	SessionID string `json:"sessionID"`
 	Shard     string `json:"shard,omitempty"`
-	Replica   string `json:"replica,omitempty"`
+	// Replica is the first chain hop (kept for single-standby readers);
+	// Chain is the per-hop breakdown of the whole replica chain in
+	// order, each hop with its own lag and staleness mark.
+	Replica string         `json:"replica,omitempty"`
+	Chain   []shard.HopLag `json:"chain,omitempty"`
 	// Epoch is the merge-state incarnation stamp (bumps on failover
 	// promotion); Version the merged-result version clients poll against.
 	Epoch   int64 `json:"epoch,omitempty"`
 	Version int64 `json:"version"`
 	// Publishes / Polls / FastPolls are the cumulative traffic counters;
-	// ReplicaLag is how many versions the standby trails the owner.
+	// ReplicaLag is how many versions the deepest-lagging chain hop
+	// trails the owner (the per-hop breakdown is Chain).
 	Publishes  int64 `json:"publishes"`
 	Polls      int64 `json:"polls"`
 	FastPolls  int64 `json:"fastPolls"`
@@ -114,18 +120,23 @@ func (g *LocalGrid) FabricStatus(maxEvents int) FabricStatus {
 		rows[name] = &ShardStatus{Name: name, Dead: dead[name]}
 	}
 	for _, sid := range sortedSessions(g.Router.Sessions()) {
-		shard := g.Router.Placement(sid)
+		owner := g.Router.Placement(sid)
 		var sr merge.StatsReply
 		g.Router.Stats(merge.StatsArgs{SessionID: sid}, &sr)
 		p := SessionPlacement{
-			SessionID: sid, Shard: shard,
+			SessionID: sid, Shard: owner,
 			Replica: g.Router.ReplicaOf(sid),
+			Chain:   g.Router.ReplicaLagChain(sid),
 			Epoch:   sr.Epoch, Version: sr.Version,
 			Publishes: sr.Publishes, Polls: sr.Polls, FastPolls: sr.FastPolls,
-			ReplicaLag: g.Router.ReplicaLag(sid),
+		}
+		for _, h := range p.Chain {
+			if h.Lag > p.ReplicaLag {
+				p.ReplicaLag = h.Lag
+			}
 		}
 		st.Placements = append(st.Placements, p)
-		if row := rows[shard]; row != nil {
+		if row := rows[owner]; row != nil {
 			row.Sessions++
 			row.Publishes += sr.Publishes
 			row.Polls += sr.Polls

@@ -23,6 +23,7 @@ import (
 	"os"
 	"sync"
 
+	"github.com/ipa-grid/ipa/internal/aida"
 	"github.com/ipa-grid/ipa/internal/obs"
 )
 
@@ -272,6 +273,14 @@ func (w *WAL) Replay(m *Manager) (int, error) {
 // corrupt tail ends the replay without error (the crash case this log
 // exists for); a record that decodes but fails to apply is an error.
 func replayFile(f io.Reader, m *Manager) (n int, good int64, err error) {
+	return scanFile(f, func(rec *walRecord) error { return applyRecord(m, rec) })
+}
+
+// scanFile decodes every complete record in f and hands each to apply,
+// returning how many were handed over plus the offset just past the
+// last complete record. A torn or corrupt tail ends the scan without
+// error; an apply error stops it.
+func scanFile(f io.Reader, apply func(*walRecord) error) (n int, good int64, err error) {
 	br := bufio.NewReaderSize(f, 1<<16)
 	hdr := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr) != walMagic {
@@ -298,7 +307,7 @@ func replayFile(f io.Reader, m *Manager) (n int, good int64, err error) {
 		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&rec); err != nil {
 			return n, good, nil // corrupt tail record
 		}
-		if err := applyRecord(m, &rec); err != nil {
+		if err := apply(&rec); err != nil {
 			return n, good, err
 		}
 		good += int64(uvarintLen(size)) + int64(size)
@@ -348,6 +357,93 @@ func applyRecord(m *Manager, rec *walRecord) error {
 	default:
 		return fmt.Errorf("merge: unknown log record kind %d", rec.Kind)
 	}
+}
+
+// ReplaySessionInto replays one session's state content from the log
+// files at path (the rotation file first, exactly like Replay) into a
+// different manager — the WAL-backed replica handoff: when a primary
+// dies, the copy about to be promoted inherits every delta the primary
+// durably logged, including ones the asynchronous mirror stream never
+// delivered. Only state-content records are applied — snapshots and
+// imports through Import, publishes and mirrors through Mirror (the
+// replica-side entry point, whose seq machinery silently drops records
+// the copy already holds) — never fences, promotions, resets, or drops:
+// those describe the dead incarnation's lifecycle, which the failover
+// itself re-decides. The files are read without truncating or locking
+// anything, so a live log being appended to concurrently just yields a
+// tolerated torn tail. Returns the number of records accepted by m.
+func ReplaySessionInto(path, sessionID string, m *Manager) (int, error) {
+	applied := 0
+	apply := func(rec *walRecord) error {
+		switch rec.Kind {
+		case walImport, walSnapshot:
+			if rec.Import == nil || rec.Import.SessionID != sessionID {
+				return nil
+			}
+			var ir ImportReply
+			if err := m.Import(*rec.Import, &ir); err != nil && err != ErrFenced {
+				return err
+			}
+			applied++
+		case walPublish:
+			if rec.Publish == nil || rec.Publish.SessionID != sessionID {
+				return nil
+			}
+			p := rec.Publish
+			// The primary logged its accepted publishes; the copy replays
+			// them through Mirror, the entry point built for exactly this
+			// stream. Epoch 0 means "whatever incarnation you hold" —
+			// correct here, because the copy adopted the dead primary's
+			// epoch from the mirror stream and the promotion that follows
+			// re-stamps it anyway.
+			margs := MirrorArgs{
+				SessionID: p.SessionID, WorkerID: p.WorkerID, Seq: p.Seq,
+				Delta: p.Delta, EventsDone: p.EventsDone, EventsTotal: p.EventsTotal,
+				Log: p.Log,
+			}
+			if margs.Delta == nil {
+				margs.Delta = &aida.DeltaState{Full: true, Entries: p.Tree.Entries}
+			}
+			var mr MirrorReply
+			if err := m.Mirror(margs, &mr); err != nil && err != ErrFenced {
+				return err
+			}
+			if mr.Accepted {
+				applied++
+			}
+		case walMirror:
+			if rec.Mirror == nil || rec.Mirror.SessionID != sessionID {
+				return nil
+			}
+			var mr MirrorReply
+			if err := m.Mirror(*rec.Mirror, &mr); err != nil && err != ErrFenced {
+				return err
+			}
+			if mr.Accepted {
+				applied++
+			}
+		}
+		return nil
+	}
+	if old, err := os.Open(path + ".old"); err == nil {
+		_, _, rerr := scanFile(old, apply)
+		old.Close()
+		if rerr != nil {
+			return applied, fmt.Errorf("merge: replaying %s.old: %w", path, rerr)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return applied, nil
+		}
+		return applied, err
+	}
+	defer f.Close()
+	if _, _, err := scanFile(f, apply); err != nil {
+		return applied, err
+	}
+	return applied, nil
 }
 
 // SetWAL attaches the log: every subsequent state-changing call appends

@@ -16,15 +16,18 @@ import (
 // Event kinds emitted by the fabric (Kind is free-form; these are the
 // well-known values).
 const (
-	EventHandoff   = "handoff"
-	EventPromote   = "promote"
-	EventFence     = "fence"
-	EventMove      = "rebalance-move"
-	EventEviction  = "eviction"
-	EventDeadMark  = "dead-mark"
-	EventRevival   = "revival"
-	EventReplicate = "replicate"
-	EventSpan      = "span"
+	EventHandoff      = "handoff"
+	EventPromote      = "promote"
+	EventFence        = "fence"
+	EventMove         = "rebalance-move"
+	EventEviction     = "eviction"
+	EventDeadMark     = "dead-mark"
+	EventRevival      = "revival"
+	EventReplicate    = "replicate"
+	EventSpan         = "span"
+	EventBackpressure = "mirror-backpressure"
+	EventRepair       = "anti-entropy-repair"
+	EventWALTail      = "wal-tail"
 )
 
 // Event is one structured fabric occurrence.

@@ -28,6 +28,13 @@ type Faults struct {
 	// congested or flaky link.
 	DelayFrac float64
 	Delay     time.Duration
+	// KillAfter, when > 0, arms a deterministic crash: the first
+	// KillAfter dispatched calls proceed normally (modulo the fractions
+	// above), then every later call severs its connection unanswered —
+	// the server is "dead" from a precise point in the call stream on.
+	// Chaos schedules use this to kill a shard mid-failover or
+	// mid-handoff instead of at a tidy boundary.
+	KillAfter uint64
 }
 
 // ErrInjected is the message injected error replies carry.
@@ -50,8 +57,12 @@ type faultState struct {
 
 // decide rolls the next value of the seeded stream into a fault kind.
 func (fs *faultState) decide() faultKind {
+	n := fs.n.Add(1)
+	if fs.f.KillAfter > 0 && n > fs.f.KillAfter {
+		return faultDrop // armed kill: dead from this point in the stream on
+	}
 	// splitmix64 over seed+counter: stateless, race-free, reproducible.
-	x := fs.f.Seed + 0x9e3779b97f4a7c15*fs.n.Add(1)
+	x := fs.f.Seed + 0x9e3779b97f4a7c15*n
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27

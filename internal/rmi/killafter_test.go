@@ -1,0 +1,77 @@
+package rmi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDialContextCancelMidBackoffWait pins the sharper contract behind
+// TestDialContextCancelCutsBackoff: the cancellation arrives while the
+// retry loop is provably *inside* a backoff sleep (the first connect to
+// a dead port fails in microseconds; the policy then owes a 10s wait),
+// and the dial must return the context's own error immediately — not a
+// wrapped dial failure, and not after the wait runs out.
+func TestDialContextCancelMidBackoffWait(t *testing.T) {
+	addr := reserveAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := DialContext(ctx, addr, "tok",
+		WithRetry(RetryPolicy{Attempts: 5, Base: 10 * time.Second, Max: 30 * time.Second}))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("canceled dial succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("cancel mid-backoff returned after %v, want well under the 10s wait", elapsed)
+	}
+}
+
+// TestKillAfterSeversFromExactPoint: the armed crash must be exact —
+// the first KillAfter dispatched calls answer normally, and from the
+// next call on the server is dead to everyone: in-flight connections
+// see their transport severed (not a RemoteError reply), and even a
+// brand-new client (the handshake is not a dispatched call) loses its
+// first dispatch the same way. This is the primitive chaos schedules
+// lean on to kill a shard mid-failover instead of at a tidy boundary.
+func TestKillAfterSeversFromExactPoint(t *testing.T) {
+	s, addr := startServer(t, nil)
+	s.SetFaults(&Faults{KillAfter: 3})
+	c, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i <= 3; i++ {
+		var sum float64
+		if err := c.Call("Calc.Add", addArgs{1, 2}, &sum); err != nil || sum != 3 {
+			t.Fatalf("call %d before the fuse burned: sum=%v err=%v", i, sum, err)
+		}
+	}
+	err = c.Call("Calc.Add", addArgs{1, 2}, new(float64))
+	if err == nil {
+		t.Fatal("call past the kill point succeeded")
+	}
+	if _, ok := err.(RemoteError); ok {
+		t.Fatalf("kill surfaced as a RemoteError (%v), want a severed transport", err)
+	}
+	// Dead means dead: a fresh connection handshakes fine but its first
+	// dispatched call is severed too — the counter is the server's, not
+	// the connection's.
+	c2, err := Dial(addr, "tok")
+	if err != nil {
+		t.Fatalf("handshake on the killed server failed outright: %v", err)
+	}
+	defer c2.Close()
+	if err := c2.Call("Calc.Add", addArgs{1, 2}, new(float64)); err == nil {
+		t.Fatal("fresh connection called through the armed kill")
+	}
+}

@@ -516,9 +516,13 @@ type Status struct {
 	// client can tell "same state, newer version" from "new incarnation,
 	// discard the mirror".
 	ResultEpoch int64
-	// Replica names the shard holding this session's standby copy (""
-	// when replication is off or no replica is assigned).
+	// Replica names the shard holding this session's first standby copy
+	// ("" when replication is off or no replica is assigned).
 	Replica string
+	// ReplicaChain lists every shard in the session's replica chain in
+	// order, primary excluded (nil when unreplicated or depth 1 fabrics
+	// that predate chains report only Replica).
+	ReplicaChain []string
 	// Publishes / Polls are the session's cumulative merge-traffic
 	// counters; FastPolls is the subset of polls answered on the
 	// lock-free quiescent path (fast-path poll ratio = FastPolls/Polls).
@@ -586,6 +590,9 @@ func (s *Service) Status(sessionID string) (Status, error) {
 	}
 	if p, ok := s.cfg.Merge.(interface{ ReplicaOf(string) string }); ok {
 		st.Replica = p.ReplicaOf(sess.ID)
+	}
+	if p, ok := s.cfg.Merge.(interface{ ReplicasOf(string) []string }); ok {
+		st.ReplicaChain = p.ReplicasOf(sess.ID)
 	}
 	// Traffic counters ride the same lock-free Stats surface the health
 	// prober and balancer use; any fabric exposing it reports them.

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/aida"
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/obs"
+)
+
+// TestChainDepthTwoSurvivesTwoFailures: with K=2 every session owns a
+// primary plus a two-hop replica chain, so the fabric must ride out two
+// sequential shard deaths with zero merged-state loss. The first
+// failover must promote the deepest hop (the (epoch, version) tie-break
+// prefers depth), rebuild the chain back to depth K among the
+// survivors, and leave the second death just as survivable.
+func TestChainDepthTwoSurvivesTwoFailures(t *testing.T) {
+	router, flaky, flat := newReplicatedFabric(t, 4)
+	router.ReplicaDepth = 2
+
+	const victim = "shard00"
+	var workers []*loadWorker
+	for _, sid := range sessionsHomedOn(t, router, victim, 3, "k2") {
+		workers = append(workers, newLoadWorker(t, router, flat, sid))
+	}
+	for r := 0; r < 6; r++ {
+		for _, w := range workers {
+			w.publish(t, float64(r%10))
+		}
+	}
+	router.drainMirrors()
+
+	// Every session carries a full two-hop chain of distinct live shards.
+	detail := workers[0].sid
+	chain := router.ReplicasOf(detail)
+	if len(chain) != 2 {
+		t.Fatalf("chain for %s = %v, want depth 2", detail, chain)
+	}
+	if chain[0] == chain[1] || chain[0] == victim || chain[1] == victim {
+		t.Fatalf("degenerate chain %v (primary %s)", chain, victim)
+	}
+	preEpoch := router.Epoch(detail)
+
+	promoted := killAndFail(t, router, flaky, victim)
+	if len(promoted) != len(workers) {
+		t.Fatalf("promoted %v, want all %d victim sessions", promoted, len(workers))
+	}
+	// Equal (epoch, version) down the chain: the tie-break promotes the
+	// deepest caught-up hop, not merely the first standby.
+	if got := router.Placement(detail); got != chain[1] {
+		t.Fatalf("promoted on %s, want deepest hop %s of chain %v", got, chain[1], chain)
+	}
+	if e := router.Epoch(detail); e <= preEpoch {
+		t.Fatalf("epoch %d did not advance past %d across failover", e, preEpoch)
+	}
+	for _, w := range workers {
+		got, want := fullState(t, router, w.sid), fullState(t, flat, w.sid)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("session %s lost state across first failover", w.sid)
+		}
+	}
+	// Eager rebuild: the chain is back at depth K on live shards only.
+	rebuilt := router.ReplicasOf(detail)
+	if len(rebuilt) != 2 {
+		t.Fatalf("chain not rebuilt to depth 2 after failover: %v", rebuilt)
+	}
+	for _, h := range rebuilt {
+		if h == victim || h == router.Placement(detail) {
+			t.Fatalf("rebuilt chain %v contains dead shard or primary", rebuilt)
+		}
+	}
+
+	// Second failure: kill the promoted primary too. Two of four shards
+	// are now dead — K=2 must still hand every byte to a survivor.
+	second := router.Placement(detail)
+	promoted = killAndFail(t, router, flaky, second)
+	if len(promoted) == 0 {
+		t.Fatalf("second failover promoted nothing")
+	}
+	for _, w := range workers {
+		got, want := fullState(t, router, w.sid), fullState(t, flat, w.sid)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("session %s lost state across second failover", w.sid)
+		}
+	}
+}
+
+// TestFailoverPromotesCaughtUpOverDeeper: when the chain's hops are
+// NOT equally caught up, version order must beat the depth tie-break —
+// a shallower hop holding a newer version wins promotion.
+func TestFailoverPromotesCaughtUpOverDeeper(t *testing.T) {
+	router, flaky, flat := newReplicatedFabric(t, 4)
+	router.ReplicaDepth = 2
+
+	const victim = "shard00"
+	sid := sessionsHomedOn(t, router, victim, 1, "deep")[0]
+	w := newLoadWorker(t, router, flat, sid)
+	for r := 0; r < 5; r++ {
+		w.publish(t, float64(r))
+	}
+	router.drainMirrors()
+
+	chain := router.ReplicasOf(sid)
+	if len(chain) != 2 {
+		t.Fatalf("chain = %v, want depth 2", chain)
+	}
+	// Nudge the SHALLOW hop one version ahead with an empty delta fed
+	// straight into its manager — same bytes of state, newer version,
+	// exactly what a mirror that landed after the deep hop missed one
+	// looks like at pick time.
+	shallow := flaky[chain[0]].inner
+	var exp merge.ExportReply
+	if err := shallow.Export(merge.ExportArgs{SessionID: sid}, &exp); err != nil || !exp.Found {
+		t.Fatalf("export from shallow hop: %v found=%v", err, exp.Found)
+	}
+	var seq int64
+	for _, ws := range exp.Workers {
+		if ws.WorkerID == "w0" {
+			seq = ws.Seq
+		}
+	}
+	if seq == 0 {
+		t.Fatalf("shallow hop never saw worker w0: %+v", exp.Workers)
+	}
+	var mr merge.MirrorReply
+	err := shallow.Mirror(merge.MirrorArgs{
+		SessionID: sid, WorkerID: "w0", Seq: seq + 1,
+		Version: exp.Version + 1, Delta: &aida.DeltaState{},
+	}, &mr)
+	if err != nil || !mr.Accepted {
+		t.Fatalf("version nudge rejected: err=%v reply=%+v", err, mr)
+	}
+
+	killAndFail(t, router, flaky, victim)
+	if got := router.Placement(sid); got != chain[0] {
+		t.Fatalf("promoted on %s, want the caught-up shallow hop %s (chain %v)", got, chain[0], chain)
+	}
+	got, want := fullState(t, router, sid), fullState(t, flat, sid)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("promoted caught-up hop diverged from the flat reference")
+	}
+}
+
+// gatedMirrorBackend stalls every Mirror until the gate opens — a
+// replica too slow for the mirror stream, forcing the bounded queue
+// into backpressure.
+type gatedMirrorBackend struct {
+	Backend
+	gate chan struct{}
+}
+
+func (b *gatedMirrorBackend) Mirror(args merge.MirrorArgs, reply *merge.MirrorReply) error {
+	<-b.gate
+	return b.Backend.Mirror(args, reply)
+}
+
+// TestMirrorBackpressureCountsAndRecovers: a stalled replica must not
+// drop or reorder mirrors — the full queue blocks publishes instead,
+// and the episode is observable: the backpressure counter moves and a
+// fabric event lands in the ring. Once the replica drains, every
+// accepted byte is on it.
+func TestMirrorBackpressureCountsAndRecovers(t *testing.T) {
+	router := NewRouter(0)
+	router.Replicate = true
+	gate := make(chan struct{})
+	gated := &gatedMirrorBackend{Backend: merge.NewManager(), gate: gate}
+	if err := router.AddShard("shard00", merge.NewManager()); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.AddShard("shard01", gated); err != nil {
+		t.Fatal(err)
+	}
+	flat := merge.NewManager()
+	sid := sessionsHomedOn(t, router, "shard00", 1, "bp")[0]
+	w := newLoadWorker(t, router, flat, sid)
+
+	before := obsMirrorBackpressure.Value()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Queue depth + the job stalled in the worker + slack: enough to
+		// wedge the publisher against the full queue.
+		for i := 0; i < mirrorQueueDepth+16; i++ {
+			w.publish(t, float64(i%10))
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for obsMirrorBackpressure.Value() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("mirror queue never reported backpressure")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("publisher finished while the mirror queue was wedged")
+	default:
+	}
+
+	close(gate)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publisher still blocked after the replica drained")
+	}
+	router.drainMirrors()
+
+	var found bool
+	for _, e := range obs.Events.Since(0, 8192) {
+		if e.Kind == obs.EventBackpressure && e.Session == sid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %q fabric event for session %s", obs.EventBackpressure, sid)
+	}
+	// Blocked, never lossy: the replica holds every accepted delta.
+	var rep merge.PollReply
+	if err := gated.Backend.Poll(merge.PollArgs{SessionID: sid, Full: true}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 {
+		t.Fatal("replica holds no state after the queue drained")
+	}
+	got, want := fullState(t, router, sid), fullState(t, flat, sid)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fabric state diverged from flat reference across backpressure")
+	}
+}

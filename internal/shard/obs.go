@@ -29,6 +29,14 @@ var (
 		"Shards declared unreachable by the health prober.")
 	obsRevivals = obs.GetCounter("ipa_shard_revivals_total",
 		"Dead marks lifted after a shard answered a probe again.")
+	obsMirrorBackpressure = obs.GetCounter("ipa_shard_mirror_backpressure_total",
+		"Publishes that blocked because the mirror queue was full.")
+	obsWALTails = obs.GetCounter("ipa_shard_wal_tail_replays_total",
+		"Failovers that replayed a dead primary's WAL tail into the promoted copy.")
+	obsAntiEntropyRounds = obs.GetCounter("ipa_shard_anti_entropy_rounds_total",
+		"Anti-entropy sweeps completed over the session chains.")
+	obsAntiEntropyRepairs = obs.GetCounter("ipa_shard_anti_entropy_repairs_total",
+		"Replica copies re-baselined by the anti-entropy loop (drift or stall).")
 )
 
 // shardCalls caches the per-shard routed-call counters. Key is
@@ -57,30 +65,79 @@ func (r *Router) Stats(args merge.StatsArgs, reply *merge.StatsReply) error {
 	return b.Stats(args, reply)
 }
 
-// ReplicaLag reports how many versions a session's replica trails its
-// owner (0 when the session has no replica, either copy is unreachable,
-// or the standby has caught up). One Stats probe per side; cheap enough
-// for status surfaces, not meant for per-publish paths.
-func (r *Router) ReplicaLag(sessionID string) int64 {
+// HopLag is one replica chain hop's view of a session, as probed by
+// ReplicaLagChain: how far its copy trails the owner and the incarnation
+// it believes in.
+type HopLag struct {
+	// Shard names the chain hop.
+	Shard string `json:"shard"`
+	// Lag is owner version minus hop version, floored at 0.
+	Lag int64 `json:"lag"`
+	// Epoch is the hop copy's incarnation stamp (0 when unreachable).
+	Epoch int64 `json:"epoch,omitempty"`
+	// Version is the hop copy's merged-result version (0 when
+	// unreachable or empty).
+	Version int64 `json:"version,omitempty"`
+	// Stale marks a hop whose copy could not be probed, holds a foreign
+	// epoch, or is ahead of the owner — the states anti-entropy repairs.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// ReplicaLagChain reports the per-hop lag breakdown for a session's
+// whole replica chain, in chain order (nil when the session has no
+// chain or the owner is unreachable). One Stats probe per copy; cheap
+// enough for status surfaces, not meant for per-publish paths.
+func (r *Router) ReplicaLagChain(sessionID string) []HopLag {
 	t := r.table.Load()
 	e, ok := t.Lookup(sessionID)
-	if !ok || e.Replica == "" || e.Replica == e.Shard {
-		return 0
+	if !ok || len(e.Replicas) == 0 {
+		return nil
 	}
 	ob, okO := t.Backend(e.Shard)
-	rb, okR := t.Backend(e.Replica)
-	if !okO || !okR {
-		return 0
+	if !okO {
+		return nil
 	}
-	var owner, replica merge.StatsReply
+	var owner merge.StatsReply
 	if err := ob.Stats(merge.StatsArgs{SessionID: sessionID}, &owner); err != nil || !owner.Found {
-		return 0
+		return nil
 	}
-	if err := rb.Stats(merge.StatsArgs{SessionID: sessionID}, &replica); err != nil || !replica.Found {
-		return 0
+	out := make([]HopLag, 0, len(e.Replicas))
+	for _, hop := range e.Replicas {
+		h := HopLag{Shard: hop}
+		hb, okR := t.Backend(hop)
+		if !okR {
+			h.Stale = true
+			out = append(out, h)
+			continue
+		}
+		var st merge.StatsReply
+		if err := hb.Stats(merge.StatsArgs{SessionID: sessionID}, &st); err != nil || !st.Found {
+			h.Stale = true
+			out = append(out, h)
+			continue
+		}
+		h.Epoch, h.Version = st.Epoch, st.Version
+		if lag := owner.Version - st.Version; lag > 0 {
+			h.Lag = lag
+		}
+		if st.Epoch != owner.Epoch || st.Version > owner.Version {
+			h.Stale = true
+		}
+		out = append(out, h)
 	}
-	if lag := owner.Version - replica.Version; lag > 0 {
-		return lag
+	return out
+}
+
+// ReplicaLag reports how many versions a session's worst (deepest-lag)
+// chain hop trails its owner (0 when the session has no replicas or
+// every reachable copy has caught up). The per-hop breakdown is
+// ReplicaLagChain.
+func (r *Router) ReplicaLag(sessionID string) int64 {
+	var worst int64
+	for _, h := range r.ReplicaLagChain(sessionID) {
+		if h.Lag > worst {
+			worst = h.Lag
+		}
 	}
-	return 0
+	return worst
 }

@@ -32,9 +32,60 @@ type Entry struct {
 	// re-homes it), so a deliberate hot-session move is not silently
 	// undone by the next topology change.
 	Pinned bool
-	// Replica names the shard holding the session's standby copy when
-	// replication is on ("" = none assigned). Never equal to Shard.
-	Replica string
+	// Replicas names the shards holding the session's standby copies in
+	// chain order: the mirror stream visits Replicas[0] first, then
+	// Replicas[1], and so on (nil = none assigned). Never contains
+	// Shard, never holds duplicates. The slice is shared across table
+	// clones and must be treated as immutable — mutators always install
+	// a freshly built slice, never append in place.
+	Replicas []string
+}
+
+// Replica is the first chain hop ("" when the chain is empty) — the
+// single-standby view kept for callers that predate depth-K chains.
+func (e Entry) Replica() string {
+	if len(e.Replicas) == 0 {
+		return ""
+	}
+	return e.Replicas[0]
+}
+
+// HasReplica reports whether a shard appears anywhere in the chain.
+func (e Entry) HasReplica(shard string) bool {
+	for _, r := range e.Replicas {
+		if r == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// sanitizeChain copies a proposed chain, dropping the owner, dead or
+// empty names, and duplicates — the invariants every stored chain keeps.
+func sanitizeChain(chain []string, owner string) []string {
+	if len(chain) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(chain))
+	for _, s := range chain {
+		if s == "" || s == owner {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Table is one immutable placement snapshot, parameterized by the
@@ -113,11 +164,12 @@ func (t *Table[B]) Home(sessionID string) string {
 	})
 }
 
-// ReplicaHome is the ring's choice of replica shard for a session: the
-// first ring successor that is not the primary, not dead, and has a
-// backend ("" when the fabric has no such shard — a one-shard fabric
-// cannot replicate).
-func (t *Table[B]) ReplicaHome(sessionID, primary string) string {
+// ReplicaHome is the ring's choice of the next replica shard for a
+// session: the first ring successor that is not the primary, not dead,
+// has a backend, and is not already taken by an earlier chain hop (""
+// when the fabric has no such shard — a one-shard fabric cannot
+// replicate, and a K-shard fabric caps chains at K-1 hops).
+func (t *Table[B]) ReplicaHome(sessionID, primary string, taken []string) string {
 	return t.ring.OwnerFunc(sessionID, func(s string) bool {
 		if s == primary {
 			return false
@@ -125,9 +177,33 @@ func (t *Table[B]) ReplicaHome(sessionID, primary string) string {
 		if _, dead := t.dead[s]; dead {
 			return false
 		}
+		for _, h := range taken {
+			if h == s {
+				return false
+			}
+		}
 		_, ok := t.backends[s]
 		return ok
 	})
+}
+
+// MaxChainDepth is the deepest replica chain the current topology can
+// host for any session: live ring members minus the primary, floored at
+// zero.
+func (t *Table[B]) MaxChainDepth() int {
+	live := 0
+	for _, s := range t.ring.Shards() {
+		if _, dead := t.dead[s]; dead {
+			continue
+		}
+		if _, ok := t.backends[s]; ok {
+			live++
+		}
+	}
+	if live <= 1 {
+		return 0
+	}
+	return live - 1
 }
 
 // Backend returns a shard's handle.
@@ -215,26 +291,64 @@ func (t *Table[B]) EachBackend(f func(shard string, b B)) {
 // function; calling them on a table obtained from Load is a data race.
 
 // Place records a session's owner, preserving any recorded replica
-// (unless the session just moved onto it — a replica must never double
-// as the owner).
+// chain (minus the new owner if it was a chain member — a replica must
+// never double as the owner).
 func (t *Table[B]) Place(sessionID, shard string, pinned bool) {
 	e := t.sessions[sessionID]
 	e.Shard, e.Pinned = shard, pinned
-	if e.Replica == shard {
-		e.Replica = ""
+	if e.HasReplica(shard) {
+		e.Replicas = sanitizeChain(e.Replicas, shard)
 	}
 	t.sessions[sessionID] = e
 }
 
-// SetReplica records the shard holding a session's standby copy (""
-// clears it). No-op for unplaced sessions or when the named shard is
-// the session's owner.
+// SetReplicas records a session's full replica chain in order (nil or
+// empty clears it). The owner, duplicates, and empty names are dropped;
+// the stored slice is a fresh copy so published tables stay immutable.
+// No-op for unplaced sessions.
+func (t *Table[B]) SetReplicas(sessionID string, chain []string) {
+	e, ok := t.sessions[sessionID]
+	if !ok {
+		return
+	}
+	e.Replicas = sanitizeChain(chain, e.Shard)
+	t.sessions[sessionID] = e
+}
+
+// SetReplica records a single-standby chain ("" clears the whole
+// chain) — the depth-1 convenience kept for callers that predate
+// chains. No-op for unplaced sessions or when the named shard is the
+// session's owner.
 func (t *Table[B]) SetReplica(sessionID, shard string) {
 	e, ok := t.sessions[sessionID]
 	if !ok || shard == e.Shard {
 		return
 	}
-	e.Replica = shard
+	if shard == "" {
+		e.Replicas = nil
+	} else {
+		e.Replicas = []string{shard}
+	}
+	t.sessions[sessionID] = e
+}
+
+// DropReplica removes one shard from a session's chain, preserving the
+// order of the remaining hops. No-op when absent.
+func (t *Table[B]) DropReplica(sessionID, shard string) {
+	e, ok := t.sessions[sessionID]
+	if !ok || !e.HasReplica(shard) {
+		return
+	}
+	out := make([]string, 0, len(e.Replicas)-1)
+	for _, r := range e.Replicas {
+		if r != shard {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		out = nil
+	}
+	e.Replicas = out
 	t.sessions[sessionID] = e
 }
 

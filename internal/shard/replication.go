@@ -1,16 +1,19 @@
-// Replication: per-session primary→replica chaining over the machinery
-// the fabric already has. The router mirrors every accepted publish —
-// the same generation-stamped delta, seq and all — to a replica shard
-// chosen from the placement ring, so the replica holds an
-// Export/Import-compatible standby copy that re-baselines on NeedFull
-// exactly like any transport. When the health prober declares the
-// primary dead, the replica is promoted under a bumped session epoch,
-// the placement table flips atomically, and both the deposed primary
-// and the promoted copy are fenced against the dead incarnation's
-// epoch: a zombie shard can neither accept straggler publishes (they
-// draw NeedFull until routing flips) nor resurrect stale state through
-// a racing re-baseline. Clients full-resync on the epoch stamp they
-// already honor.
+// Replication: per-session redundancy over the machinery the fabric
+// already has, generalized from one standby to a chain of K replicas
+// (primary → r1 → … → rK). The router mirrors every accepted publish —
+// the same generation-stamped delta, seq and all — down the chain in
+// order, so each hop holds an Export/Import-compatible standby copy
+// that re-baselines on NeedFull exactly like any transport. When the
+// health prober declares the primary dead, the deepest caught-up
+// replica (max epoch, then max version, then deepest hop) is promoted
+// under a bumped session epoch — first inheriting the dead primary's
+// WAL tail when one is on disk — the placement table flips atomically,
+// the remaining chain members are fenced against the dead incarnation's
+// epoch, and the chain is eagerly rebuilt back to depth K from the
+// survivors. A zombie shard can neither accept straggler publishes
+// (they draw NeedFull until routing flips) nor resurrect stale state
+// through a racing re-baseline. Clients full-resync on the epoch stamp
+// they already honor.
 
 package shard
 
@@ -25,8 +28,8 @@ import (
 )
 
 // mirrorJob is one queued mirror: an accepted publish (with the epoch
-// and version its accept carried) bound for the session's replica. A
-// job with a non-nil barrier is a drain sentinel instead.
+// and version its accept carried) bound for the session's replica
+// chain. A job with a non-nil barrier is a drain sentinel instead.
 type mirrorJob struct {
 	primary string
 	args    merge.PublishArgs
@@ -44,12 +47,27 @@ const mirrorQueueDepth = 256
 // send, not a second apply — but strictly ordered: one worker drains
 // the queue FIFO, so per-session seq order is preserved, and failover
 // flushes the queue (drainMirrors) before promoting, so a quiesced
-// session's replica has every accepted delta by the time it is asked
-// to take over.
+// session's replicas have every accepted delta by the time one is asked
+// to take over. A full queue blocks the publish (backpressure) and is
+// no longer invisible: the occurrence counts, and the episode emits one
+// fabric event.
 func (r *Router) enqueueMirror(primary string, args merge.PublishArgs, reply *merge.PublishReply) {
-	r.mirrorQueue() <- mirrorJob{
+	job := mirrorJob{
 		primary: primary, args: args, epoch: reply.Epoch, version: reply.Version,
 	}
+	q := r.mirrorQueue()
+	select {
+	case q <- job:
+		return
+	default:
+	}
+	obsMirrorBackpressure.Inc()
+	if r.backpressured.CompareAndSwap(false, true) {
+		obs.Emit(obs.EventBackpressure, primary, args.SessionID, args.Trace.TraceID,
+			fmt.Sprintf("mirror queue full (%d); publish blocked", mirrorQueueDepth))
+	}
+	q <- job
+	r.backpressured.Store(false)
 }
 
 // mirrorQueue lazily starts the mirror worker (replicating routers
@@ -88,84 +106,157 @@ func (r *Router) drainMirrors() {
 	<-done
 }
 
-// mirror forwards one accepted publish to the session's replica,
-// assigning (and baselining) a replica first if the session has none
-// usable. Mirror failures are absorbed: a missed delta leaves a seq gap
-// the next mirror detects, and NeedFull answers trigger a full
-// re-baseline — replication self-heals through the same resync contract
-// the publish path uses, and the primary's accept is never rolled back.
+// depthWanted is the configured chain length K (at least 1).
+func (r *Router) depthWanted() int {
+	if r.ReplicaDepth < 1 {
+		return 1
+	}
+	return r.ReplicaDepth
+}
+
+// chainUsable filters a recorded chain down to hops that can accept a
+// mirror right now: live, registered, not the primary.
+func chainUsable(t *placement.Table[Backend], primary string, chain []string) []string {
+	out := chain
+	for i, h := range chain {
+		if h == "" || h == primary || !t.HasBackend(h) || t.IsDead(h) {
+			// First unusable hop: switch to a filtered copy.
+			out = append([]string(nil), chain[:i]...)
+			for _, rest := range chain[i+1:] {
+				if rest != "" && rest != primary && t.HasBackend(rest) && !t.IsDead(rest) {
+					out = append(out, rest)
+				}
+			}
+			break
+		}
+	}
+	return out
+}
+
+func sameChain(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mirror forwards one accepted publish down the session's replica
+// chain, repairing the chain first if any hop is unusable or the chain
+// is short of depth K. Mirror failures are absorbed per hop: a missed
+// delta leaves a seq gap the next mirror detects, and NeedFull answers
+// trigger a full re-baseline from the hop's predecessor — replication
+// self-heals through the same resync contract the publish path uses,
+// and the primary's accept is never rolled back.
 func (r *Router) mirror(primary string, args merge.PublishArgs, epoch, version int64) {
 	t := r.table.Load()
 	e, ok := t.Lookup(args.SessionID)
 	if !ok || e.Shard != primary {
 		return
 	}
-	replica := e.Replica
-	if replica == "" || replica == primary || !t.HasBackend(replica) || t.IsDead(replica) {
-		// First touch (or the old replica is gone): assign one, then
-		// fall through and mirror this delta to it. The delta stream
-		// must not be dropped on assignment — a session's first delta
-		// is its full baseline, so the stream alone can bootstrap the
-		// standby even when the primary dies before the seeding
-		// Export/Import ever succeeds.
-		if replica = r.assignReplica(args.SessionID, primary); replica == "" {
-			return
-		}
+	chain := e.Replicas
+	usable := chainUsable(t, primary, chain)
+	if !sameChain(usable, chain) || len(usable) < min(r.depthWanted(), t.MaxChainDepth()) {
+		// First touch (or a hop is gone): repair the chain, then fall
+		// through and mirror this delta to it. The delta stream must not
+		// be dropped on assignment — a session's first delta is its full
+		// baseline, so the stream alone can bootstrap a standby even when
+		// the primary dies before the seeding Export/Import ever
+		// succeeds.
+		chain = r.ensureChain(args.SessionID, primary)
 		t = r.table.Load()
+	} else {
+		chain = usable
 	}
-	rb, ok := t.Backend(replica)
-	if !ok {
+	if len(chain) == 0 {
 		return
 	}
-	margs := merge.MirrorArgs{
-		SessionID: args.SessionID, WorkerID: args.WorkerID, Seq: args.Seq,
-		Epoch: epoch, Version: version, Delta: args.Delta,
-		EventsDone: args.EventsDone, EventsTotal: args.EventsTotal, Log: args.Log,
-		// Forward the publish's trace so the replica hop joins the same
-		// trace the engine started.
-		Trace: args.Trace.NextHop(),
-	}
-	if margs.Delta == nil {
+	delta := args.Delta
+	if delta == nil {
 		// Legacy whole-tree publish (the ablation baseline): forward it
 		// as the full baseline it is.
-		margs.Delta = &aida.DeltaState{Full: true, Entries: args.Tree.Entries}
+		delta = &aida.DeltaState{Full: true, Entries: args.Tree.Entries}
 	}
-	var mr merge.MirrorReply
-	if err := rb.Mirror(margs, &mr); err != nil || mr.NeedFull {
-		r.rebaseline(args.SessionID, primary, replica)
-		return
-	}
-	if mr.Accepted {
-		r.mirrored.Add(1)
-		obsMirrored.Inc()
+	// Walk the chain: each hop is one trace hop deeper than the last,
+	// and a failed hop re-baselines from the nearest healthy predecessor
+	// (the primary for hop 0) without stopping the walk.
+	trace := args.Trace
+	lastGood := primary
+	for _, hop := range chain {
+		trace = trace.NextHop()
+		hb, ok := t.Backend(hop)
+		if !ok {
+			continue
+		}
+		margs := merge.MirrorArgs{
+			SessionID: args.SessionID, WorkerID: args.WorkerID, Seq: args.Seq,
+			Epoch: epoch, Version: version, Delta: delta,
+			EventsDone: args.EventsDone, EventsTotal: args.EventsTotal, Log: args.Log,
+			// Forward the publish's trace so each replica hop joins the
+			// same trace the engine started.
+			Trace: trace,
+		}
+		var mr merge.MirrorReply
+		if err := hb.Mirror(margs, &mr); err != nil || mr.NeedFull {
+			r.rebaseline(args.SessionID, lastGood, hop)
+			continue
+		}
+		if mr.Accepted {
+			r.mirrored.Add(1)
+			obsMirrored.Inc()
+		}
+		lastGood = hop
 	}
 }
 
-// assignReplica picks a replica shard for a session (its ring successor
-// skipping the primary and the dead) records it, and seeds it with a
-// full baseline (best-effort: a failed seed is healed by the mirror
-// stream's own NeedFull re-baseline, or by the stream itself when it
-// starts with a full delta). Returns the chosen shard, "" when the
-// fabric has no second live shard.
-func (r *Router) assignReplica(sessionID, primary string) string {
-	var replica string
+// ensureChain prunes a session's chain of unusable hops and extends it
+// to depth K (capped by the fabric's live-shard count) with ring
+// successors, recording the result in the placement table and seeding
+// each newly added hop from its predecessor (best-effort: a failed seed
+// is healed by the mirror stream's own NeedFull re-baseline, or by the
+// stream itself when it starts with a full delta). Returns the chain as
+// recorded, nil when the session moved or the fabric has no second live
+// shard.
+func (r *Router) ensureChain(sessionID, primary string) []string {
+	var chain, added, preds []string
 	r.table.Update(func(m *placement.Table[Backend]) bool {
+		chain, added, preds = nil, nil, nil
 		e, ok := m.Lookup(sessionID)
 		if !ok || e.Shard != primary {
 			return false
 		}
-		replica = m.ReplicaHome(sessionID, primary)
-		if replica == "" || replica == e.Replica {
-			replica = ""
+		kept := chainUsable(m, primary, e.Replicas)
+		desired := min(r.depthWanted(), m.MaxChainDepth())
+		for len(kept) < desired {
+			next := m.ReplicaHome(sessionID, primary, kept)
+			if next == "" {
+				break
+			}
+			pred := primary
+			if len(kept) > 0 {
+				pred = kept[len(kept)-1]
+			}
+			added = append(added, next)
+			preds = append(preds, pred)
+			kept = append(kept, next)
+		}
+		chain = kept
+		if sameChain(kept, e.Replicas) {
 			return false
 		}
-		m.SetReplica(sessionID, replica)
+		m.SetReplicas(sessionID, kept)
 		return true
 	})
-	if replica != "" {
-		r.rebaseline(sessionID, primary, replica)
+	for i, hop := range added {
+		obs.Emit(obs.EventReplicate, hop, sessionID, 0,
+			fmt.Sprintf("chain hop %d seeded from %s", len(chain)-len(added)+i+1, preds[i]))
+		r.rebaseline(sessionID, preds[i], hop)
 	}
-	return replica
+	return chain
 }
 
 // rebaseline copies a session's full state from one shard to another
@@ -199,37 +290,40 @@ func (r *Router) rebaseline(sessionID, from, to string) error {
 }
 
 // failover handles a shard death with replication on: every session the
-// dead shard owned is promoted on its replica (fencing the dead
-// incarnation first) or, with no usable replica, evicted as before.
-// Caller holds topoMu; t is the table that recorded the death.
+// dead shard owned is promoted on its deepest caught-up replica
+// (replaying the dead primary's WAL tail into it first when a WALTail
+// hook is wired, and fencing both the dead incarnation and the
+// not-chosen chain members) or, with no usable replica, evicted as
+// before. Caller holds topoMu; t is the table that recorded the death.
 func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, promoted []string) {
 	// Flush the asynchronous mirror stream first: every delta the dead
 	// primary accepted before it died is on the replicas before any of
 	// them is promoted. (A publish racing the flip enqueues later, with
-	// the dead incarnation's epoch — the replica answers NeedFull and
+	// the dead incarnation's epoch — the replicas answer NeedFull and
 	// the stream re-baselines; nothing stale sticks.) The table is
-	// re-read after the barrier: replica assignments recorded by the
-	// drained mirrors must be visible to the promotion scan.
+	// re-read after the barrier: chain repairs recorded by the drained
+	// mirrors must be visible to the promotion scan.
 	r.drainMirrors()
 	t = r.table.Load()
 	type flip struct {
-		sid string
-		to  string
+		sid       string
+		to        string
+		survivors []string // chain members not chosen, in chain order
 	}
 	var flips []flip
-	var lost, reReplica []string
+	var lost, reChain []string
 	deadB, deadReachable := t.Backend(dead)
 	t.EachSession(func(sid string, e placement.Entry) {
-		if e.Replica == dead {
-			// The session's standby died; survivors need a new one.
-			reReplica = append(reReplica, sid)
-		}
 		if e.Shard != dead {
+			if e.HasReplica(dead) {
+				// One of the session's standbys died; survivors need the
+				// chain rebuilt.
+				reChain = append(reChain, sid)
+			}
 			return
 		}
-		replica := e.Replica
-		usable := replica != "" && replica != dead && t.HasBackend(replica) && !t.IsDead(replica)
-		if usable {
+		usable := chainUsable(t, dead, e.Replicas)
+		if len(usable) > 0 {
 			if deadReachable {
 				// Best-effort self-fence of the (probably gone, possibly
 				// zombie) primary: if it still answers, its copy refuses
@@ -239,14 +333,61 @@ func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, pr
 				deadB.Fence(merge.FenceArgs{SessionID: sid}, &fr)
 				obs.Emit(obs.EventFence, dead, sid, 0, "self-fence deposed primary")
 			}
-			rb, _ := t.Backend(replica)
-			var pr merge.PromoteReply
-			if err := rb.Promote(merge.PromoteArgs{SessionID: sid}, &pr); err == nil && pr.Found {
-				flips = append(flips, flip{sid: sid, to: replica})
-				promoted = append(promoted, sid)
-				obs.Emit(obs.EventPromote, replica, sid, 0,
-					fmt.Sprintf("epoch %d fenced below %d", pr.Epoch, pr.PrevEpoch))
-				return
+			// Try the deepest caught-up hop first; if it cannot take over
+			// (it died mid-failover, or its copy is an empty shell), fall
+			// back to the next-best candidate rather than declaring the
+			// session lost while healthy copies remain — the multi-failure
+			// case a chaos schedule's mid-failover kill exercises.
+			candidates := usable
+			for len(candidates) > 0 {
+				chosen := r.pickCaughtUp(t, sid, candidates)
+				if r.WALTail != nil {
+					// Hand the promoted copy the dead primary's durable log
+					// tail: deltas the primary accepted and fsynced but the
+					// asynchronous mirror stream never delivered.
+					if n, err := r.WALTail(dead, sid, chosen); err == nil && n > 0 {
+						obsWALTails.Inc()
+						obs.Emit(obs.EventWALTail, chosen, sid, 0,
+							fmt.Sprintf("replayed %d records from %s's log", n, dead))
+					}
+				}
+				cb, okC := t.Backend(chosen)
+				var pr merge.PromoteReply
+				if okC {
+					if err := cb.Promote(merge.PromoteArgs{SessionID: sid}, &pr); err == nil && pr.Found {
+						survivors := make([]string, 0, len(usable)-1)
+						for _, h := range usable {
+							if h != chosen {
+								survivors = append(survivors, h)
+							}
+						}
+						// Fence the not-chosen chain members at the deposed
+						// incarnation's epoch: their copies are stale the moment
+						// the promotion bumps the epoch, and nothing may serve or
+						// resurrect them until the new primary re-baselines each
+						// one (Imports stamped with the new epoch clear the floor).
+						for _, h := range survivors {
+							if hb, ok := t.Backend(h); ok {
+								var fr merge.FenceReply
+								hb.Fence(merge.FenceArgs{SessionID: sid, Epoch: pr.PrevEpoch}, &fr)
+								obs.Emit(obs.EventFence, h, sid, 0,
+									fmt.Sprintf("chain member fenced below %d pending re-baseline", pr.PrevEpoch))
+							}
+						}
+						flips = append(flips, flip{sid: sid, to: chosen, survivors: survivors})
+						promoted = append(promoted, sid)
+						obs.Emit(obs.EventPromote, chosen, sid, 0,
+							fmt.Sprintf("epoch %d fenced below %d (deepest caught-up of %d)", pr.Epoch, pr.PrevEpoch, len(usable)))
+						return
+					}
+				}
+				next := make([]string, 0, len(candidates)-1)
+				for _, h := range candidates {
+					if h != chosen {
+						next = append(next, h)
+					}
+				}
+				candidates = next
 			}
 		}
 		lost = append(lost, sid)
@@ -261,7 +402,7 @@ func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, pr
 				// Pinned like a balancer move: ring edits must not bounce
 				// a failed-over session around while its old home is down.
 				m.Place(f.sid, f.to, true)
-				m.SetReplica(f.sid, "")
+				m.SetReplicas(f.sid, f.survivors)
 				did = true
 			}
 		}
@@ -271,9 +412,9 @@ func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, pr
 				did = true
 			}
 		}
-		for _, sid := range reReplica {
-			if e, ok := m.Lookup(sid); ok && e.Replica == dead {
-				m.SetReplica(sid, "")
+		for _, sid := range reChain {
+			if e, ok := m.Lookup(sid); ok && e.HasReplica(dead) {
+				m.DropReplica(sid, dead)
 				did = true
 			}
 		}
@@ -281,27 +422,60 @@ func (r *Router) failover(t *placement.Table[Backend], dead string) (evicted, pr
 	})
 	r.promotions.Add(int64(len(promoted)))
 	obsPromotions.Add(int64(len(promoted)))
-	// Re-protect: promoted sessions and survivors whose replica died get
-	// a fresh replica, seeded now rather than on their next publish —
-	// a finished session never publishes again, and it must not ride out
-	// the next failure unreplicated.
-	reseed := append(append([]string(nil), promoted...), reReplica...)
+	// Re-protect: promoted sessions re-baseline their fenced survivors
+	// from the new primary and extend back to depth K; survivors whose
+	// chain lost a member get it rebuilt — seeded now rather than on
+	// their next publish, because a finished session never publishes
+	// again, and it must not ride out the next failure underprotected.
+	for _, f := range flips {
+		for _, h := range f.survivors {
+			r.rebaseline(f.sid, f.to, h)
+		}
+	}
+	reseed := append(append([]string(nil), promoted...), reChain...)
 	for _, sid := range reseed {
 		cur := r.table.Load()
-		if e, ok := cur.Lookup(sid); ok && e.Shard != dead && !cur.IsDead(e.Shard) && e.Replica == "" {
-			r.assignReplica(sid, e.Shard)
+		if e, ok := cur.Lookup(sid); ok && e.Shard != dead && !cur.IsDead(e.Shard) {
+			r.ensureChain(sid, e.Shard)
 		}
 	}
 	return lost, promoted
 }
 
+// pickCaughtUp chooses the chain hop to promote: among the usable hops,
+// the one with the highest epoch, then the highest version, then the
+// deepest chain position (iteration order breaks ties toward depth —
+// the hop that heard the stream last still accepted everything its
+// predecessors did, and deeper copies are the ones a mid-rebuild
+// failure would otherwise strand). Hops whose Stats fail are still
+// eligible as a last resort — Promote on an empty shell answers !Found
+// and the session is declared lost by the caller.
+func (r *Router) pickCaughtUp(t *placement.Table[Backend], sid string, usable []string) string {
+	chosen := usable[0]
+	var bestEpoch, bestVersion int64 = -1, -1
+	for _, h := range usable {
+		hb, ok := t.Backend(h)
+		if !ok {
+			continue
+		}
+		var st merge.StatsReply
+		if err := hb.Stats(merge.StatsArgs{SessionID: sid}, &st); err != nil || !st.Found || st.Version == 0 {
+			continue
+		}
+		if st.Epoch > bestEpoch || (st.Epoch == bestEpoch && st.Version >= bestVersion) {
+			chosen, bestEpoch, bestVersion = h, st.Epoch, st.Version
+		}
+	}
+	return chosen
+}
+
 // reapRevived reconciles a revived shard's leftover session copies
 // against current placement. Copies of sessions now owned elsewhere are
 // tombstoned (deposed state must neither serve nor resurrect); copies
-// backing a session as its recorded replica are re-baselined from the
-// live primary (they went stale while the shard was down); sessions the
-// table no longer places at all — evicted at death with no replica, and
-// untouched since — are re-adopted, recovering their state. Caller
+// backing a session as a recorded chain member are re-baselined from
+// the live primary (they went stale while the shard was down); sessions
+// the table no longer places at all — evicted at death with no replica,
+// and untouched since — are re-adopted, recovering their state. Caller
 // holds topoMu.
 func (r *Router) reapRevived(name string) {
 	t := r.table.Load()
@@ -324,7 +498,7 @@ func (r *Router) reapRevived(name string) {
 			adopt = append(adopt, l.SessionID)
 		case e.Shard == name:
 			// Still the recorded owner — nothing re-homed it.
-		case e.Replica == name:
+		case e.HasReplica(name):
 			r.rebaseline(l.SessionID, e.Shard, name)
 		default:
 			var dr merge.DropReply
@@ -342,7 +516,7 @@ func (r *Router) reapRevived(name string) {
 			return true
 		})
 		if readopted {
-			r.assignReplica(sid, name)
+			r.ensureChain(sid, name)
 		}
 	}
 }
@@ -375,13 +549,22 @@ func (r *Router) Fence(args merge.FenceArgs, reply *merge.FenceReply) error {
 	return b.Fence(args, reply)
 }
 
-// ReplicaOf names the shard holding a session's standby copy ("" when
-// none is assigned) — surfaced through session status.
+// ReplicaOf names the shard holding a session's first standby copy (""
+// when none is assigned) — surfaced through session status.
 func (r *Router) ReplicaOf(sessionID string) string {
 	if e, ok := r.table.Load().Lookup(sessionID); ok {
-		return e.Replica
+		return e.Replica()
 	}
 	return ""
+}
+
+// ReplicasOf returns a session's replica chain in order (nil when none
+// is assigned) — surfaced through session status and /fabric/status.
+func (r *Router) ReplicasOf(sessionID string) []string {
+	if e, ok := r.table.Load().Lookup(sessionID); ok && len(e.Replicas) > 0 {
+		return append([]string(nil), e.Replicas...)
+	}
+	return nil
 }
 
 // Epoch reports a session's incarnation stamp from its owning shard (0

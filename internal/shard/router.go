@@ -95,11 +95,24 @@ type Router struct {
 	lockedMu      sync.Mutex
 
 	// Replicate mirrors every accepted publish to a per-session replica
-	// shard and turns shard-death handling from lossy eviction into
-	// epoch-fenced promotion of the replica. Off by default — the
-	// DisableReplication baseline is exactly the PR 5 behavior. Set
-	// before first use.
+	// chain and turns shard-death handling from lossy eviction into
+	// epoch-fenced promotion of the deepest caught-up replica. Off by
+	// default — the DisableReplication baseline is exactly the PR 5
+	// behavior. Set before first use.
 	Replicate bool
+	// ReplicaDepth is the target chain length K (primary → r1 → … → rK).
+	// Zero or negative means 1 — the PR 6 single-standby behavior.
+	// Chains are silently capped at the fabric's live-shard count minus
+	// one. Set before first use.
+	ReplicaDepth int
+	// WALTail, when set, replays a dead primary's on-disk write-ahead
+	// log for one session into the replica about to be promoted, so the
+	// promoted copy inherits every delta the primary durably logged —
+	// including ones the asynchronous mirror stream never delivered.
+	// Called as WALTail(deadShard, sessionID, targetShard); returns the
+	// number of records applied. Best-effort: errors only mean the
+	// promoted copy starts from the mirror stream's high-water mark.
+	WALTail func(deadShard, sessionID, targetShard string) (int, error)
 	// replMu serializes replica re-baselines (Export→Import copies) so
 	// a burst of NeedFull answers cannot storm a shard.
 	replMu sync.Mutex
@@ -107,6 +120,10 @@ type Router struct {
 	// itself orders the asynchronous mirror stream (see enqueueMirror).
 	mirrorMu sync.Mutex
 	mirrorQ  chan mirrorJob
+	// backpressured marks an in-progress mirror-queue backpressure
+	// episode so the fabric event fires once per episode, not once per
+	// blocked publish (the counter records every occurrence).
+	backpressured atomic.Bool
 
 	table      *placement.Store[Backend]
 	handoffs   atomic.Int64

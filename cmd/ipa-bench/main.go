@@ -1,14 +1,14 @@
 // ipa-bench regenerates every table and figure of the paper's evaluation
 // plus the ablations, printing paper-vs-simulated rows and writing the
 // Figure 5 CSV/SVG artifacts. It also emits a JSON metrics baseline
-// (default BENCH_9.json) so successive PRs can track the perf trajectory
-// against the committed BENCH_1…BENCH_8 baselines. The baseline carries
+// (default BENCH_10.json) so successive PRs can track the perf trajectory
+// against the committed BENCH_1…BENCH_9 baselines. The baseline carries
 // an "env" block (Go version, CPU count, GOMAXPROCS) so trajectory
 // comparisons are hardware-aware.
 //
 // Usage:
 //
-//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|chaos|all] [-out DIR] [-json FILE] [-tiny] [-cpuprofile FILE] [-memprofile FILE]
+//	ipa-bench [-exp table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|chaos|relay|all] [-out DIR] [-json FILE] [-tiny] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -34,7 +34,7 @@ func main() {
 func realMain() int {
 	exp := flag.String("exp", "all", "experiment to run")
 	out := flag.String("out", "bench-out", "artifact output directory")
-	jsonPath := flag.String("json", "BENCH_9.json", "metrics baseline file (\"\" disables)")
+	jsonPath := flag.String("json", "BENCH_10.json", "metrics baseline file (\"\" disables)")
 	tiny := flag.Bool("tiny", false, "shrink experiment sizes (CI smoke under -race)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -90,9 +90,9 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 	w := os.Stdout
 	all := exp == "all"
 	switch exp {
-	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl", "mcore", "obs", "chaos":
+	case "all", "table1", "table2", "figure5", "equations", "queue", "merge", "streams", "poll", "publish", "hierarchy", "pollcache", "wire", "shard", "lock", "place", "repl", "mcore", "obs", "chaos", "relay":
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|chaos|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want table1|table2|figure5|equations|queue|merge|streams|poll|publish|hierarchy|pollcache|wire|shard|lock|place|repl|mcore|obs|chaos|relay|all)", exp)
 	}
 	// metrics accumulates the headline number of every experiment that
 	// ran; the baseline file lets future PRs diff perf without re-parsing
@@ -615,6 +615,59 @@ func run(exp, outDir, jsonPath string, tiny bool) error {
 		if cres.DriftHop != "" && !cres.DriftRepaired {
 			return fmt.Errorf("anti-entropy failed to repair the injected drift at %s within %d sweeps",
 				cres.DriftHop, cres.DriftRounds)
+		}
+	}
+	if all || exp == "relay" {
+		// A16 — the read fan-out tier: N downstream pollers per session
+		// served through a delta-subscribing relay mirror vs polling the
+		// owning shards directly. The relay must collapse the N poller
+		// streams into one upstream subscription per session (≥10× fewer
+		// upstream shard polls at N=64) while re-serving byte-identical
+		// frames; "direct" is the DisableRelay ablation baseline.
+		ryShards, rySessions, ryRounds, ryPollers := 4, 8, 16, 64
+		if tiny {
+			ryShards, rySessions, ryRounds, ryPollers = 3, 3, 4, 16
+		}
+		ryRows, err := perf.RelayAblation(ryShards, rySessions, ryRounds, ryPollers)
+		if err != nil {
+			return err
+		}
+		t := &aida.Table{Title: fmt.Sprintf("A16 — read fan-out, %d shards x %d sessions x %d rounds, N=%d pollers",
+			ryShards, rySessions, ryRounds, ryPollers),
+			Columns: []string{"Reads via", "Upstream polls", "Downstream polls", "Fan-out", "Serve polls/s", "Identical"}}
+		var direct, relayRow *perf.RelayAblationRow
+		for i := range ryRows {
+			r := &ryRows[i]
+			t.AddRow(r.Mode, fmt.Sprintf("%d", r.UpstreamPolls), fmt.Sprintf("%d", r.DownstreamPolls),
+				fmt.Sprintf("%.1fx", r.FanOut), fmt.Sprintf("%.0f", r.PollPerSec), fmt.Sprintf("%v", r.Identical))
+			metrics["relay_"+r.Mode+"_upstream_polls"] = float64(r.UpstreamPolls)
+			metrics["relay_"+r.Mode+"_fan_out"] = r.FanOut
+			metrics["relay_"+r.Mode+"_poll_per_s"] = r.PollPerSec
+			if r.Mode == "relay" {
+				relayRow = r
+			} else {
+				direct = r
+			}
+			if !r.Identical {
+				return fmt.Errorf("relay ablation: %s-mode served state diverged from the reference", r.Mode)
+			}
+		}
+		fmt.Fprintln(w, t.String())
+		if relayRow.UpstreamPolls > 0 {
+			reduction := float64(direct.UpstreamPolls) / float64(relayRow.UpstreamPolls)
+			metrics["relay_upstream_reduction_x"] = reduction
+			fmt.Fprintf(w, "relay tier: %.1fx fewer upstream shard polls for the same %d downstream reads\n\n",
+				reduction, relayRow.DownstreamPolls)
+			// The tentpole claim at full size; the tiny smoke keeps the
+			// proportional bar so CI still proves the collapse.
+			floor := 10.0
+			if tiny {
+				floor = float64(ryPollers) / 4
+			}
+			if reduction < floor {
+				return fmt.Errorf("relay ablation: upstream polls reduced only %.1fx (want ≥%.0fx at N=%d pollers)",
+					reduction, floor, ryPollers)
+			}
 		}
 	}
 	if jsonPath != "" {

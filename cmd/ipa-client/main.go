@@ -7,7 +7,12 @@
 //
 //	ipa-client -addr HOST:PORT -creddir ipa-creds \
 //	    [-query 'detector == "sid"'] [-dataset ds-zh] [-script file.pnut]
-//	    [-native higgs-search] [-insecure]
+//	    [-native higgs-search] [-insecure] [-hold 5m]
+//
+// With -hold the session stays open after the run finishes, so live
+// viewers on a manager's SSE gateway (/live/<session>) can keep
+// watching the merged results; the full session ID is printed for
+// building that URL.
 //
 // Watch mode polls a manager's /fabric/status endpoint (the -http
 // listener of ipa-manager) and renders a live per-shard load table plus
@@ -46,6 +51,7 @@ func main() {
 	watch := flag.String("watch", "", "poll this manager status endpoint (ipa-manager's -http address) and render a per-shard load table")
 	watchEvery := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 	once := flag.Bool("once", false, "with -watch: print one snapshot and exit")
+	hold := flag.Duration("hold", 0, "keep the session open this long after the run, so gateway viewers (/live/<session>) can watch (0 = close immediately)")
 	flag.Parse()
 
 	if *watch != "" {
@@ -69,7 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.CloseSession()
-	fmt.Printf("session %s (%d engines)\n", client.SessionID()[:8], client.Engines())
+	fmt.Printf("session %s (%d engines)\n", client.SessionID(), client.Engines())
 
 	if *query != "" {
 		hits, err := client.QueryCatalog(*query)
@@ -157,6 +163,20 @@ func main() {
 			fmt.Print(ipa.RenderH1D(h, ipa.RenderOptions{Width: 50, MaxRow: 40}))
 		}
 	}
+	if *hold > 0 {
+		// Keep the session alive (polling occasionally so the merged
+		// state stays warm) for gateway viewers watching
+		// /live/<session>; the deferred CloseSession fires at exit.
+		fmt.Printf("holding session %s open for %s (live viewers welcome)\n",
+			client.SessionID(), *hold)
+		deadline := time.Now().Add(*hold)
+		for time.Now().Before(deadline) {
+			time.Sleep(time.Second)
+			if _, err := client.Poll(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 }
 
 // watchFabric polls /fabric/status and renders the per-shard load
@@ -194,6 +214,18 @@ func watchFabric(addr string, every time.Duration, once bool) error {
 			prevPub[sh.Name], prevPoll[sh.Name] = sh.Publishes, sh.Polls
 			fmt.Printf("%-10s %-5s %8d %12d %12d %+5d/%+4d\n",
 				sh.Name, state, sh.Sessions, sh.Publishes, sh.Polls, dPub, dPoll)
+		}
+		if len(st.Relays) > 0 {
+			// The read fan-out tier: how many downstream polls each relay
+			// absorbs per upstream subscription poll, how stale its
+			// mirrors run, and how many streaming viewers hang off it.
+			fmt.Printf("%-10s %8s %12s %12s %9s %8s %10s\n",
+				"RELAY", "SESSIONS", "UP-POLLS", "DOWN-POLLS", "FAN-OUT", "CLIENTS", "STALE(ms)")
+			for _, rl := range st.Relays {
+				fmt.Printf("%-10s %8d %12d %12d %8.1fx %8d %10.1f\n",
+					rl.Name, rl.Sessions, rl.UpPolls, rl.DownPolls, rl.FanOut,
+					rl.Clients, rl.StalenessMS)
+			}
 		}
 		for _, p := range st.Placements {
 			if len(p.Chain) == 0 && p.Replica == "" {

@@ -7,11 +7,20 @@
 //	ipa-manager [-nodes 8] [-events 20000] [-insecure] [-shards N]
 //	            [-rebalance 5s] [-rebalance-moves 2] [-rebalance-band 0.25]
 //	            [-health 2s] [-health-fails 3] [-http 127.0.0.1:6060]
+//	            [-relays N] [-relay-interval 25ms] [-gateway 127.0.0.1:7070]
 //
 // -http serves the operational plane on one listener: Prometheus-text
 // telemetry at /metrics, the live fabric snapshot (placements, epochs,
 // replicas, recent events) as JSON at /fabric/status, and net/http/pprof
 // under /debug/pprof/. -pprof is a deprecated alias for -http.
+//
+// -relays starts a read fan-out tier on a sharded fabric (needs
+// -shards > 1): client polls route to delta-subscribing relay mirrors
+// while publishes stay on the owning shards. -gateway serves the
+// HTTP/SSE live-view plane — Server-Sent-Events update streams at
+// /events/{session}, an in-browser live view at /live/{session}, and
+// SVG/text/XML renderings at /view, /tree and /xml — off one relay
+// subscription per session, whatever the viewer count.
 //
 // On startup it prints the endpoints and, with -events > 0, publishes a
 // generated LC dataset ("ds-zh") so a client can run immediately. In
@@ -33,12 +42,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"syscall"
+	"time"
 
 	"github.com/ipa-grid/ipa"
 	"github.com/ipa-grid/ipa/internal/gsi"
 	"github.com/ipa-grid/ipa/internal/obs"
+	"github.com/ipa-grid/ipa/internal/relay"
 )
 
 func main() {
@@ -59,6 +71,9 @@ func main() {
 	walSync := flag.Int("wal-sync", 64, "fsync the session log every N records (0 = every record)")
 	httpAddr := flag.String("http", "", "serve /metrics, /fabric/status and /debug/pprof/ on this address (e.g. 127.0.0.1:6060; \"\" = off)")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -http")
+	relays := flag.Int("relays", 0, "read relay count: delta-subscribing mirrors that absorb client polls (0 = off; needs -shards > 1)")
+	relayInterval := flag.Duration("relay-interval", 0, "relay subscription sync cadence (0 = 25ms default)")
+	gateway := flag.String("gateway", "", "serve the HTTP/SSE live-view gateway on this address (e.g. 127.0.0.1:7070; \"\" = off)")
 	flag.Parse()
 	if *httpAddr == "" && *pprofAddr != "" {
 		log.Printf("-pprof is deprecated; use -http")
@@ -71,6 +86,7 @@ func main() {
 		HealthInterval: *health, HealthFails: *healthFails,
 		Replicate: *replicate, ReplicaDepth: *replicas, AntiEntropyInterval: *antiEntropy,
 		WALDir: *wal, WALSyncEvery: *walSync,
+		Relays: *relays, RelayInterval: *relayInterval,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +106,24 @@ func main() {
 		fmt.Printf("metrics:       http://%s/metrics\n", ln.Addr())
 		fmt.Printf("fabric status: http://%s/fabric/status\n", ln.Addr())
 		fmt.Printf("pprof:         http://%s/debug/pprof/\n", ln.Addr())
+	}
+
+	if *gateway != "" {
+		gw, owned := gatewayRelay(grid, *relayInterval)
+		if owned {
+			defer gw.Close()
+		}
+		ln, err := net.Listen("tcp", *gateway)
+		if err != nil {
+			log.Fatalf("gateway listen: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, relay.NewGateway(gw)); err != nil {
+				log.Printf("gateway server: %v", err)
+			}
+		}()
+		fmt.Printf("live view:     http://%s/live/<session>\n", ln.Addr())
+		fmt.Printf("SSE stream:    http://%s/events/<session>\n", ln.Addr())
 	}
 
 	if _, err := grid.AddUser("analyst", ipa.RoleAnalyst); err != nil {
@@ -121,6 +155,9 @@ func main() {
 		if *health > 0 {
 			fmt.Printf("health prober: every %s, dead after %d failed probes\n", *health, *healthFails)
 		}
+		if *relays > 0 && len(grid.Relays) > 0 {
+			fmt.Printf("read relays: %d delta-subscribing mirror(s) absorbing client polls (writes stay on the owning shards)\n", len(grid.Relays))
+		}
 		if *replicate {
 			fmt.Printf("replication: each session mirrored down a chain of %d standby shard(s) (epoch-fenced failover, deepest caught-up wins)\n", *replicas)
 			if *antiEntropy > 0 {
@@ -136,6 +173,29 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+}
+
+// gatewayRelay picks the relay the SSE gateway serves from: the
+// fabric's first read relay when a relay tier exists (viewers then
+// share its subscriptions with polling clients), else a dedicated
+// gateway-owned relay mirroring the merge service directly. owned
+// reports whether the caller must Close it.
+func gatewayRelay(grid *ipa.LocalGrid, interval time.Duration) (gw *relay.Relay, owned bool) {
+	names := make([]string, 0, len(grid.Relays))
+	for name := range grid.Relays {
+		names = append(names, name)
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		return grid.Relays[names[0]], false
+	}
+	rel := relay.New("gateway", grid.Merge)
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	rel.Interval = interval
+	rel.AutoSubscribe = true
+	return rel, true
 }
 
 // opsMux assembles the shared operational mux — Prometheus telemetry,

@@ -11,6 +11,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/aida"
 	"github.com/ipa-grid/ipa/internal/gsi"
 	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/relay"
 	"github.com/ipa-grid/ipa/internal/rmi"
 	"github.com/ipa-grid/ipa/internal/session"
 	"github.com/ipa-grid/ipa/internal/shard"
@@ -268,22 +269,35 @@ func (c *Client) ensureDirect() (*rmi.Client, string) {
 	if err != nil {
 		return nil, ""
 	}
-	if st.Shard == "" {
+	var addr, label, target string
+	switch {
+	case st.RelayName != "" && st.RelayAddr != "":
+		// The fabric assigned this session a read relay: poll it instead
+		// of the owning shard, so the shard's bandwidth stays with
+		// writers. The relay serves its own mirror (own version counter
+		// and epoch); the epoch-resync rule absorbs the switch.
+		addr = st.RelayAddr
+		label = "relay:" + st.RelayName
+		target = relay.ObjectName(st.RelayName) + ".Poll"
+	case st.Shard == "":
 		// Unsharded fabric: there is no hop to skip, ever — stop
 		// re-resolving on every poll.
 		c.mu.Lock()
 		c.direct = false
 		c.mu.Unlock()
 		return nil, ""
-	}
-	if st.ShardAddr == "" {
+	case st.ShardAddr == "":
 		// A real shard whose endpoint just isn't advertised (yet): keep
 		// direct mode armed and retry resolution on a later poll — the
 		// operator may SetShardAddr at any time, or a handoff may move
 		// the session to an advertised shard.
 		return nil, ""
+	default:
+		addr = st.ShardAddr
+		label = st.Shard
+		target = shard.ObjectName(st.Shard) + ".Poll"
 	}
-	rc, err := rmi.Dial(st.ShardAddr, c.token, rmi.WithRetry(clientRetry))
+	rc, err := rmi.Dial(addr, c.token, rmi.WithRetry(clientRetry))
 	if err != nil {
 		return nil, ""
 	}
@@ -295,8 +309,8 @@ func (c *Client) ensureDirect() (*rmi.Client, string) {
 		return c.directRMI, c.directTarget
 	}
 	c.directRMI = rc
-	c.directShard = st.Shard
-	c.directTarget = shard.ObjectName(st.Shard) + ".Poll"
+	c.directShard = label
+	c.directTarget = target
 	return rc, c.directTarget
 }
 
@@ -312,15 +326,23 @@ func (c *Client) dropDirect() {
 	}
 }
 
-// pollReply fetches one PollReply, preferring the direct shard path.
-func (c *Client) pollReply(args merge.PollArgs) (merge.PollReply, error) {
+// pollReply fetches one PollReply, preferring the direct shard (or
+// relay) path. sinceEpoch is the mirror's last seen incarnation stamp:
+// a direct reply whose version regressed but whose epoch changed is a
+// legitimate rebuild (relay re-baseline, failover promotion) that the
+// caller's resync rule handles, not a stale endpoint.
+func (c *Client) pollReply(args merge.PollArgs, sinceEpoch int64) (merge.PollReply, error) {
 	var reply merge.PollReply
 	if rc, target := c.ensureDirect(); rc != nil {
 		err := rc.Call(target, args, &reply)
-		if err == nil && reply.Version >= args.SinceVersion && reply.Version > 0 {
+		// A tombstone's version-0 reply is NOT a rebuild whatever epoch it
+		// carries — only a reply with actual state qualifies.
+		epochFlip := err == nil && reply.Version > 0 &&
+			reply.Epoch != 0 && sinceEpoch != 0 && reply.Epoch != sinceEpoch
+		if err == nil && reply.Version > 0 && (reply.Version >= args.SinceVersion || epochFlip) {
 			return reply, nil
 		}
-		if err != nil || reply.Version < args.SinceVersion {
+		if err != nil || (reply.Version < args.SinceVersion && !epochFlip) {
 			// Broken endpoint, or the shard no longer owns the session
 			// (a tombstone's version regresses): re-resolve placement on
 			// the next poll.
@@ -351,7 +373,7 @@ func (c *Client) Poll() (Update, error) {
 	c.mu.Unlock()
 	reply, err := c.pollReply(merge.PollArgs{
 		SessionID: c.sessionID, SinceVersion: since,
-	})
+	}, sinceEpoch)
 	if err != nil {
 		return Update{}, err
 	}
@@ -365,12 +387,17 @@ func (c *Client) Poll() (Update, error) {
 		(reply.Epoch != 0 && sinceEpoch != 0 && reply.Epoch != sinceEpoch))
 	if resync {
 		// Our mirror may hold state the new owner never saw, so rebuild
-		// it from a full poll instead of patching.
+		// it from a full poll instead of patching. The full poll must go
+		// to the same endpoint as the incremental one (pollReply, not the
+		// front door): a relay mirror stamps its own epoch, and mixing a
+		// router-epoch baseline with relay-epoch increments would resync
+		// forever.
 		reply.Release()
 		reply = merge.PollReply{}
-		if err := c.rmi.Call("AIDAManager.Poll", merge.PollArgs{
+		reply, err = c.pollReply(merge.PollArgs{
 			SessionID: c.sessionID, Full: true,
-		}, &reply); err != nil {
+		}, 0)
+		if err != nil {
 			return Update{}, err
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/locator"
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/registry"
+	"github.com/ipa-grid/ipa/internal/relay"
 	"github.com/ipa-grid/ipa/internal/scheduler"
 	"github.com/ipa-grid/ipa/internal/session"
 	"github.com/ipa-grid/ipa/internal/shard"
@@ -74,6 +75,13 @@ type GridOptions struct {
 	// batches fsyncs (0 = every record).
 	WALDir       string
 	WALSyncEvery int
+	// Relays starts that many read relays on the sharded fabric: each
+	// subscribes once per session to the owning shard's delta stream
+	// and re-serves any number of client polls from its local mirrored
+	// copy (0 = none; needs Shards > 1). RelayInterval is the
+	// subscription poll cadence (0 = 25ms).
+	Relays        int
+	RelayInterval time.Duration
 }
 
 // LocalGrid is a complete single-process Grid site on loopback TCP:
@@ -101,11 +109,14 @@ type LocalGrid struct {
 	AntiEntropy *shard.AntiEntropy
 	// ShardMgrs are the fabric's member managers by shard name.
 	ShardMgrs map[string]*merge.Manager
-	Reg       *registry.Registry
-	Loader    *codeloader.Loader
-	Shared    *storage.Element
-	Manager   *Manager
-	Session   *session.Service
+	// Relays are the read fan-out tier's mirrors by relay name,
+	// non-empty when GridOptions.Relays asked for them.
+	Relays  map[string]*relay.Relay
+	Reg     *registry.Registry
+	Loader  *codeloader.Loader
+	Shared  *storage.Element
+	Manager *Manager
+	Session *session.Service
 
 	baseDir string
 	opts    GridOptions
@@ -237,6 +248,27 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 			g.AntiEntropy.Interval = opts.AntiEntropyInterval
 			g.AntiEntropy.Start()
 		}
+		if opts.Relays > 0 {
+			// Read fan-out tier: relays subscribe to the owners through
+			// the router's relay-bypassing origin poller and the router
+			// routes client reads to them.
+			interval := opts.RelayInterval
+			if interval <= 0 {
+				interval = 25 * time.Millisecond
+			}
+			g.Relays = make(map[string]*relay.Relay, opts.Relays)
+			for i := 0; i < opts.Relays; i++ {
+				name := fmt.Sprintf("relay%02d", i)
+				rel := relay.New(name, g.Router.OriginPoller())
+				rel.Interval = interval
+				rel.AutoSubscribe = true
+				g.Relays[name] = rel
+				if err := g.Router.AddRelay(name, rel); err != nil {
+					return nil, err
+				}
+			}
+			g.Router.RelayReads = true
+		}
 	} else {
 		mgr := merge.NewManager()
 		if opts.WALDir != "" {
@@ -300,8 +332,8 @@ func NewLocalGrid(opts GridOptions) (*LocalGrid, error) {
 
 	mgrCfg := ManagerConfig{
 		Sessions: sessions, Catalog: g.Catalog, Merge: g.Merge,
-		ShardManagers: g.ShardMgrs,
-		EngineCount:   opts.EnginesPerSession,
+		ShardManagers: g.ShardMgrs, Relays: g.Relays,
+		EngineCount: opts.EnginesPerSession,
 	}
 	if !opts.Insecure {
 		host, err := ca.IssueHost("ipa-manager", []string{"localhost", "127.0.0.1"}, 24*time.Hour)
@@ -400,6 +432,9 @@ func (g *LocalGrid) Close() {
 	}
 	for _, id := range g.Session.Sessions() {
 		g.Session.Close(id)
+	}
+	for _, rel := range g.Relays {
+		rel.Close()
 	}
 	g.Manager.Close()
 	g.Cluster.Close()

@@ -9,6 +9,7 @@ import (
 	"github.com/ipa-grid/ipa/internal/gsi"
 	"github.com/ipa-grid/ipa/internal/merge"
 	"github.com/ipa-grid/ipa/internal/obs"
+	"github.com/ipa-grid/ipa/internal/relay"
 	"github.com/ipa-grid/ipa/internal/rmi"
 	"github.com/ipa-grid/ipa/internal/session"
 	"github.com/ipa-grid/ipa/internal/shard"
@@ -28,6 +29,10 @@ type ManagerConfig struct {
 	// registered under shard.ObjectName(name) so routers on other nodes
 	// can dial them directly. Empty for an unsharded deployment.
 	ShardManagers map[string]*merge.Manager
+	// Relays are the locally-hosted read relays, each registered under
+	// relay.ObjectName(name) so clients can dial their assigned relay
+	// directly for reads. Empty when the fabric has no relay tier.
+	Relays map[string]*relay.Relay
 	// VO authorizes operations (nil = allow all authenticated users;
 	// plain-HTTP containers then allow everyone — test mode only).
 	VO *gsi.VO
@@ -112,6 +117,12 @@ func NewManager(cfg ManagerConfig, wsrfAddr, rmiAddr string) (*Manager, error) {
 			return nil, err
 		}
 	}
+	for name, rel := range cfg.Relays {
+		if err := m.RMI.Register(relay.ObjectName(name), rel); err != nil {
+			m.Container.Close()
+			return nil, err
+		}
+	}
 	addr, err := m.RMI.ListenAndServe(rmiAddr)
 	if err != nil {
 		m.Container.Close()
@@ -125,6 +136,9 @@ func NewManager(cfg ManagerConfig, wsrfAddr, rmiAddr string) (*Manager, error) {
 	if router, ok := cfg.Merge.(*shard.Router); ok {
 		for name := range cfg.ShardManagers {
 			router.SetShardAddr(name, m.rmiAddr)
+		}
+		for name := range cfg.Relays {
+			router.SetRelayAddr(name, m.rmiAddr)
 		}
 	}
 	return m, nil
@@ -253,6 +267,7 @@ func (m *Manager) register() {
 		resp := &StatusResponse{
 			State: string(st.State), Dataset: st.Dataset, Bundle: st.Bundle,
 			Shard: st.Shard, ShardAddr: st.ShardAddr,
+			RelayName: st.RelayName, RelayAddr: st.RelayAddr,
 			PlacementGen: st.PlacementGen, DeadShards: st.DeadShards,
 			ResultEpoch: st.ResultEpoch, Replica: st.Replica, ReplicaChain: st.ReplicaChain,
 			Publishes: st.Publishes, Polls: st.Polls, FastPolls: st.FastPolls,

@@ -132,6 +132,13 @@ type StatusResponse struct {
 	// when unadvertised); polling clients may dial it to skip the
 	// router hop.
 	ShardAddr string `xml:"shardAddr,omitempty"`
+	// RelayName names the read relay assigned to this session's polls
+	// (empty when the fabric has no relay tier or relay reads are off).
+	RelayName string `xml:"relayName,omitempty"`
+	// RelayAddr is the RMI endpoint serving that relay (empty when
+	// unadvertised); polling clients should prefer it for reads and keep
+	// writes on the owning shard.
+	RelayAddr string `xml:"relayAddr,omitempty"`
 	// PlacementGen is the fabric's placement-table generation — it bumps
 	// on every topology edit, rebalance move, or fault eviction (0 when
 	// unsharded).

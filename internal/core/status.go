@@ -51,6 +51,30 @@ type SessionPlacement struct {
 	ReplicaLag int64 `json:"replicaLag,omitempty"`
 }
 
+// RelayStatus is one read-relay row in a FabricStatus report: the
+// fan-out the relay tier is buying (downstream polls served per
+// upstream subscription poll) and how stale its mirrors run.
+type RelayStatus struct {
+	Name string `json:"name"`
+	// Sessions counts the live delta subscriptions this relay holds.
+	Sessions int `json:"sessions"`
+	// UpPolls / DownPolls are cumulative upstream subscription polls vs
+	// downstream client polls served; FanOut is their ratio — the
+	// poll-amplification the relay absorbs for the owning shards.
+	UpPolls   int64   `json:"upPolls"`
+	DownPolls int64   `json:"downPolls"`
+	FanOut    float64 `json:"fanOut"`
+	// Clients counts currently-attached streaming clients (SSE viewers
+	// and registered watchers).
+	Clients int64 `json:"clients"`
+	// StalenessMS is the age of the relay's least-recently-synced
+	// mirror — the worst-case lag a reader here can observe.
+	StalenessMS float64 `json:"stalenessMS"`
+	// Rebaselines counts full re-syncs forced by upstream epoch flips
+	// or NeedFull signals.
+	Rebaselines int64 `json:"rebaselines,omitempty"`
+}
+
 // FabricStatus is the live fabric snapshot served as JSON at
 // /fabric/status.
 type FabricStatus struct {
@@ -58,9 +82,11 @@ type FabricStatus struct {
 	// manager (Shards then holds one synthetic "manager" row).
 	Sharded bool `json:"sharded"`
 	// PlacementGen is the placement-table generation (0 when unsharded).
-	PlacementGen uint64             `json:"placementGen,omitempty"`
-	Shards       []ShardStatus      `json:"shards"`
-	Placements   []SessionPlacement `json:"placements"`
+	PlacementGen uint64        `json:"placementGen,omitempty"`
+	Shards       []ShardStatus `json:"shards"`
+	// Relays lists the read fan-out tier (nil when the fabric has none).
+	Relays     []RelayStatus      `json:"relays,omitempty"`
+	Placements []SessionPlacement `json:"placements"`
 	// Events are the most recent structured fabric events (handoffs,
 	// promotions, fences, rebalance moves, evictions, dead marks,
 	// revivals, spans) from the in-memory telemetry ring.
@@ -144,6 +170,20 @@ func (g *LocalGrid) FabricStatus(maxEvents int) FabricStatus {
 	}
 	for _, name := range names {
 		st.Shards = append(st.Shards, *rows[name])
+	}
+	relayNames := make([]string, 0, len(g.Relays))
+	for name := range g.Relays {
+		relayNames = append(relayNames, name)
+	}
+	sort.Strings(relayNames)
+	for _, name := range relayNames {
+		rs := g.Relays[name].Stats()
+		st.Relays = append(st.Relays, RelayStatus{
+			Name: rs.Name, Sessions: rs.Sessions,
+			UpPolls: rs.UpPolls, DownPolls: rs.DownPolls, FanOut: rs.FanOut,
+			Clients: rs.Clients, StalenessMS: rs.StalenessMS,
+			Rebaselines: rs.Rebaselines,
+		})
 	}
 	return st
 }

@@ -138,6 +138,13 @@ type PollArgs struct {
 	SinceVersion int64
 	// Full forces a complete tree regardless of SinceVersion.
 	Full bool
+	// DownstreamDepth is the accumulated queue-depth hint of the tier
+	// issuing this poll: a relay subscribing on behalf of N congested
+	// downstream consumers reports max(its own lag, what its children
+	// reported) here, so leaf congestion reaches the owning shard and
+	// widens flush intervals at the root — backpressure beyond one hop.
+	// 0 from ordinary clients.
+	DownstreamDepth int
 }
 
 // WorkerProgress summarizes one engine for the client status panel
@@ -274,6 +281,11 @@ type sessionState struct {
 	// write section; its excess over 1 is the backpressure hint carried
 	// on PublishReply/FlushReply.
 	pubWaiting atomic.Int32
+	// downDepth accumulates the max DownstreamDepth reported by polling
+	// tiers (relays) since a publisher last read it. Folded into the
+	// backpressure hint and decayed by one per read, so a tier that
+	// stops reporting fades out instead of pinning pressure forever.
+	downDepth atomic.Int64
 
 	version int64
 	workers map[string]*workerState
@@ -439,9 +451,39 @@ func (s *sessionState) clearFrames() {
 // caller's own pubWaiting slot are still held, so the self-count is
 // excluded exactly once.
 func (s *sessionState) reportPressure(reply *PublishReply) {
-	if d := int(s.pubWaiting.Load()) - 1; d > 0 {
+	d := int(s.pubWaiting.Load()) - 1
+	if dd := s.drainDownstream(); dd > d {
+		d = dd
+	}
+	if d > 0 {
 		reply.QueueDepth = d
 		reply.Busy = true
+	}
+}
+
+// noteDownstream folds a polling tier's accumulated queue-depth hint
+// into the session's pressure signal (max-accumulate; lock-free).
+func (s *sessionState) noteDownstream(d int) {
+	for {
+		cur := s.downDepth.Load()
+		if int64(d) <= cur || s.downDepth.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// drainDownstream reads the accumulated downstream hint, decaying it by
+// one so stale reports fade across successive publisher reads rather
+// than holding flush intervals wide forever.
+func (s *sessionState) drainDownstream() int {
+	for {
+		cur := s.downDepth.Load()
+		if cur <= 0 {
+			return 0
+		}
+		if s.downDepth.CompareAndSwap(cur, cur-1) {
+			return int(cur)
+		}
 	}
 }
 
@@ -875,6 +917,9 @@ func (m *Manager) Poll(args PollArgs, reply *PollReply) error {
 	}
 	s.polls.Add(1)
 	obsPolls.Inc()
+	if args.DownstreamDepth > 0 {
+		s.noteDownstream(args.DownstreamDepth)
+	}
 	if s.fenced() {
 		// A deposed post-failover copy answers like an unknown session:
 		// version 0 sends a direct-polling straggler back to placement
@@ -1105,9 +1150,14 @@ func (m *Manager) FlushState(sessionID string, since, logSince int64) (FlushStat
 	if err := s.remerge(); err != nil {
 		return fs, err
 	}
-	if d := int(s.pubWaiting.Load()); d > 0 {
-		// Publishes are queued behind this flush's write lock: surface
-		// the contention to whoever forwards our state upstream.
+	d := int(s.pubWaiting.Load())
+	if dd := s.drainDownstream(); dd > d {
+		d = dd
+	}
+	if d > 0 {
+		// Publishes are queued behind this flush's write lock, or a
+		// downstream tier reported congestion: surface it to whoever
+		// forwards our state upstream.
 		fs.QueueDepth = d
 		fs.Busy = true
 	}

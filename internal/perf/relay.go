@@ -1,0 +1,200 @@
+// A16 — the read fan-out tier (the perf tentpole): N downstream
+// pollers per session served through a delta-subscribing relay mirror
+// vs polling the owning shard directly. The claim under test: the
+// relay collapses N poller streams into one upstream subscription per
+// session — upstream shard polls drop ~N× — while the frames the
+// pollers see stay byte-identical to the shard's own.
+
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ipa-grid/ipa/internal/merge"
+	"github.com/ipa-grid/ipa/internal/relay"
+	"github.com/ipa-grid/ipa/internal/shard"
+)
+
+// RelayAblationRow is one mode (relay tier on/off) of the read
+// fan-out experiment.
+type RelayAblationRow struct {
+	Mode     string // "direct" | "relay"
+	Shards   int
+	Sessions int
+	Rounds   int
+	// Pollers is the downstream fan-out N: independent incremental
+	// pollers per session, each polling once per publish round.
+	Pollers int
+	// UpstreamPolls counts polls that reached the owning shards during
+	// the serve phase — every downstream poll in direct mode, one
+	// subscription sync per session per round in relay mode.
+	UpstreamPolls int64
+	// DownstreamPolls counts polls served to the N pollers (identical
+	// work in both modes); FanOut is Downstream/Upstream — how many
+	// client reads one upstream poll pays for.
+	DownstreamPolls int64
+	FanOut          float64
+	// PollPerSec is the downstream serve rate (poller-side wall time).
+	PollPerSec float64
+	// Identical: every session's served state matches the flat
+	// single-manager reference byte-for-byte, and (relay mode) the
+	// relay's frames match the owning shard's own — must stay true.
+	Identical bool
+	WallMS    int64
+}
+
+// RelayAblation publishes `rounds` rounds across `sessions` sessions
+// on a sharded fabric while `pollers` independent clients per session
+// poll incrementally each round, relay tier off ("direct", the
+// DisableRelay baseline) vs on ("relay"). Upstream shard polls are
+// read from the owners' per-session traffic counters, so the relay's
+// own subscription syncs are charged to it.
+func RelayAblation(shards, sessions, rounds, pollers int) ([]RelayAblationRow, error) {
+	var out []RelayAblationRow
+	for _, mode := range []string{"direct", "relay"} {
+		router := shard.NewRouter(0)
+		for i := 0; i < shards; i++ {
+			if err := router.AddShard(fmt.Sprintf("shard%02d", i), merge.NewManager()); err != nil {
+				return nil, err
+			}
+		}
+		flat := merge.NewManager()
+		var workers []*ablationWorker
+		for s := 0; s < sessions; s++ {
+			w, err := newAblationWorker(fmt.Sprintf("sess-%02d", s), router, flat)
+			if err != nil {
+				return nil, err
+			}
+			workers = append(workers, w)
+		}
+		var rel *relay.Relay
+		if mode == "relay" {
+			// Interval 0 = no background loop: syncs happen via SyncNow
+			// once per round, so the upstream cost is deterministic.
+			rel = relay.New("relay00", router.OriginPoller())
+			rel.AutoSubscribe = true
+			if err := router.AddRelay("relay00", rel); err != nil {
+				return nil, err
+			}
+			router.RelayReads = true
+		}
+		start := time.Now()
+		// Round 0 places the sessions on their shards; the relay can
+		// only subscribe to sessions the fabric knows.
+		for _, w := range workers {
+			w.h.Fill(0)
+			w.refH.Fill(0)
+			if err := sendSnapshot(w.tr, w.tree); err != nil {
+				return nil, err
+			}
+			if err := sendSnapshot(w.refTr, w.ref); err != nil {
+				return nil, err
+			}
+			if rel != nil {
+				if err := rel.Subscribe(w.sid); err != nil {
+					return nil, err
+				}
+			}
+		}
+		upstreamBase, err := ownerPolls(router, workers)
+		if err != nil {
+			return nil, err
+		}
+		row := RelayAblationRow{
+			Mode: mode, Shards: shards, Sessions: sessions,
+			Rounds: rounds, Pollers: pollers,
+		}
+		// since[p][sid] tracks each poller's incremental cursor, exactly
+		// as live clients would; both modes poll the same front door
+		// (the router), which routes to the relay when the tier is on.
+		since := make([]map[string]int64, pollers)
+		for p := range since {
+			since[p] = map[string]int64{}
+		}
+		var serveNS int64
+		for r := 0; r < rounds; r++ {
+			for _, w := range workers {
+				w.h.Fill(float64(r % 10))
+				w.refH.Fill(float64(r % 10))
+				if err := sendSnapshot(w.tr, w.tree); err != nil {
+					return nil, err
+				}
+				if err := sendSnapshot(w.refTr, w.ref); err != nil {
+					return nil, err
+				}
+				if rel != nil {
+					if err := rel.SyncNow(w.sid); err != nil {
+						return nil, err
+					}
+				}
+			}
+			t0 := time.Now()
+			for p := 0; p < pollers; p++ {
+				for _, w := range workers {
+					var reply merge.PollReply
+					if err := router.Poll(merge.PollArgs{
+						SessionID: w.sid, SinceVersion: since[p][w.sid],
+					}, &reply); err != nil {
+						return nil, err
+					}
+					since[p][w.sid] = reply.Version
+					row.DownstreamPolls++
+				}
+			}
+			serveNS += time.Since(t0).Nanoseconds()
+		}
+		// Upstream cost is read before the verification polls below so
+		// statesMatch's full polls don't pollute the counters.
+		upstreamEnd, err := ownerPolls(router, workers)
+		if err != nil {
+			return nil, err
+		}
+		row.UpstreamPolls = upstreamEnd - upstreamBase
+		if row.UpstreamPolls > 0 {
+			row.FanOut = float64(row.DownstreamPolls) / float64(row.UpstreamPolls)
+		}
+		if serveNS > 0 {
+			row.PollPerSec = float64(row.DownstreamPolls) / (float64(serveNS) / 1e9)
+		}
+		row.Identical = true
+		for _, w := range workers {
+			same, err := statesMatch(router, flat, w.sid)
+			if err != nil {
+				return nil, err
+			}
+			if same && rel != nil {
+				// The relay's re-served frames must also match the owning
+				// shard's own view, not just the flat reference.
+				same, err = statesMatch(router, router.OriginPoller(), w.sid)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !same {
+				row.Identical = false
+			}
+		}
+		if rel != nil {
+			rel.Close()
+		}
+		row.WallMS = time.Since(start).Milliseconds()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ownerPolls sums the owning shards' per-session poll counters — the
+// upstream read traffic the relay tier is supposed to absorb. Router
+// stats always route to the owner, relay tier or not.
+func ownerPolls(router *shard.Router, workers []*ablationWorker) (int64, error) {
+	var sum int64
+	for _, w := range workers {
+		var sr merge.StatsReply
+		if err := router.Stats(merge.StatsArgs{SessionID: w.sid}, &sr); err != nil {
+			return 0, err
+		}
+		sum += sr.Polls
+	}
+	return sum, nil
+}

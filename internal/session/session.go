@@ -502,6 +502,13 @@ type Status struct {
 	// unsharded or unadvertised). Heavy pollers dial it and skip the
 	// router hop.
 	ShardAddr string
+	// RelayName names the read relay assigned to this session's polls
+	// ("" when the fabric has no relay tier or relay reads are off).
+	RelayName string
+	// RelayAddr is the RMI endpoint serving that relay ("" when
+	// unadvertised). Read-heavy clients dial it and leave the owning
+	// shard to writers.
+	RelayAddr string
 	// PlacementGen is the fabric's placement-table generation (0 when
 	// unsharded): it bumps on every topology edit, rebalance move, or
 	// fault eviction, so a client can tell "the fabric changed under me"
@@ -582,6 +589,11 @@ func (s *Service) Status(sessionID string) (Status, error) {
 		st.Shard, st.ShardAddr = p.PlacementInfo(sess.ID)
 	case interface{ Placement(string) string }:
 		st.Shard = p.Placement(sess.ID)
+	}
+	if p, ok := s.cfg.Merge.(interface {
+		RelayFor(string) (string, string)
+	}); ok {
+		st.RelayName, st.RelayAddr = p.RelayFor(sess.ID)
 	}
 	// Replication surfaces are capability probes too: any fabric that
 	// stamps incarnations or assigns standbys reports them.

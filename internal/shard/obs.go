@@ -37,6 +37,8 @@ var (
 		"Anti-entropy sweeps completed over the session chains.")
 	obsAntiEntropyRepairs = obs.GetCounter("ipa_shard_anti_entropy_repairs_total",
 		"Replica copies re-baselined by the anti-entropy loop (drift or stall).")
+	obsRelayPolls = obs.GetCounter("ipa_shard_relay_routed_polls_total",
+		"Client polls routed to the relay tier instead of the owning shard.")
 )
 
 // shardCalls caches the per-shard routed-call counters. Key is

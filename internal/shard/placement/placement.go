@@ -100,26 +100,36 @@ type Table[B any] struct {
 	backends map[string]B
 	addrs    map[string]string
 	dead     map[string]struct{}
+	// relays maps relay name → advertised endpoint ("" for in-process
+	// relays). Relays are the read fan-out tier: they never own
+	// sessions, so they live beside the shard ring, with their own
+	// consistent-hash ring assigning each session a home relay.
+	relays    map[string]string
+	relayRing *Ring
 }
 
 func newTable[B any](vnodes int) *Table[B] {
 	return &Table[B]{
-		ring:     NewRing(vnodes),
-		sessions: make(map[string]Entry),
-		backends: make(map[string]B),
-		addrs:    make(map[string]string),
-		dead:     make(map[string]struct{}),
+		ring:      NewRing(vnodes),
+		sessions:  make(map[string]Entry),
+		backends:  make(map[string]B),
+		addrs:     make(map[string]string),
+		dead:      make(map[string]struct{}),
+		relays:    make(map[string]string),
+		relayRing: NewRing(vnodes),
 	}
 }
 
 func (t *Table[B]) clone() *Table[B] {
 	cp := &Table[B]{
-		gen:      t.gen + 1,
-		ring:     t.ring.Clone(),
-		sessions: make(map[string]Entry, len(t.sessions)),
-		backends: make(map[string]B, len(t.backends)),
-		addrs:    make(map[string]string, len(t.addrs)),
-		dead:     make(map[string]struct{}, len(t.dead)),
+		gen:       t.gen + 1,
+		ring:      t.ring.Clone(),
+		sessions:  make(map[string]Entry, len(t.sessions)),
+		backends:  make(map[string]B, len(t.backends)),
+		addrs:     make(map[string]string, len(t.addrs)),
+		dead:      make(map[string]struct{}, len(t.dead)),
+		relays:    make(map[string]string, len(t.relays)),
+		relayRing: t.relayRing.Clone(),
 	}
 	for k, v := range t.sessions {
 		cp.sessions[k] = v
@@ -132,6 +142,9 @@ func (t *Table[B]) clone() *Table[B] {
 	}
 	for k := range t.dead {
 		cp.dead[k] = struct{}{}
+	}
+	for k, v := range t.relays {
+		cp.relays[k] = v
 	}
 	return cp
 }
@@ -259,6 +272,26 @@ func (t *Table[B]) DeadShards() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Relays lists registered relay names, sorted.
+func (t *Table[B]) Relays() []string { return t.relayRing.Shards() }
+
+// RelayAddr returns a relay's advertised endpoint ("" for in-process
+// relays or unknown names).
+func (t *Table[B]) RelayAddr(name string) string { return t.relays[name] }
+
+// HasRelay reports whether a relay is registered.
+func (t *Table[B]) HasRelay(name string) bool {
+	_, ok := t.relays[name]
+	return ok
+}
+
+// RelayHome is the relay the relay ring assigns a session ("" when no
+// relays are registered) — the deterministic "nearest relay" choice
+// every router replica agrees on without coordination.
+func (t *Table[B]) RelayHome(sessionID string) string {
+	return t.relayRing.Owner(sessionID)
 }
 
 // Sessions lists every placed session, sorted.
@@ -389,6 +422,26 @@ func (t *Table[B]) SetAddr(shard, addr string) {
 		return
 	}
 	t.addrs[shard] = addr
+}
+
+// AddRelay registers a read relay and joins it to the relay ring.
+func (t *Table[B]) AddRelay(name, addr string) {
+	t.relays[name] = addr
+	t.relayRing.Add(name)
+}
+
+// RemoveRelay forgets a relay entirely.
+func (t *Table[B]) RemoveRelay(name string) {
+	delete(t.relays, name)
+	t.relayRing.Remove(name)
+}
+
+// SetRelayAddr records a relay's advertised endpoint ("" clears it back
+// to in-process). No-op for unregistered relays.
+func (t *Table[B]) SetRelayAddr(name, addr string) {
+	if _, ok := t.relays[name]; ok {
+		t.relays[name] = addr
+	}
 }
 
 // SetDead marks or clears a shard's fault state.

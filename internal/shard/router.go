@@ -61,6 +61,13 @@ type Backend interface {
 	Fence(args merge.FenceArgs, reply *merge.FenceReply) error
 }
 
+// ReadBackend is the read-only surface a relay tier exposes to the
+// router: just Poll. Relays never own sessions, so they need none of
+// the write/handoff surface a full Backend carries.
+type ReadBackend interface {
+	Poll(args merge.PollArgs, reply *merge.PollReply) error
+}
+
 // ErrNoShards rejects routing on an empty fabric (or one whose every
 // shard is marked dead).
 var ErrNoShards = errors.New("shard: router has no shards")
@@ -124,6 +131,19 @@ type Router struct {
 	// episode so the fabric event fires once per episode, not once per
 	// blocked publish (the counter records every occurrence).
 	backpressured atomic.Bool
+
+	// RelayReads routes client polls of placed sessions through the
+	// registered relay tier (read-only mirrors that subscribe once to
+	// the owner's delta stream and re-serve any number of pollers).
+	// Writes always go to the primary. Off by default — the
+	// DisableRelay baseline is direct owner polling. Set before first
+	// use.
+	RelayReads bool
+	// relayHandles maps relay name → its locally reachable read
+	// surface. Registration data (names, endpoints, the relay ring)
+	// lives in the placement table; the handles stay here so the table
+	// needs no second type parameter.
+	relayHandles sync.Map
 
 	table      *placement.Store[Backend]
 	handoffs   atomic.Int64
@@ -223,8 +243,28 @@ func (r *Router) Publish(args merge.PublishArgs, reply *merge.PublishReply) erro
 	return nil
 }
 
-// Poll routes a client update request (RMI-compatible).
+// Poll routes a client update request (RMI-compatible). With
+// RelayReads on, placed sessions are served by their assigned read
+// relay — the owner shard sees one subscription stream instead of
+// every viewer's round-trip; everything else (relay off, unplaced
+// session, relay not locally reachable) polls the owner.
 func (r *Router) Poll(args merge.PollArgs, reply *merge.PollReply) error {
+	if r.RelayReads {
+		if name, rb := r.relayFor(args.SessionID); rb != nil {
+			if !obs.Disabled() {
+				obsRelayPolls.Inc()
+				shardCall("relay/"+name, "poll").Inc()
+			}
+			return rb.Poll(args, reply)
+		}
+	}
+	return r.PollOwner(args, reply)
+}
+
+// PollOwner routes a read to the session's owning shard, bypassing the
+// relay tier — the subscription path the relays themselves poll
+// through (a relay read must never route back into the relay tier).
+func (r *Router) PollOwner(args merge.PollArgs, reply *merge.PollReply) error {
 	name, b, err := r.owner(args.SessionID, false)
 	if err != nil {
 		return err
@@ -233,6 +273,96 @@ func (r *Router) Poll(args merge.PollArgs, reply *merge.PollReply) error {
 		shardCall(name, "poll").Inc()
 	}
 	return b.Poll(args, reply)
+}
+
+// relayFor resolves the relay handle serving a session's reads (nil
+// when the session is unplaced, no relay is registered, or the
+// assigned relay has no local handle). Unplaced sessions stay on the
+// owner path: a stray read must not open a relay subscription for a
+// session that may never exist.
+func (r *Router) relayFor(sessionID string) (string, ReadBackend) {
+	t := r.table.Load()
+	if _, ok := t.Lookup(sessionID); !ok {
+		return "", nil
+	}
+	name := t.RelayHome(sessionID)
+	if name == "" {
+		return "", nil
+	}
+	if v, ok := r.relayHandles.Load(name); ok {
+		return name, v.(ReadBackend)
+	}
+	return "", nil
+}
+
+// OriginPoller is the router's relay-bypassing read surface — what a
+// relay's upstream subscription polls through.
+type OriginPoller struct{ r *Router }
+
+// Poll implements relay-tier Poller against the owning shard.
+func (p OriginPoller) Poll(args merge.PollArgs, reply *merge.PollReply) error {
+	return p.r.PollOwner(args, reply)
+}
+
+// OriginPoller returns the relay-bypassing read surface.
+func (r *Router) OriginPoller() OriginPoller { return OriginPoller{r} }
+
+// AddRelay registers a read relay: its handle for local routing and
+// its name in the placement table's relay ring (which assigns each
+// session a home relay deterministically).
+func (r *Router) AddRelay(name string, rb ReadBackend) error {
+	if name == "" || rb == nil {
+		return errors.New("shard: AddRelay needs a name and a backend")
+	}
+	if _, loaded := r.relayHandles.LoadOrStore(name, rb); loaded {
+		return fmt.Errorf("shard: relay %q already present", name)
+	}
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		m.AddRelay(name, "")
+		return true
+	})
+	return nil
+}
+
+// RemoveRelay retires a relay; its sessions' reads fall back to other
+// relays (or the owner when none remain).
+func (r *Router) RemoveRelay(name string) {
+	r.relayHandles.Delete(name)
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		if !m.HasRelay(name) {
+			return false
+		}
+		m.RemoveRelay(name)
+		return true
+	})
+}
+
+// SetRelayAddr records the RMI endpoint whose relay.ObjectName(name)
+// registration serves a relay ("" clears it). Clients learn it through
+// session status and dial the relay directly for reads.
+func (r *Router) SetRelayAddr(name, addr string) {
+	r.table.Update(func(m *placement.Table[Backend]) bool {
+		if !m.HasRelay(name) || m.RelayAddr(name) == addr {
+			return false
+		}
+		m.SetRelayAddr(name, addr)
+		return true
+	})
+}
+
+// Relays lists registered relay names, sorted.
+func (r *Router) Relays() []string { return r.table.Load().Relays() }
+
+// RelayFor names the relay assigned a session's reads together with
+// its advertised endpoint — both "" when relay reads are off or no
+// relay is registered, sending the client to the owner instead.
+func (r *Router) RelayFor(sessionID string) (name, addr string) {
+	if !r.RelayReads {
+		return "", ""
+	}
+	t := r.table.Load()
+	name = t.RelayHome(sessionID)
+	return name, t.RelayAddr(name)
 }
 
 // Reset routes a rewind (RMI-compatible). A rewind that races a live
@@ -317,6 +447,14 @@ func (r *Router) Drop(sessionID string) {
 	t.EachBackend(func(_ string, b Backend) {
 		var dr merge.DropReply
 		b.DropSession(merge.DropArgs{SessionID: sessionID}, &dr)
+	})
+	// Relays mirroring the session tear down their subscription and
+	// local copy too.
+	r.relayHandles.Range(func(_, v any) bool {
+		if d, ok := v.(interface{ Drop(string) }); ok {
+			d.Drop(sessionID)
+		}
+		return true
 	})
 }
 

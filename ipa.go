@@ -41,6 +41,9 @@ type (
 	ShardStatus = core.ShardStatus
 	// SessionPlacement is one session's placement row.
 	SessionPlacement = core.SessionPlacement
+	// RelayStatus is one read-relay row in a FabricStatus: the fan-out
+	// the relay tier absorbs and how stale its mirrors run.
+	RelayStatus = core.RelayStatus
 	// GenConfig parameterizes the Linear Collider event generator.
 	GenConfig = events.GenConfig
 	// Role is a VO authorization role.
